@@ -1,0 +1,95 @@
+// Extension (§7.1) — clients with preferences: regret vs lookup cost.
+//
+// Clients want the t globally *cheapest* providers (costs drawn uniformly
+// at placement time). For each scheme we compare the normal stop-at-t
+// lookup against the exhaustive best-of-everything lookup on both regret
+// (mean returned cost minus mean optimal cost) and servers contacted.
+// Storage is equalised at the Figs 4/6/7 budget of 200.
+#include "bench_util.hpp"
+
+#include <unordered_map>
+
+#include "pls/common/stats.hpp"
+#include "pls/core/preferences.hpp"
+#include "pls/core/strategy_factory.hpp"
+
+namespace {
+
+using namespace pls;
+
+struct Cells {
+  double regret_cheap = 0, cost_cheap = 0;
+  double regret_full = 0, cost_full = 0;
+};
+
+Cells measure(core::StrategyKind kind, std::size_t param,
+              std::size_t instances, std::size_t lookups,
+              std::uint64_t seed) {
+  constexpr std::size_t kTarget = 10;
+  RunningStats rc, cc, rf, cf;
+  const auto universe = bench::iota_entries(100);
+  for (std::size_t i = 0; i < instances; ++i) {
+    Rng rng(seed + i * 11);
+    // A fresh client preference per instance: cost(entry) ~ U[0, 1).
+    std::unordered_map<Entry, double> costs;
+    for (Entry v : universe) costs[v] = rng.uniform_real();
+    const core::CostFn cost = [&costs](Entry v) { return costs.at(v); };
+
+    const auto s = core::make_strategy(
+        core::StrategyConfig{.kind = kind, .param = param, .seed = seed + i},
+        10);
+    s->place(universe);
+    for (std::size_t l = 0; l < lookups; ++l) {
+      const auto cheap = core::preferred_lookup(
+          *s, kTarget, cost, core::PreferenceMode::kStopAtT, rng);
+      rc.add(core::preference_regret(cheap, universe, cost, kTarget));
+      cc.add(static_cast<double>(cheap.servers_contacted));
+      const auto full = core::preferred_lookup(
+          *s, kTarget, cost, core::PreferenceMode::kExhaustive, rng);
+      rf.add(core::preference_regret(full, universe, cost, kTarget));
+      cf.add(static_cast<double>(full.servers_contacted));
+    }
+  }
+  return {rc.mean(), cc.mean(), rf.mean(), cf.mean()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = pls::bench::Args::parse(argc, argv);
+  const std::size_t instances = args.runs ? args.runs : 15;
+  const std::size_t lookups = args.lookups ? args.lookups : 100;
+
+  pls::bench::print_title(
+      "Extension §7.1: preference regret vs lookup cost (t = 10 best of "
+      "100, budget 200)",
+      std::to_string(instances) + " instances x " + std::to_string(lookups) +
+          " lookups; cost(entry) ~ U[0,1), regret in cost units");
+  pls::bench::print_row_header({"strategy", "regret@stop-t", "cost@stop-t",
+                                "regret@exhaust", "cost@exhaust"});
+
+  struct Row {
+    pls::core::StrategyKind kind;
+    std::size_t param;
+  };
+  for (const auto& row : {Row{pls::core::StrategyKind::kFixed, 20},
+                          {pls::core::StrategyKind::kRandomServer, 20},
+                          {pls::core::StrategyKind::kRoundRobin, 2},
+                          {pls::core::StrategyKind::kHash, 2}}) {
+    const auto cells =
+        measure(row.kind, row.param, instances, lookups, args.seed);
+    pls::bench::print_cell(pls::core::to_string(row.kind));
+    pls::bench::print_cell(cells.regret_cheap);
+    pls::bench::print_cell(cells.cost_cheap);
+    pls::bench::print_cell(cells.regret_full);
+    pls::bench::print_cell(cells.cost_full);
+    pls::bench::end_row();
+  }
+  pls::bench::print_note(
+      "expected: exhaustive regret is ~0 for complete-coverage schemes "
+      "(Round/Hash), small for RandomServer (coverage ~89) and largest "
+      "for Fixed (only 20 entries visible: ~0.2 in cost units); "
+      "stop-at-t is ~10x cheaper in contacts but pays ~0.3-0.4 regret "
+      "everywhere (a random t-subset instead of the best t).");
+  return 0;
+}

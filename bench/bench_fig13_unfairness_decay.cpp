@@ -1,0 +1,100 @@
+// Fig 13 — deterioration of RandomServer-x fairness under churn.
+//
+// 10 servers, x = 20, steady state 100 entries. After k updates the
+// unfairness over the currently live entries is measured. Paper shape:
+// rapid rise then a plateau around half of Fixed-x's U = 2 (the §6.3
+// "only a factor of 2 better" observation).
+#include "bench_util.hpp"
+
+#include <unordered_set>
+
+#include "pls/analysis/models.hpp"
+#include "pls/common/stats.hpp"
+#include "pls/core/strategy_factory.hpp"
+#include "pls/metrics/unfairness.hpp"
+#include "pls/workload/update_stream.hpp"
+
+namespace {
+
+using namespace pls;
+
+constexpr std::size_t kCheckpointStep = 500;
+constexpr std::size_t kMaxUpdates = 4000;
+
+std::vector<double> unfairness_trajectory(std::size_t instances,
+                                          std::size_t lookups,
+                                          std::size_t target,
+                                          std::uint64_t seed) {
+  const std::size_t checkpoints = kMaxUpdates / kCheckpointStep + 1;
+  std::vector<RunningStats> stats(checkpoints);
+  for (std::size_t i = 0; i < instances; ++i) {
+    workload::WorkloadConfig wc;
+    wc.steady_state_entries = 100;
+    wc.num_updates = kMaxUpdates;
+    wc.seed = seed + i * 71;
+    const auto wl = workload::generate_workload(wc);
+    const auto s = core::make_strategy(
+        core::StrategyConfig{.kind = core::StrategyKind::kRandomServer,
+                             .param = 20,
+                             .seed = seed + i},
+        10);
+    s->place(wl.initial);
+    std::unordered_set<Entry> live(wl.initial.begin(), wl.initial.end());
+
+    std::size_t applied = 0;
+    auto checkpoint = [&](std::size_t index) {
+      std::vector<Entry> universe(live.begin(), live.end());
+      if (universe.empty()) return;
+      stats[index].add(
+          metrics::instance_unfairness(*s, universe, target, lookups));
+    };
+    checkpoint(0);
+    for (const auto& ev : wl.events) {
+      if (ev.kind == workload::UpdateKind::kAdd) {
+        s->add(ev.entry);
+        live.insert(ev.entry);
+      } else {
+        s->erase(ev.entry);
+        live.erase(ev.entry);
+      }
+      ++applied;
+      if (applied % kCheckpointStep == 0) {
+        checkpoint(applied / kCheckpointStep);
+      }
+    }
+  }
+  std::vector<double> out;
+  out.reserve(checkpoints);
+  for (const auto& st : stats) out.push_back(st.mean());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = pls::bench::Args::parse(argc, argv);
+  const std::size_t instances = args.runs ? args.runs : 20;
+  const std::size_t lookups = args.lookups ? args.lookups : 2000;
+  constexpr std::size_t kTarget = 15;
+
+  pls::bench::print_title(
+      "Fig 13: RandomServer-20 unfairness vs number of updates",
+      "h = 100, n = 10, t = 15; " + std::to_string(instances) +
+          " instances x " + std::to_string(lookups) + " lookups/checkpoint");
+  pls::bench::print_row_header({"updates", "RandomServer-20", "Fixed-x(ref)"});
+
+  const auto trajectory =
+      unfairness_trajectory(instances, lookups, kTarget, args.seed);
+  const double fixed_ref = pls::analysis::unfairness_fixed(100, 20);
+  for (std::size_t c = 0; c < trajectory.size(); ++c) {
+    pls::bench::print_cell(c * kCheckpointStep);
+    pls::bench::print_cell(trajectory[c]);
+    pls::bench::print_cell(fixed_ref);
+    pls::bench::end_row();
+  }
+  pls::bench::print_note(
+      "expected shape: rapid deterioration from the static value, then a "
+      "plateau well below Fixed-x's U = 2 (§6.3: 'only a factor of 2 "
+      "better').");
+  return 0;
+}

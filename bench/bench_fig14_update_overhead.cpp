@@ -1,0 +1,90 @@
+// Fig 14 — total update overhead (processed messages), Fixed-50 vs Hash-y*.
+//
+// Target t = 40, n = 10, steady-state h swept 100..400; y* = ceil(t*n/h)
+// per §6.4 (4 at h=100..133, 3 at 134..199, 2 at 200..399, 1 at 400).
+// Message counts come from the real transport, not from formulas; the
+// analytical (1 + x*n/h)U and (1 + y)U columns are printed for comparison.
+// Paper shape: Fixed's curve falls like 1/h; Hash's is a step function;
+// the curves cross several times.
+#include "bench_util.hpp"
+
+#include "pls/analysis/models.hpp"
+#include "pls/common/stats.hpp"
+#include "pls/core/strategy_factory.hpp"
+#include "pls/workload/replay.hpp"
+
+namespace {
+
+using namespace pls;
+
+double measured_overhead(core::StrategyKind kind, std::size_t param,
+                         std::size_t h, std::size_t runs,
+                         std::size_t updates, std::uint64_t seed) {
+  RunningStats stats;
+  for (std::size_t i = 0; i < runs; ++i) {
+    workload::WorkloadConfig wc;
+    wc.steady_state_entries = h;
+    wc.num_updates = updates;
+    wc.seed = seed + i * 37;
+    const auto wl = workload::generate_workload(wc);
+    const auto s = core::make_strategy(
+        core::StrategyConfig{
+            .kind = kind, .param = param, .seed = seed + i},
+        10);
+    s->place(wl.initial);
+    s->network().reset_stats();
+    for (const auto& ev : wl.events) {
+      if (ev.kind == workload::UpdateKind::kAdd) {
+        s->add(ev.entry);
+      } else {
+        s->erase(ev.entry);
+      }
+    }
+    stats.add(static_cast<double>(s->network().stats().processed));
+  }
+  return stats.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = pls::bench::Args::parse(argc, argv);
+  const std::size_t runs = args.runs ? args.runs : 8;
+  const std::size_t updates = args.updates ? args.updates : 10000;
+  constexpr std::size_t kTarget = 40;
+  constexpr std::size_t kX = 50;  // t + cushion 10, as in §6.4
+
+  pls::bench::print_title(
+      "Fig 14: total update overhead, Fixed-50 vs Hash-y* (t = 40, n = 10)",
+      std::to_string(runs) + " runs x " + std::to_string(updates) +
+          " updates per point (paper: 5000 runs x 10000 updates)");
+  pls::bench::print_row_header({"h", "y*", "Fixed-50", "Hash-y*",
+                                "Fixed(model)", "Hash(model)", "cheaper"});
+
+  using pls::core::StrategyKind;
+  for (std::size_t h : {100u, 120u, 133u, 150u, 175u, 199u, 200u, 250u,
+                        300u, 350u, 399u, 400u}) {
+    const std::size_t y = pls::analysis::optimal_hash_y(kTarget, h, 10);
+    const double fixed = measured_overhead(StrategyKind::kFixed, kX, h, runs,
+                                           updates, args.seed);
+    const double hash = measured_overhead(StrategyKind::kHash, y, h, runs,
+                                          updates, args.seed + 999);
+    pls::bench::print_cell(h);
+    pls::bench::print_cell(y);
+    pls::bench::print_cell(fixed, 16, 0);
+    pls::bench::print_cell(hash, 16, 0);
+    pls::bench::print_cell(pls::analysis::update_cost_fixed(updates, kX, h,
+                                                            10),
+                           16, 0);
+    pls::bench::print_cell(pls::analysis::update_cost_hash(updates, y), 16,
+                           0);
+    pls::bench::print_cell(std::string_view{fixed < hash ? "Fixed" : "Hash"});
+    pls::bench::end_row();
+  }
+  pls::bench::print_note(
+      "expected shape: Fixed ~ (1 + 500/h) per update, falling in h; Hash "
+      "~ (1 + y) stepping down at h = 134, 200, 400; crossovers where "
+      "x*n/h = y (Fixed wins near the left edge of each Hash step, Hash "
+      "wins near the right edge).");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig 4 — lookup cost vs target answer size with a fixed storage budget.
+//
+// 100 entries on 10 servers, total storage 200 => Round-2, RandomServer-20,
+// Hash-2 (Fixed-20 cannot answer t > 20 and is reported only up to there).
+// Paper shape: Round-2 is a step curve rising by 1 every 20 entries;
+// RandomServer-20 sits above it (overlap costs extra contacts, worst just
+// past multiples of 20); Hash-2 is above 1 even for small t but can beat
+// the others just past the step boundaries.
+#include "bench_util.hpp"
+
+#include "pls/analysis/models.hpp"
+#include "pls/common/stats.hpp"
+#include "pls/core/strategy_factory.hpp"
+#include "pls/metrics/lookup_cost.hpp"
+
+namespace {
+
+using namespace pls;
+
+double mean_cost(core::StrategyKind kind, std::size_t param, std::size_t t,
+                 std::size_t runs, std::size_t lookups, std::uint64_t seed) {
+  RunningStats stats;
+  const auto entries = bench::iota_entries(100);
+  for (std::size_t i = 0; i < runs; ++i) {
+    const auto s = core::make_strategy(
+        core::StrategyConfig{
+            .kind = kind, .param = param, .seed = seed + i * 101},
+        10);
+    s->place(entries);
+    stats.add(metrics::measure_lookup_cost(*s, t, lookups).mean_servers);
+  }
+  return stats.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = pls::bench::Args::parse(argc, argv);
+  const std::size_t runs = args.runs ? args.runs : 60;
+  const std::size_t lookups = args.lookups ? args.lookups : 300;
+
+  pls::bench::print_title(
+      "Fig 4: lookup cost vs target answer size (fixed storage cost 200)",
+      "h = 100, n = 10; " + std::to_string(runs) + " runs x " +
+          std::to_string(lookups) + " lookups per point (paper: 5000x5000)");
+  pls::bench::print_row_header({"t", "Round-2", "RandomServer-20", "Hash-2",
+                                "Fixed-20", "Round-2(model)",
+                                "RandSrv(model)"});
+
+  using pls::core::StrategyKind;
+  for (std::size_t t = 10; t <= 50; t += 5) {
+    pls::bench::print_cell(t);
+    pls::bench::print_cell(mean_cost(StrategyKind::kRoundRobin, 2, t, runs,
+                                     lookups, args.seed));
+    pls::bench::print_cell(mean_cost(StrategyKind::kRandomServer, 20, t,
+                                     runs, lookups, args.seed));
+    pls::bench::print_cell(
+        mean_cost(StrategyKind::kHash, 2, t, runs, lookups, args.seed));
+    if (t <= 20) {
+      pls::bench::print_cell(mean_cost(StrategyKind::kFixed, 20, t, runs,
+                                       lookups, args.seed));
+    } else {
+      pls::bench::print_cell(std::string_view{"n/a(t>x)"});
+    }
+    pls::bench::print_cell(static_cast<std::size_t>(
+        pls::analysis::lookup_cost_round_robin(t, 100, 10, 2)));
+    pls::bench::print_cell(
+        pls::analysis::lookup_cost_random_server_approx(t, 100, 10, 20));
+    pls::bench::end_row();
+  }
+  pls::bench::print_note(
+      "expected shape: Round-2 steps at t=20,40; RandomServer-20 above "
+      "Round-2 with peaks just past multiples of 20; Hash-2 > 1 even at "
+      "t<=15 but smallest penalty past the steps (paper reports 1.124 at "
+      "t=15).");
+  return 0;
+}

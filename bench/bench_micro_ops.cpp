@@ -1,0 +1,113 @@
+// Microbenchmarks (google-benchmark): the hot operations under every
+// experiment — entry-store sampling, per-strategy lookups and updates,
+// event-queue throughput and workload generation.
+#include <benchmark/benchmark.h>
+
+#include "pls/core/strategy_factory.hpp"
+#include "pls/sim/simulator.hpp"
+#include "pls/workload/update_stream.hpp"
+
+namespace {
+
+using namespace pls;
+
+std::vector<Entry> iota_entries(std::size_t h) {
+  std::vector<Entry> out(h);
+  for (std::size_t i = 0; i < h; ++i) out[i] = i + 1;
+  return out;
+}
+
+void BM_EntryStoreInsertErase(benchmark::State& state) {
+  core::EntryStore store;
+  for (Entry v = 0; v < 1000; ++v) store.insert(v);
+  Entry next = 1000;
+  for (auto _ : state) {
+    store.insert(next);
+    store.erase(next - 1000);
+    ++next;
+  }
+}
+BENCHMARK(BM_EntryStoreInsertErase);
+
+void BM_EntryStoreSample(benchmark::State& state) {
+  core::EntryStore store;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (Entry v = 0; v < n; ++v) store.insert(v);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.sample(n / 5, rng));
+  }
+}
+BENCHMARK(BM_EntryStoreSample)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_PartialLookup(benchmark::State& state) {
+  const auto kind = static_cast<core::StrategyKind>(state.range(0));
+  const std::size_t param =
+      (kind == core::StrategyKind::kRoundRobin ||
+       kind == core::StrategyKind::kHash)
+          ? 2
+          : 20;
+  const auto s = core::make_strategy(
+      core::StrategyConfig{.kind = kind, .param = param, .seed = 3}, 10);
+  s->place(iota_entries(100));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s->partial_lookup(15));
+  }
+}
+BENCHMARK(BM_PartialLookup)
+    ->Arg(static_cast<int>(core::StrategyKind::kFullReplication))
+    ->Arg(static_cast<int>(core::StrategyKind::kFixed))
+    ->Arg(static_cast<int>(core::StrategyKind::kRandomServer))
+    ->Arg(static_cast<int>(core::StrategyKind::kRoundRobin))
+    ->Arg(static_cast<int>(core::StrategyKind::kHash));
+
+void BM_AddDeleteChurn(benchmark::State& state) {
+  const auto kind = static_cast<core::StrategyKind>(state.range(0));
+  const std::size_t param =
+      (kind == core::StrategyKind::kRoundRobin ||
+       kind == core::StrategyKind::kHash)
+          ? 2
+          : 20;
+  const auto s = core::make_strategy(
+      core::StrategyConfig{.kind = kind, .param = param, .seed = 3}, 10);
+  s->place(iota_entries(100));
+  Entry next = 1000;
+  for (auto _ : state) {
+    s->add(next);
+    s->erase(next);
+    ++next;
+  }
+}
+BENCHMARK(BM_AddDeleteChurn)
+    ->Arg(static_cast<int>(core::StrategyKind::kFullReplication))
+    ->Arg(static_cast<int>(core::StrategyKind::kFixed))
+    ->Arg(static_cast<int>(core::StrategyKind::kRandomServer))
+    ->Arg(static_cast<int>(core::StrategyKind::kRoundRobin))
+    ->Arg(static_cast<int>(core::StrategyKind::kHash));
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(static_cast<SimTime>(i % 97), [] {});
+    }
+    sim.run_all();
+  }
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  workload::WorkloadConfig cfg;
+  cfg.steady_state_entries = 100;
+  cfg.num_updates = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(workload::generate_workload(cfg));
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,157 @@
+// Service-level end-to-end comparison: a multi-key directory under a
+// realistic mix of Zipf-popular lookups, uniform churn, and stochastic
+// server crash/recovery — what a deployment actually experiences.
+//
+// For each candidate per-key scheme we report user-facing satisfaction,
+// mean contact cost, total storage, and the message bill, with and
+// without failures (90% per-server availability).
+#include "bench_util.hpp"
+
+#include "pls/net/failure_injector.hpp"
+#include "pls/workload/service_workload.hpp"
+
+namespace {
+
+using namespace pls;
+
+struct Outcome {
+  double satisfaction = 0;
+  double contacts = 0;
+  double storage = 0;
+  double messages = 0;
+};
+
+Outcome run(core::StrategyConfig per_key, bool with_failures,
+            std::size_t events, std::uint64_t seed) {
+  workload::ServiceWorkloadConfig wc;
+  wc.num_keys = 50;
+  wc.entries_per_key = 30;
+  wc.zipf_alpha = 1.0;
+  wc.lookup_interarrival = 1.0;
+  wc.update_interarrival = 4.0;
+  wc.num_events = events;
+  wc.target_answer_size = 3;
+  wc.seed = seed;
+  const auto wl = workload::generate_service_workload(wc);
+
+  core::ServiceConfig cfg;
+  cfg.num_servers = 10;
+  cfg.default_strategy = per_key;
+  cfg.seed = seed;
+  core::PartialLookupService service(cfg);
+
+  // Crash/recovery running "concurrently": advance the outage timeline to
+  // each event's timestamp before applying it.
+  sim::Simulator sim;
+  auto failures = net::make_failure_state(10);
+  net::FailureInjector injector(
+      failures, {.mttf = 900.0, .mttr = 100.0, .seed = seed + 1});
+  Outcome out;
+  if (with_failures) {
+    // Drive failures against the service's own shared state by mirroring
+    // the injector's toggles onto it.
+    injector.arm(sim);
+  }
+
+  const auto& keys = wl.keys;
+  std::vector<std::vector<Entry>> live = wl.initial_entries;
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    service.place(keys[k], live[k]);
+  }
+  const auto placed = service.total_transport().processed;
+
+  Rng delete_rng(seed ^ 0xde1e7e);
+  std::size_t lookups = 0, satisfied = 0;
+  double contacted = 0;
+  for (const auto& ev : wl.events) {
+    if (with_failures) {
+      sim.run_until(ev.time);
+      for (ServerId s = 0; s < 10; ++s) {
+        if (failures->is_up(s)) {
+          service.recover_server(s);
+        } else {
+          service.fail_server(s);
+        }
+      }
+    }
+    switch (ev.kind) {
+      case workload::ServiceEventKind::kLookup: {
+        const auto r = service.partial_lookup(keys[ev.key_index], 3);
+        ++lookups;
+        satisfied += r.satisfied;
+        contacted += static_cast<double>(r.servers_contacted);
+        break;
+      }
+      case workload::ServiceEventKind::kAdd:
+        service.add(keys[ev.key_index], ev.entry);
+        live[ev.key_index].push_back(ev.entry);
+        break;
+      case workload::ServiceEventKind::kDelete: {
+        auto& pool = live[ev.key_index];
+        if (pool.empty()) break;
+        const auto idx =
+            static_cast<std::size_t>(delete_rng.uniform(pool.size()));
+        service.erase(keys[ev.key_index], pool[idx]);
+        pool[idx] = pool.back();
+        pool.pop_back();
+        break;
+      }
+    }
+  }
+  out.satisfaction =
+      lookups ? static_cast<double>(satisfied) / static_cast<double>(lookups)
+              : 0.0;
+  out.contacts = lookups ? contacted / static_cast<double>(lookups) : 0.0;
+  out.storage = static_cast<double>(service.total_storage());
+  out.messages =
+      static_cast<double>(service.total_transport().processed - placed);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = pls::bench::Args::parse(argc, argv);
+  const std::size_t events = args.updates ? args.updates : 20000;
+
+  pls::bench::print_title(
+      "Service-level mix: 50 keys x 30 entries, Zipf(1) lookups : churn "
+      "4:1, t = 3, n = 10",
+      std::to_string(events) +
+          " events; failure columns use MTTF 900 / MTTR 100 (90% per-"
+          "server availability)");
+  pls::bench::print_row_header({"per-key scheme", "sat%", "contacts",
+                                "storage", "msgs", "sat%(fail)"});
+
+  struct Row {
+    pls::core::StrategyConfig cfg;
+    const char* label;
+  };
+  const Row rows[] = {
+      {{.kind = pls::core::StrategyKind::kFullReplication}, "FullRep"},
+      {{.kind = pls::core::StrategyKind::kFixed, .param = 5}, "Fixed-5"},
+      {{.kind = pls::core::StrategyKind::kRandomServer, .param = 5},
+       "RandomServer-5"},
+      {{.kind = pls::core::StrategyKind::kRoundRobin, .param = 2},
+       "Round-2"},
+      {{.kind = pls::core::StrategyKind::kHash, .param = 2}, "Hash-2"},
+  };
+  for (const auto& row : rows) {
+    const auto healthy = run(row.cfg, false, events, args.seed);
+    const auto faulty = run(row.cfg, true, events, args.seed);
+    pls::bench::print_cell(std::string_view{row.label});
+    pls::bench::print_cell(100.0 * healthy.satisfaction, 16, 2);
+    pls::bench::print_cell(healthy.contacts);
+    pls::bench::print_cell(healthy.storage, 16, 0);
+    pls::bench::print_cell(healthy.messages, 16, 0);
+    pls::bench::print_cell(100.0 * faulty.satisfaction, 16, 2);
+    pls::bench::end_row();
+  }
+  pls::bench::print_note(
+      "expected: every partial scheme keeps >99% satisfaction, healthy "
+      "or faulty (2+ copies absorb 90%-availability outages at t = 3); "
+      "Fixed-5 and Hash-2 pay roughly half the messages of the "
+      "always-broadcast schemes, and every partial scheme stores ~5-6x "
+      "less than Full Replication.");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Table 1 — storage cost for managing h entries on n servers.
+//
+// Prints the paper's formulas next to the measured storage of real
+// placements. Randomized schemes (RandomServer, Hash) report the mean over
+// --runs instances; the deterministic ones must match exactly.
+#include "bench_util.hpp"
+
+#include "pls/analysis/models.hpp"
+#include "pls/common/stats.hpp"
+#include "pls/core/strategy_factory.hpp"
+
+namespace {
+
+using namespace pls;
+
+double measured_storage(core::StrategyKind kind, std::size_t param,
+                        std::size_t n, std::size_t h, std::size_t runs,
+                        std::uint64_t seed) {
+  RunningStats stats;
+  const auto entries = bench::iota_entries(h);
+  for (std::size_t i = 0; i < runs; ++i) {
+    const auto s = core::make_strategy(
+        core::StrategyConfig{.kind = kind, .param = param, .seed = seed + i},
+        n);
+    s->place(entries);
+    stats.add(static_cast<double>(s->storage_cost()));
+  }
+  return stats.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = pls::bench::Args::parse(argc, argv);
+  const std::size_t runs = args.runs ? args.runs : 50;
+  constexpr std::size_t kServers = 10;
+
+  pls::bench::print_title(
+      "Table 1: storage cost for managing h entries on n servers",
+      "n = 10; x = 20 (Fixed/RandomServer), y = 2 (Round/Hash); mean over " +
+          std::to_string(runs) + " instances for randomized schemes");
+  pls::bench::print_row_header(
+      {"h", "strategy", "analytical", "measured", "rel.err%"});
+
+  struct Row {
+    pls::core::StrategyKind kind;
+    std::size_t param;
+  };
+  const Row rows[] = {
+      {pls::core::StrategyKind::kFullReplication, 1},
+      {pls::core::StrategyKind::kFixed, 20},
+      {pls::core::StrategyKind::kRandomServer, 20},
+      {pls::core::StrategyKind::kRoundRobin, 2},
+      {pls::core::StrategyKind::kHash, 2},
+  };
+
+  for (std::size_t h : {50u, 100u, 200u, 400u}) {
+    for (const auto& row : rows) {
+      double analytical = 0.0;
+      switch (row.kind) {
+        case pls::core::StrategyKind::kFullReplication:
+          analytical = static_cast<double>(
+              pls::analysis::storage_full_replication(h, kServers));
+          break;
+        case pls::core::StrategyKind::kFixed:
+        case pls::core::StrategyKind::kRandomServer:
+          analytical = static_cast<double>(
+              pls::analysis::storage_per_server_x(h, kServers, row.param));
+          break;
+        case pls::core::StrategyKind::kRoundRobin:
+          analytical = static_cast<double>(
+              pls::analysis::storage_round_robin(h, row.param));
+          break;
+        case pls::core::StrategyKind::kHash:
+          analytical =
+              pls::analysis::storage_hash_expected(h, kServers, row.param);
+          break;
+      }
+      const double measured = measured_storage(row.kind, row.param, kServers,
+                                               h, runs, args.seed);
+      pls::bench::print_cell(h);
+      pls::bench::print_cell(pls::core::to_string(row.kind));
+      pls::bench::print_cell(analytical);
+      pls::bench::print_cell(measured);
+      pls::bench::print_cell(analytical == 0.0
+                                 ? 0.0
+                                 : 100.0 * (measured - analytical) /
+                                       analytical,
+                             16, 2);
+      pls::bench::end_row();
+    }
+  }
+  pls::bench::print_note(
+      "expected: FullRep h*n | Fixed/RandomServer x*n (capped at h*n) | "
+      "Round h*y | Hash h*n*(1-(1-1/n)^y)");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 2 — the star-rating strategy summary, derived from measurements.
+//
+// The paper hard-codes its stars; we run a standard scenario battery (the
+// Figs 4/6/7/9 configuration plus two churn scenarios) and rank the four
+// partial-lookup schemes per column. The measured values behind each star
+// are printed too, so the ranking is auditable.
+#include "bench_util.hpp"
+
+#include "pls/analysis/summary.hpp"
+
+int main(int argc, char** argv) {
+  auto args = pls::bench::Args::parse(argc, argv);
+
+  pls::analysis::SummaryConfig cfg;
+  cfg.instances = args.runs ? args.runs : 10;
+  cfg.lookups_per_instance = args.lookups ? args.lookups : 2000;
+  cfg.updates = args.updates ? args.updates : 2000;
+  cfg.seed = args.seed;
+
+  pls::bench::print_title(
+      "Table 2: strategy summary (stars from measured rankings; 4 = best)",
+      "h = 100, n = 10, budget 200; " + std::to_string(cfg.instances) +
+          " instances per scenario");
+
+  const auto table = pls::analysis::measured_star_table(cfg);
+  std::cout << pls::analysis::format_star_table(table);
+
+  std::cout << "\n# raw measured values per column:\n";
+  pls::bench::print_row_header({"strategy", "sto(few)", "sto(many)", "cover",
+                                "fault", "fair(st)", "fair(dyn)", "lookup",
+                                "upd(s)", "upd(l)"},
+                               12);
+  for (const auto& row : table.rows) {
+    std::cout << std::setw(12) << pls::core::to_string(row.kind);
+    for (double v : row.values) pls::bench::print_cell(v, 12, 2);
+    pls::bench::end_row();
+  }
+  pls::bench::print_note(
+      "paper qualitative claims to check: no strategy dominates; Fixed "
+      "wins fault tolerance & small-target updates; Round wins fairness & "
+      "lookup cost; Hash wins large-target updates; RandomServer balances "
+      "coverage and static fairness.");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// P2P overlay — the §7.2 limited-reachability variation on a
+// Gnutella-style network.
+//
+// 100 overlay nodes, 10 of them running the lookup service. A client can
+// only contact servers within d hops (flooding radius). This example
+// shows the d-vs-service trade-off: how client satisfaction grows with d
+// under different placement schemes, and what the smallest workable
+// flooding radius is.
+//
+//   $ ./p2p_overlay [seed]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "pls/core/strategy_factory.hpp"
+#include "pls/overlay/reachability.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pls;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  Rng rng(seed);
+  const auto topo = overlay::Topology::ring_with_chords(100, 40, rng);
+  const auto servers = overlay::evenly_spaced_servers(topo, 10);
+  std::cout << "overlay: 100 nodes, " << topo.num_edges()
+            << " edges, diameter " << topo.diameter() << "; servers on 10 "
+            << "evenly spaced nodes\n";
+
+  // One shared catalogue of 100 entries; clients want any 20.
+  std::vector<Entry> entries;
+  for (Entry v = 1; v <= 100; ++v) entries.push_back(v);
+  constexpr std::size_t kTarget = 20;
+
+  struct Candidate {
+    core::StrategyKind kind;
+    std::size_t param;
+  };
+  const Candidate candidates[] = {
+      {core::StrategyKind::kFixed, 20},
+      {core::StrategyKind::kRoundRobin, 2},
+      {core::StrategyKind::kHash, 2},
+  };
+
+  std::cout << "\nfraction of clients that can satisfy t=" << kTarget
+            << " at flooding radius d:\n";
+  std::cout << std::left << std::setw(14) << "scheme" << std::right;
+  for (std::size_t d = 1; d <= 6; ++d) std::cout << std::setw(8) << d;
+  std::cout << std::setw(10) << "min d" << '\n';
+
+  for (const auto& c : candidates) {
+    const auto s = core::make_strategy(
+        core::StrategyConfig{.kind = c.kind, .param = c.param, .seed = seed},
+        10);
+    s->place(entries);
+    std::cout << std::left << std::setw(14) << core::to_string(c.kind)
+              << std::right << std::fixed << std::setprecision(2);
+    for (std::size_t d = 1; d <= 6; ++d) {
+      std::cout << std::setw(8)
+                << overlay::client_satisfaction(*s, topo, servers, d,
+                                                kTarget);
+    }
+    std::cout << std::setw(10)
+              << overlay::min_hops_for_full_satisfaction(*s, topo, servers,
+                                                         kTarget)
+              << '\n';
+  }
+
+  // A client actually flooding with radius 3:
+  const auto s = core::make_strategy(
+      core::StrategyConfig{
+          .kind = core::StrategyKind::kRoundRobin, .param = 2, .seed = seed},
+      10);
+  s->place(entries);
+  Rng client_rng(seed + 1);
+  const overlay::NodeId client = 42;
+  const auto r = overlay::restricted_lookup(*s, topo, servers, client, 3,
+                                            kTarget, client_rng);
+  std::cout << "\nclient at node " << client << ", radius 3: got "
+            << r.entries.size() << " entries from " << r.servers_contacted
+            << " reachable server(s), satisfied="
+            << (r.satisfied ? "yes" : "no") << '\n';
+  std::cout << "\ntrade-off (§7.2): a small radius keeps lookups cheap and "
+               "local but strands distant clients;\nplacement schemes "
+               "whose single server already holds t entries (Fixed, wide "
+               "Round-Robin)\ntolerate the smallest radius.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Strategy advisor CLI — the paper's Fig 3 classification tree and §4/§6
+// rules of thumb as an interactive tool.
+//
+//   $ ./strategy_advisor --servers 10 --entries 100 --target 10
+//         --updates-per-lookup 0.2 [--coverage] [--fair] [--budget 200]
+//   (single command line; wrapped here for width)
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+#include "pls/analysis/advisor.hpp"
+
+namespace {
+
+void print_classification_tree() {
+  using pls::analysis::classify;
+  using pls::core::StrategyKind;
+  std::cout << "Fig 3 classification of the five schemes:\n";
+  for (StrategyKind kind :
+       {StrategyKind::kFullReplication, StrategyKind::kFixed,
+        StrategyKind::kRandomServer, StrategyKind::kRoundRobin,
+        StrategyKind::kHash}) {
+    const auto c = classify(kind);
+    std::cout << "  " << pls::core::to_string(kind) << ": "
+              << (c.full_replication ? "full replication"
+                                     : (c.guarantees_every_entry
+                                            ? "guarantees every entry"
+                                            : "partial subset per server"))
+              << (c.full_replication
+                      ? ""
+                      : (c.randomized ? ", randomized" : ", deterministic"))
+              << '\n';
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pls::analysis::WorkloadProfile profile;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    auto next_num = [&]() -> double {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << '\n';
+        std::exit(2);
+      }
+      return std::strtod(argv[++i], nullptr);
+    };
+    if (flag == "--servers") {
+      profile.num_servers = static_cast<std::size_t>(next_num());
+    } else if (flag == "--entries") {
+      profile.expected_entries = static_cast<std::size_t>(next_num());
+    } else if (flag == "--target") {
+      profile.target_answer_size = static_cast<std::size_t>(next_num());
+    } else if (flag == "--updates-per-lookup") {
+      profile.updates_per_lookup = next_num();
+    } else if (flag == "--budget") {
+      profile.storage_budget = static_cast<std::size_t>(next_num());
+    } else if (flag == "--coverage") {
+      profile.require_complete_coverage = true;
+    } else if (flag == "--fair") {
+      profile.require_zero_unfairness = true;
+    } else if (flag == "--help" || flag == "-h") {
+      std::cout << "flags: --servers N --entries H --target T "
+                   "--updates-per-lookup R --budget L --coverage --fair\n";
+      return 0;
+    } else {
+      std::cerr << "unknown flag " << flag << " (try --help)\n";
+      return 2;
+    }
+  }
+
+  print_classification_tree();
+
+  std::cout << "workload: n=" << profile.num_servers
+            << " h=" << profile.expected_entries
+            << " t=" << profile.target_answer_size
+            << " updates/lookup=" << profile.updates_per_lookup
+            << (profile.require_complete_coverage ? " +complete-coverage"
+                                                  : "")
+            << (profile.require_zero_unfairness ? " +zero-unfairness" : "");
+  if (profile.storage_budget != 0) {
+    std::cout << " budget=" << profile.storage_budget;
+  }
+  std::cout << "\n\n";
+
+  const auto rec = pls::analysis::recommend(profile);
+  std::cout << "recommendation: " << pls::core::to_string(rec.kind);
+  if (rec.param != 0) std::cout << " with parameter " << rec.param;
+  std::cout << "\n\nwhy:\n  " << rec.rationale << '\n';
+  if (!rec.cautions.empty()) {
+    std::cout << "\ntrade-offs you accept:\n";
+    for (const auto& caution : rec.cautions) {
+      std::cout << "  - " << caution << '\n';
+    }
+  }
+  return 0;
+}

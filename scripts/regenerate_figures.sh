@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure as CSV under results/, using the
+# bench harness. Pass extra bench flags (e.g. --runs 5000) as arguments.
+set -euo pipefail
+BUILD="${BUILD_DIR:-build}"
+OUT="${OUT_DIR:-results}"
+mkdir -p "$OUT"
+for bench in "$BUILD"/bench/bench_*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  case "$name" in
+    bench_micro_ops) "$bench" > "$OUT/$name.txt" 2>/dev/null ;;
+    *) "$bench" --csv "$@" > "$OUT/$name.csv" ;;
+  esac
+  echo "wrote $OUT/$name"
+done

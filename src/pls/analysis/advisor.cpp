@@ -1,0 +1,172 @@
+#include "pls/analysis/advisor.hpp"
+
+#include <algorithm>
+
+#include "pls/analysis/models.hpp"
+#include "pls/common/check.hpp"
+
+namespace pls::analysis {
+
+using core::StrategyKind;
+
+Classification classify(StrategyKind kind) noexcept {
+  switch (kind) {
+    case StrategyKind::kFullReplication:
+      return {.full_replication = true,
+              .guarantees_every_entry = true,
+              .randomized = false};
+    case StrategyKind::kFixed:
+      return {.full_replication = false,
+              .guarantees_every_entry = false,
+              .randomized = false};
+    case StrategyKind::kRandomServer:
+      return {.full_replication = false,
+              .guarantees_every_entry = false,
+              .randomized = true};
+    case StrategyKind::kRoundRobin:
+      return {.full_replication = false,
+              .guarantees_every_entry = true,
+              .randomized = false};
+    case StrategyKind::kHash:
+      return {.full_replication = false,
+              .guarantees_every_entry = true,
+              .randomized = true};
+  }
+  return {};
+}
+
+std::size_t suggest_cushion(std::size_t target_answer_size) noexcept {
+  return std::max<std::size_t>(2, (target_answer_size + 4) / 5);
+}
+
+namespace {
+
+/// x for Fixed/RandomServer from the budget (or from t + cushion).
+std::size_t pick_x(const WorkloadProfile& p, bool dynamic) {
+  std::size_t x = p.target_answer_size +
+                  (dynamic ? suggest_cushion(p.target_answer_size) : 0);
+  if (p.storage_budget != 0) {
+    x = std::max(x, p.storage_budget / std::max<std::size_t>(1, p.num_servers));
+  }
+  return std::min(x, p.expected_entries == 0 ? x : p.expected_entries);
+}
+
+/// y for Round-Robin from the budget, at least 1, at most n.
+std::size_t pick_round_y(const WorkloadProfile& p) {
+  std::size_t y = 1;
+  if (p.storage_budget != 0 && p.expected_entries != 0) {
+    y = std::max<std::size_t>(1, p.storage_budget / p.expected_entries);
+  }
+  return std::min<std::size_t>(y, std::max<std::size_t>(1, p.num_servers));
+}
+
+}  // namespace
+
+Recommendation recommend(const WorkloadProfile& profile) {
+  PLS_CHECK_MSG(profile.num_servers > 0, "profile needs servers");
+  PLS_CHECK_MSG(profile.target_answer_size > 0, "profile needs t >= 1");
+  Recommendation rec;
+  const bool high_churn = profile.updates_per_lookup >= 0.05;
+
+  if (profile.require_zero_unfairness) {
+    // §4.5: "if we want no unfairness, then we are forced to use either
+    // full replication or round-robin."
+    if (high_churn) {
+      rec.kind = StrategyKind::kFullReplication;
+      rec.param = 0;
+      rec.rationale =
+          "Zero unfairness restricts the choice to Full Replication or "
+          "Round-Robin (§4.5); under a high update rate Round-Robin's "
+          "coordinator becomes a bottleneck and deletes trigger migrations "
+          "(§6.3), so Full Replication is the safer fair scheme.";
+      rec.cautions.push_back(
+          "Every update is a broadcast and storage is h*n — the most "
+          "expensive scheme by far (Table 1).");
+    } else {
+      rec.kind = StrategyKind::kRoundRobin;
+      rec.param = pick_round_y(profile);
+      rec.rationale =
+          "Zero unfairness restricts the choice to Full Replication or "
+          "Round-Robin (§4.5); with few updates Round-Robin gives the same "
+          "perfect fairness at a fraction of the storage (h*y vs h*n), the "
+          "lowest lookup cost (§4.2) and complete coverage (§4.3).";
+      rec.cautions.push_back(
+          "All updates serialize through the coordinator; keep the update "
+          "rate low (§6.3).");
+    }
+    return rec;
+  }
+
+  if (high_churn) {
+    // §6.3: RandomServer and Round-Robin are "not appropriate when the
+    // update rate is high". §6.4 splits Fixed vs Hash at t/h ~ 1/n.
+    const bool small_fraction =
+        profile.target_answer_size * profile.num_servers <
+        profile.expected_entries;
+    if (small_fraction) {
+      rec.kind = StrategyKind::kFixed;
+      rec.param = pick_x(profile, /*dynamic=*/true);
+      rec.rationale =
+          "High update rate with a small target fraction (t/h < 1/n): "
+          "Fixed-x broadcasts only the rare updates that touch its "
+          "x-subset, the cheapest update path in this regime (§6.4), and "
+          "keeps the single-server lookup cost of 1 (§4.2).";
+      rec.cautions.push_back(
+          "Coverage is only x entries and fairness is the worst of all "
+          "schemes (§4.5); the x = t + cushion slack absorbs deletes "
+          "(§6.2).");
+    } else {
+      rec.kind = StrategyKind::kHash;
+      rec.param = optimal_hash_y(profile.target_answer_size,
+                                 profile.expected_entries,
+                                 profile.num_servers);
+      rec.rationale =
+          "High update rate with a large target fraction (t/h >= 1/n): "
+          "Hash-y touches only the y hashed holders per update — no "
+          "broadcasts, no coordinator (§5.5, §6.4) — and y = ceil(t*n/h) "
+          "keeps the expected lookup cost near 1.";
+      rec.cautions.push_back(
+          "Per-server load is unbalanced, so some lookups contact an "
+          "extra server (§4.2), and worst-case fault tolerance is the "
+          "weakest for mid-size targets (§4.4).");
+    }
+    return rec;
+  }
+
+  // Static (or nearly static) placement.
+  if (profile.require_complete_coverage) {
+    rec.kind = StrategyKind::kRoundRobin;
+    rec.param = pick_round_y(profile);
+    rec.rationale =
+        "Static workload needing complete coverage: Round-Robin stores "
+        "every entry (§4.3), has the lowest lookup cost because stride-y "
+        "server sequences share no entries (§4.2), and is perfectly fair "
+        "(§4.5).";
+  } else if (profile.storage_budget != 0 &&
+             profile.storage_budget <
+                 profile.expected_entries * profile.num_servers / 2) {
+    rec.kind = StrategyKind::kRandomServer;
+    rec.param = pick_x(profile, /*dynamic=*/false);
+    rec.rationale =
+        "Static workload under a storage budget: RandomServer-x reaches "
+        "near-complete expected coverage h*(1-(1-x/h)^n) (§4.3), better "
+        "fault tolerance than Round-Robin (§4.4) and an order of magnitude "
+        "better fairness than Fixed-x (§4.5) at the same x*n cost.";
+    rec.cautions.push_back(
+        "A few entries may land on no server; lookups occasionally "
+        "contact an extra server for overlapping content (§4.2).");
+  } else {
+    rec.kind = StrategyKind::kFixed;
+    rec.param = pick_x(profile, /*dynamic=*/false);
+    rec.rationale =
+        "Static workload where coverage beyond t is unimportant: Fixed-x "
+        "gives the best fault tolerance (any single surviving server "
+        "answers fully, §4.4) and lookup cost 1 (§4.2).";
+    rec.cautions.push_back(
+        "Only the chosen x entries are ever returned — maximal unfairness "
+        "(§4.5).");
+  }
+  return rec;
+}
+
+}  // namespace pls::analysis

@@ -1,0 +1,67 @@
+// Strategy selection: the paper's Fig 3 classification tree and the "rules
+// of thumb" scattered through §4 and §6, turned into an executable advisor.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pls/core/strategy.hpp"
+
+namespace pls::analysis {
+
+/// The Fig 3 decision-tree coordinates of a strategy.
+struct Classification {
+  bool full_replication = false;
+  /// "Guarantee each entry is stored on some server?"
+  bool guarantees_every_entry = false;
+  /// "Use randomization?"
+  bool randomized = false;
+};
+
+Classification classify(core::StrategyKind kind) noexcept;
+
+/// What the caller knows about the workload a key will see.
+struct WorkloadProfile {
+  std::size_t num_servers = 10;
+  /// Expected number of entries for the key (h).
+  std::size_t expected_entries = 100;
+  /// Largest target answer size clients will request (t).
+  std::size_t target_answer_size = 10;
+  /// Update intensity relative to lookups: 0 = static placement,
+  /// >= ~0.05 counts as "high update rate" for the §6.3 rules.
+  double updates_per_lookup = 0.0;
+  /// Some clients eventually want *every* entry (§4.3).
+  bool require_complete_coverage = false;
+  /// Entries must be returned with equal likelihood (§4.5).
+  bool require_zero_unfairness = false;
+  /// Optional total storage budget across servers (0 = unconstrained).
+  std::size_t storage_budget = 0;
+};
+
+struct Recommendation {
+  core::StrategyKind kind = core::StrategyKind::kFixed;
+  /// x or y for the chosen scheme (0 for full replication).
+  std::size_t param = 0;
+  /// Why, citing the paper's rules of thumb.
+  std::string rationale;
+  /// Trade-offs the caller accepts with this choice.
+  std::vector<std::string> cautions;
+};
+
+/// Applies the paper's guidance:
+///  * zero unfairness forces full replication or Round-Robin (§4.5);
+///  * high update rates rule out RandomServer and Round-Robin (§6.3) and
+///    pick Fixed vs Hash by the t/h vs 1/n crossover (§6.4);
+///  * static workloads pick Round-Robin for complete coverage / lowest
+///    lookup cost, RandomServer for large coverage with fairness, Fixed
+///    for best fault tolerance when coverage is unimportant (§4.4);
+///  * Hash is avoided for small targets (§4.2, §4.4).
+Recommendation recommend(const WorkloadProfile& profile);
+
+/// Fig 12-calibrated cushion for Fixed-x under churn: x = t + cushion.
+/// Roughly 20% of t, at least 2 (gives ~0.1% failure time at the paper's
+/// lambda*h = 1000 mean lifetime).
+std::size_t suggest_cushion(std::size_t target_answer_size) noexcept;
+
+}  // namespace pls::analysis

@@ -1,0 +1,120 @@
+#include "pls/analysis/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pls::analysis {
+
+std::size_t storage_full_replication(std::size_t h, std::size_t n) noexcept {
+  return h * n;
+}
+
+std::size_t storage_per_server_x(std::size_t h, std::size_t n,
+                                 std::size_t x) noexcept {
+  return std::min(x, h) * n;
+}
+
+std::size_t storage_round_robin(std::size_t h, std::size_t y) noexcept {
+  return h * y;
+}
+
+double storage_hash_expected(std::size_t h, std::size_t n,
+                             std::size_t y) noexcept {
+  const double miss = std::pow(1.0 - 1.0 / static_cast<double>(n),
+                               static_cast<double>(y));
+  return static_cast<double>(h) * static_cast<double>(n) * (1.0 - miss);
+}
+
+std::size_t lookup_cost_round_robin(std::size_t t, std::size_t h,
+                                    std::size_t n, std::size_t y) noexcept {
+  if (t == 0) return 0;
+  const std::size_t numerator = t * n;
+  const std::size_t denominator = y * h;
+  if (denominator == 0) return 0;
+  return (numerator + denominator - 1) / denominator;
+}
+
+double lookup_cost_random_server_approx(std::size_t t, std::size_t h,
+                                        std::size_t n,
+                                        std::size_t x) noexcept {
+  if (t == 0 || h == 0 || x == 0) return 0.0;
+  // One server already holds >= t entries: a single contact always
+  // suffices (each server answers with t of its x).
+  if (t <= std::min(x, h)) return 1.0;
+  const double hd = static_cast<double>(h);
+  const double td = static_cast<double>(t);
+  const double miss = 1.0 - static_cast<double>(std::min(x, h)) / hd;
+  for (std::size_t k = 1; k <= n; ++k) {
+    const double distinct =
+        hd * (1.0 - std::pow(miss, static_cast<double>(k)));
+    // The client cannot stop mid-server: the cost is the smallest whole
+    // number of contacts whose expected union reaches t.
+    if (distinct >= td) return static_cast<double>(k);
+  }
+  return static_cast<double>(n);  // t unreachable even contacting everyone
+}
+
+std::size_t coverage_fixed(std::size_t h, std::size_t x) noexcept {
+  return std::min(x, h);
+}
+
+double coverage_random_server(std::size_t h, std::size_t n,
+                              std::size_t x) noexcept {
+  if (h == 0) return 0.0;
+  const double miss_one =
+      1.0 - static_cast<double>(std::min(x, h)) / static_cast<double>(h);
+  return static_cast<double>(h) *
+         (1.0 - std::pow(miss_one, static_cast<double>(n)));
+}
+
+std::size_t coverage_budgeted(std::size_t h, std::size_t budget) noexcept {
+  return std::min(h, budget);
+}
+
+std::size_t fault_tolerance_identical(std::size_t n) noexcept {
+  return n == 0 ? 0 : n - 1;
+}
+
+std::size_t fault_tolerance_round_robin(std::size_t t, std::size_t h,
+                                        std::size_t n,
+                                        std::size_t y) noexcept {
+  if (n == 0 || h == 0) return 0;
+  if (t > h) return 0;
+  // Need ceil(t*n/h) - (y-1) surviving servers; the paper's
+  // n - ceil(tn/h) + y - 1, capped into [0, n-1].
+  const std::size_t needed = (t * n + h - 1) / h;
+  const std::size_t tolerable = n + y >= needed + 1 ? n + y - needed - 1 : 0;
+  return std::min(tolerable, n - 1);
+}
+
+double unfairness_fixed(std::size_t h, std::size_t x) noexcept {
+  if (x == 0 || h <= x) return 0.0;
+  return std::sqrt(static_cast<double>(h) / static_cast<double>(x) - 1.0);
+}
+
+double update_cost_fixed(std::size_t updates, std::size_t x, std::size_t h,
+                         std::size_t n) noexcept {
+  const double p = h == 0 ? 1.0
+                          : std::min(1.0, static_cast<double>(x) /
+                                              static_cast<double>(h));
+  return static_cast<double>(updates) * (1.0 + p * static_cast<double>(n));
+}
+
+double update_cost_hash(std::size_t updates, std::size_t y) noexcept {
+  return static_cast<double>(updates) * (1.0 + static_cast<double>(y));
+}
+
+std::size_t optimal_hash_y(std::size_t t, std::size_t h,
+                           std::size_t n) noexcept {
+  if (h == 0) return 1;
+  const std::size_t y = (t * n + h - 1) / h;  // ceil(t*n/h)
+  return std::max<std::size_t>(1, y);
+}
+
+bool fixed_cheaper_than_hash(std::size_t x, std::size_t h, std::size_t n,
+                             std::size_t y) noexcept {
+  // x*n/h < y without integer truncation.
+  return x * n < y * h;
+}
+
+}  // namespace pls::analysis

@@ -1,0 +1,97 @@
+// Closed-form analytical models from the paper, used to cross-check the
+// simulation (tests) and to print "analytical" columns next to measured
+// ones in the benches.
+#pragma once
+
+#include <cstddef>
+
+namespace pls::analysis {
+
+// ---- Table 1: storage cost for managing h entries on n servers ----------
+
+/// Full replication: h * n.
+std::size_t storage_full_replication(std::size_t h, std::size_t n) noexcept;
+
+/// Fixed-x and RandomServer-x: x * n (x capped at h).
+std::size_t storage_per_server_x(std::size_t h, std::size_t n,
+                                 std::size_t x) noexcept;
+
+/// Round-Robin-y: h * y.
+std::size_t storage_round_robin(std::size_t h, std::size_t y) noexcept;
+
+/// Hash-y expected storage: h * n * (1 - (1 - 1/n)^y), the collision-aware
+/// expectation of §4.1.
+double storage_hash_expected(std::size_t h, std::size_t n,
+                             std::size_t y) noexcept;
+
+// ---- §4.2 lookup cost ----------------------------------------------------
+
+/// Round-Robin-y: ceil(t*n / (y*h)) servers — each server holds y*h/n
+/// entries and stride-y contacts share none before wrap-around.
+std::size_t lookup_cost_round_robin(std::size_t t, std::size_t h,
+                                    std::size_t n, std::size_t y) noexcept;
+
+/// RandomServer-x mean-field approximation of the expected lookup cost
+/// (§4.2 notes no simple closed form exists): after contacting k servers
+/// the expected distinct entries seen is h*(1-(1-x/h)^k); the cost is the
+/// smallest whole k whose expectation reaches t. Ignores per-contact
+/// variance, so it reads slightly below the simulated mean just past the
+/// points where the expectation barely clears t.
+double lookup_cost_random_server_approx(std::size_t t, std::size_t h,
+                                        std::size_t n,
+                                        std::size_t x) noexcept;
+
+// ---- §4.3 coverage ---------------------------------------------------
+
+/// Fixed-x: exactly x (capped at h).
+std::size_t coverage_fixed(std::size_t h, std::size_t x) noexcept;
+
+/// RandomServer-x expectation: h * (1 - (1 - x/h)^n).
+double coverage_random_server(std::size_t h, std::size_t n,
+                              std::size_t x) noexcept;
+
+/// Round-Robin / Hash under a total storage budget L: min(h, L) (§4.3's
+/// "coverage proportional to the storage limit until every entry is
+/// stored").
+std::size_t coverage_budgeted(std::size_t h, std::size_t budget) noexcept;
+
+// ---- §4.4 fault tolerance -------------------------------------------
+
+/// Full replication and Fixed-x survive any n-1 failures (all servers
+/// identical). For Fixed-x this presumes t <= x.
+std::size_t fault_tolerance_identical(std::size_t n) noexcept;
+
+/// Round-Robin-y: min(n-1, n - ceil(t*n/h) + y - 1) — the first surviving
+/// server contributes y*h/n entries, each further one h/n more.
+std::size_t fault_tolerance_round_robin(std::size_t t, std::size_t h,
+                                        std::size_t n, std::size_t y) noexcept;
+
+// ---- §4.5 unfairness -------------------------------------------------
+
+/// Fixed-x closed form (t <= x <= h): sqrt(h/x - 1). Independent of t.
+double unfairness_fixed(std::size_t h, std::size_t x) noexcept;
+
+// ---- §6.4 update overhead --------------------------------------------
+
+/// Fixed-x expected processed messages for U updates at steady state h:
+/// each update costs 1 (the contacted server's check) plus a broadcast (n)
+/// with probability x/h. Caller guarantees x <= h for the paper's regime;
+/// the probability clamps at 1 otherwise.
+double update_cost_fixed(std::size_t updates, std::size_t x, std::size_t h,
+                         std::size_t n) noexcept;
+
+/// Hash-y expected processed messages for U updates: (1 + y) per update,
+/// collisions between hash functions ignored as in §6.4.
+double update_cost_hash(std::size_t updates, std::size_t y) noexcept;
+
+/// §6.4's choice of y for Hash-y: the smallest y with y*h/n >= t, i.e.
+/// expected entries per server at least the target answer size.
+std::size_t optimal_hash_y(std::size_t t, std::size_t h,
+                           std::size_t n) noexcept;
+
+/// The §6.4 crossover condition: Fixed-x is cheaper than Hash-y iff
+/// x*n/h < y.
+bool fixed_cheaper_than_hash(std::size_t x, std::size_t h, std::size_t n,
+                             std::size_t y) noexcept;
+
+}  // namespace pls::analysis

@@ -1,0 +1,246 @@
+#include "pls/analysis/summary.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "pls/analysis/advisor.hpp"
+#include "pls/analysis/models.hpp"
+#include "pls/common/check.hpp"
+#include "pls/common/stats.hpp"
+#include "pls/core/strategy_factory.hpp"
+#include "pls/metrics/coverage.hpp"
+#include "pls/metrics/fault_tolerance.hpp"
+#include "pls/metrics/lookup_cost.hpp"
+#include "pls/metrics/storage.hpp"
+#include "pls/metrics/unfairness.hpp"
+#include "pls/workload/replay.hpp"
+
+namespace pls::analysis {
+
+using core::StrategyConfig;
+using core::StrategyKind;
+
+namespace {
+
+constexpr std::array<StrategyKind, 4> kSchemes = {
+    StrategyKind::kFixed, StrategyKind::kRandomServer,
+    StrategyKind::kRoundRobin, StrategyKind::kHash};
+
+std::vector<Entry> make_entries(std::size_t h) {
+  std::vector<Entry> out(h);
+  for (std::size_t i = 0; i < h; ++i) out[i] = i + 1;
+  return out;
+}
+
+/// Budget-equalised parameter: x = budget/n for the per-server schemes,
+/// y = budget/h for the per-entry schemes.
+std::size_t budget_param(StrategyKind kind, const SummaryConfig& cfg) {
+  switch (kind) {
+    case StrategyKind::kFixed:
+    case StrategyKind::kRandomServer:
+      return std::max<std::size_t>(1, cfg.storage_budget / cfg.num_servers);
+    default:
+      return std::max<std::size_t>(1, cfg.storage_budget / cfg.entries);
+  }
+}
+
+std::unique_ptr<core::Strategy> build(StrategyKind kind, std::size_t param,
+                                      const SummaryConfig& cfg,
+                                      std::uint64_t seed) {
+  return core::make_strategy(
+      StrategyConfig{.kind = kind, .param = param, .seed = seed},
+      cfg.num_servers);
+}
+
+/// Mean over `instances` freshly seeded instances of `measure(strategy)`.
+template <typename Fn>
+double over_instances(StrategyKind kind, std::size_t param,
+                      const SummaryConfig& cfg, std::uint64_t salt,
+                      Fn&& measure) {
+  RunningStats stats;
+  for (std::size_t i = 0; i < cfg.instances; ++i) {
+    auto strategy = build(kind, param, cfg, cfg.seed + salt * 1000 + i);
+    stats.add(measure(*strategy));
+  }
+  return stats.mean();
+}
+
+/// Ranks values into stars: best value -> 4 stars, ties share.
+void assign_stars(StarTable& table, std::size_t column, bool lower_is_better) {
+  for (auto& row : table.rows) {
+    int better = 0;
+    for (const auto& other : table.rows) {
+      const double a = row.values[column];
+      const double b = other.values[column];
+      if (lower_is_better ? b < a : b > a) ++better;
+    }
+    row.stars[column] = 4 - better;
+  }
+}
+
+/// Processed-message cost of replaying `updates` churn events.
+double measure_update_overhead(core::Strategy& strategy,
+                               const workload::GeneratedWorkload& wl) {
+  workload::Replayer replayer(strategy, wl);
+  strategy.network().reset_stats();
+  const auto placed = strategy.network().stats().processed;
+  (void)placed;
+  // Exclude the initial place() cost: reset after placement via observer
+  // on the first event is fiddly; instead run place first by hand.
+  strategy.place(wl.initial);
+  strategy.network().reset_stats();
+  for (const auto& ev : wl.events) {
+    if (ev.kind == workload::UpdateKind::kAdd) {
+      strategy.add(ev.entry);
+    } else {
+      strategy.erase(ev.entry);
+    }
+  }
+  return static_cast<double>(strategy.network().stats().processed);
+}
+
+/// Unfairness after churn, over the entries still live at the end.
+double measure_dynamic_unfairness(core::Strategy& strategy,
+                                  const workload::GeneratedWorkload& wl,
+                                  std::size_t t, std::size_t lookups) {
+  strategy.place(wl.initial);
+  std::unordered_set<Entry> live(wl.initial.begin(), wl.initial.end());
+  for (const auto& ev : wl.events) {
+    if (ev.kind == workload::UpdateKind::kAdd) {
+      strategy.add(ev.entry);
+      live.insert(ev.entry);
+    } else {
+      strategy.erase(ev.entry);
+      live.erase(ev.entry);
+    }
+  }
+  if (live.empty()) return 0.0;
+  std::vector<Entry> universe(live.begin(), live.end());
+  return metrics::instance_unfairness(strategy, universe, t, lookups);
+}
+
+}  // namespace
+
+StarTable measured_star_table(const SummaryConfig& cfg) {
+  PLS_CHECK_MSG(cfg.entries >= 10, "summary scenarios assume h >= 10");
+  StarTable table;
+  const auto base_entries = make_entries(cfg.entries);
+  const auto few_entries = make_entries(cfg.entries / 2);
+  const auto many_entries = make_entries(cfg.entries * 4);
+  const std::size_t t_mid = std::max<std::size_t>(1, cfg.entries * 3 / 20);
+  const std::size_t t_small = std::max<std::size_t>(1, cfg.entries / 20);
+  const std::size_t t_large = std::max<std::size_t>(2, cfg.entries * 2 / 5);
+
+  for (StrategyKind kind : kSchemes) {
+    SummaryRow row;
+    row.kind = kind;
+    const std::size_t param = budget_param(kind, cfg);
+
+    // Columns 0/1: storage with few vs many entries, same parameters.
+    row.values[0] = over_instances(kind, param, cfg, 1, [&](auto& s) {
+      s.place(few_entries);
+      return static_cast<double>(s.storage_cost());
+    });
+    row.values[1] = over_instances(kind, param, cfg, 2, [&](auto& s) {
+      s.place(many_entries);
+      return static_cast<double>(s.storage_cost());
+    });
+
+    // Column 2: coverage at the shared budget.
+    row.values[2] = over_instances(kind, param, cfg, 3, [&](auto& s) {
+      s.place(base_entries);
+      return static_cast<double>(metrics::max_coverage(s.placement()));
+    });
+
+    // Column 3: greedy worst-case fault tolerance at t_mid.
+    row.values[3] = over_instances(kind, param, cfg, 4, [&](auto& s) {
+      s.place(base_entries);
+      return static_cast<double>(
+          metrics::fault_tolerance(s.placement(), t_mid));
+    });
+
+    // Column 4: static unfairness at t_mid.
+    row.values[4] = over_instances(kind, param, cfg, 5, [&](auto& s) {
+      s.place(base_entries);
+      return metrics::instance_unfairness(s, base_entries, t_mid,
+                                          cfg.lookups_per_instance);
+    });
+
+    // Column 5: unfairness after churn.
+    row.values[5] = over_instances(kind, param, cfg, 6, [&](auto& s) {
+      workload::WorkloadConfig wc;
+      wc.steady_state_entries = cfg.entries;
+      wc.num_updates = cfg.updates;
+      wc.seed = cfg.seed ^ 0xabcd;
+      const auto wl = workload::generate_workload(wc);
+      return measure_dynamic_unfairness(s, wl, t_mid,
+                                        cfg.lookups_per_instance);
+    });
+
+    // Column 6: lookup cost at t_mid.
+    row.values[6] = over_instances(kind, param, cfg, 7, [&](auto& s) {
+      s.place(base_entries);
+      return metrics::measure_lookup_cost(s, t_mid,
+                                          cfg.lookups_per_instance)
+          .mean_servers;
+    });
+
+    // Columns 7/8: update overhead with §6.4's parameter choices (x = t +
+    // cushion for Fixed/RandomServer, y = ceil(t*n/h) for Hash; Round-Robin
+    // keeps its budget y — its cost is coordinator-bound either way).
+    for (std::size_t col = 7; col <= 8; ++col) {
+      const std::size_t t = (col == 7) ? t_small : t_large;
+      std::size_t p = param;
+      if (kind == StrategyKind::kFixed ||
+          kind == StrategyKind::kRandomServer) {
+        p = t + suggest_cushion(t);
+      } else if (kind == StrategyKind::kHash) {
+        p = optimal_hash_y(t, cfg.entries, cfg.num_servers);
+      }
+      row.values[col] = over_instances(kind, p, cfg, 8 + col, [&](auto& s) {
+        workload::WorkloadConfig wc;
+        wc.steady_state_entries = cfg.entries;
+        wc.num_updates = cfg.updates;
+        wc.seed = cfg.seed ^ (0x1111 * col);
+        const auto wl = workload::generate_workload(wc);
+        return measure_update_overhead(s, wl);
+      });
+    }
+
+    table.rows.push_back(row);
+  }
+
+  const bool lower[kSummaryColumns] = {true, true,  false, false, true,
+                                       true, true,  true,  true};
+  for (std::size_t c = 0; c < kSummaryColumns; ++c) {
+    assign_stars(table, c, lower[c]);
+  }
+  return table;
+}
+
+std::string format_star_table(const StarTable& table) {
+  std::ostringstream os;
+  os << "Strategy      ";
+  for (const char* name : kSummaryColumnNames) os << " | " << name;
+  os << '\n';
+  for (const auto& row : table.rows) {
+    os << to_string(row.kind);
+    for (std::size_t pad = std::string(to_string(row.kind)).size(); pad < 14;
+         ++pad) {
+      os << ' ';
+    }
+    for (std::size_t c = 0; c < kSummaryColumns; ++c) {
+      std::string stars(static_cast<std::size_t>(row.stars[c]), '*');
+      os << " | " << stars;
+      for (std::size_t pad = stars.size();
+           pad < std::string(kSummaryColumnNames[c]).size(); ++pad) {
+        os << ' ';
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pls::analysis

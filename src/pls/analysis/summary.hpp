@@ -1,0 +1,56 @@
+// Table 2 — the paper's star-rating summary — derived from *measured*
+// metrics rather than hard-coded: a standard scenario battery is run for
+// the four partial-lookup schemes and each column's stars come from the
+// measured ranking (4 = best, 1 = worst; ties share the better rating).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pls/core/strategy.hpp"
+
+namespace pls::analysis {
+
+struct SummaryConfig {
+  std::size_t num_servers = 10;
+  /// Base entry count h for the standard scenarios.
+  std::size_t entries = 100;
+  /// Shared storage budget for the "equal overhead" comparisons (Figs
+  /// 4/6/7 use 200 for h=100, n=10).
+  std::size_t storage_budget = 200;
+  std::size_t lookups_per_instance = 2000;
+  std::size_t instances = 20;
+  std::size_t updates = 2000;
+  std::uint64_t seed = 42;
+};
+
+inline constexpr std::size_t kSummaryColumns = 9;
+
+inline constexpr std::array<const char*, kSummaryColumns>
+    kSummaryColumnNames = {
+        "storage(few entries)",   "storage(many entries)",
+        "coverage",               "fault tolerance",
+        "fairness(few updates)",  "fairness(many updates)",
+        "lookup cost",            "update ovhd(small t)",
+        "update ovhd(large t)",
+};
+
+struct SummaryRow {
+  core::StrategyKind kind;
+  std::array<double, kSummaryColumns> values{};
+  std::array<int, kSummaryColumns> stars{};
+};
+
+struct StarTable {
+  std::vector<SummaryRow> rows;  // Fixed, RandomServer, RoundRobin, Hash
+};
+
+/// Runs the scenario battery and assigns stars by ranking.
+StarTable measured_star_table(const SummaryConfig& config = {});
+
+/// ASCII rendering in the shape of the paper's Table 2.
+std::string format_star_table(const StarTable& table);
+
+}  // namespace pls::analysis

@@ -1,0 +1,280 @@
+#include "pls/baseline/directory.hpp"
+
+#include <algorithm>
+
+#include "pls/common/check.hpp"
+#include "pls/common/hashing.hpp"
+
+namespace pls::baseline {
+
+std::string_view to_string(Paradigm paradigm) noexcept {
+  switch (paradigm) {
+    case Paradigm::kReplicated:
+      return "Replicated";
+    case Paradigm::kPartitioned:
+      return "Partitioned";
+    case Paradigm::kPartial:
+      return "Partial";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t key_hash(const Key& key, std::uint64_t seed) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : key) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  return mix_hash(h, seed);
+}
+
+/// Shared plumbing of the two traditional paradigms: per-server up flags,
+/// per-server lookup-load counters, a client RNG for sampling answers.
+class TraditionalBase : public Directory {
+ public:
+  TraditionalBase(std::size_t num_servers, std::uint64_t seed)
+      : up_(num_servers, true),
+        load_(num_servers, 0),
+        rng_(Rng(seed).fork(0x7d)) {
+    PLS_CHECK_MSG(num_servers > 0, "directory needs servers");
+  }
+
+  std::size_t num_servers() const noexcept override { return up_.size(); }
+
+  std::vector<std::uint64_t> lookup_load() const override { return load_; }
+  void reset_load() override { load_.assign(load_.size(), 0); }
+
+  void fail_server(ServerId s) override {
+    PLS_CHECK(s < up_.size());
+    up_[s] = false;
+  }
+  void recover_all() override { up_.assign(up_.size(), true); }
+
+ protected:
+  bool is_up(ServerId s) const { return up_[s]; }
+
+  std::vector<ServerId> up_servers() const {
+    std::vector<ServerId> out;
+    for (std::size_t i = 0; i < up_.size(); ++i) {
+      if (up_[i]) out.push_back(static_cast<ServerId>(i));
+    }
+    return out;
+  }
+
+  /// Samples min(t, |set|) random entries from a key's entry set.
+  core::LookupResult answer_from(const std::vector<Entry>& entries,
+                                 std::size_t t, ServerId server) {
+    core::LookupResult out;
+    out.servers_contacted = 1;
+    ++load_[server];
+    if (entries.size() <= t) {
+      out.entries = entries;
+      rng_.shuffle(std::span<Entry>(out.entries));
+    } else {
+      for (std::size_t idx : rng_.sample_indices(entries.size(), t)) {
+        out.entries.push_back(entries[idx]);
+      }
+    }
+    out.satisfied = out.entries.size() >= t;
+    return out;
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  std::vector<bool> up_;
+  std::vector<std::uint64_t> load_;
+  Rng rng_;
+};
+
+/// Figure 1 left: every server stores every key's full mapping.
+class ReplicatedDirectory final : public TraditionalBase {
+ public:
+  ReplicatedDirectory(std::size_t num_servers, std::uint64_t seed)
+      : TraditionalBase(num_servers, seed) {}
+
+  void place(const Key& key, std::span<const Entry> entries) override {
+    auto& set = keys_[key];
+    set.assign(entries.begin(), entries.end());
+    dedupe(set);
+  }
+
+  void add(const Key& key, Entry v) override {
+    auto& set = keys_[key];
+    if (std::find(set.begin(), set.end(), v) == set.end()) set.push_back(v);
+  }
+
+  void erase(const Key& key, Entry v) override {
+    auto it = keys_.find(key);
+    if (it == keys_.end()) return;
+    std::erase(it->second, v);
+  }
+
+  core::LookupResult partial_lookup(const Key& key, std::size_t t) override {
+    auto it = keys_.find(key);
+    const auto up = up_servers();
+    if (it == keys_.end() || up.empty()) return {};
+    return answer_from(it->second, t, up[rng().uniform(up.size())]);
+  }
+
+  Paradigm paradigm() const noexcept override {
+    return Paradigm::kReplicated;
+  }
+
+  std::size_t storage_cost() const override {
+    std::size_t per_server = 0;
+    for (const auto& [key, set] : keys_) per_server += set.size();
+    return per_server * num_servers();
+  }
+
+ private:
+  static void dedupe(std::vector<Entry>& set) {
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+  }
+
+  std::unordered_map<Key, std::vector<Entry>> keys_;
+};
+
+/// Figure 1 centre: key k lives, whole, on server hash(k) mod n. The
+/// popular-key server takes every lookup for it, and a failure of that
+/// server takes the key offline — the two §1/§9 weaknesses.
+class PartitionedDirectory final : public TraditionalBase {
+ public:
+  PartitionedDirectory(std::size_t num_servers, std::uint64_t seed)
+      : TraditionalBase(num_servers, seed), seed_(seed) {}
+
+  void place(const Key& key, std::span<const Entry> entries) override {
+    auto& set = keys_[key];
+    set.assign(entries.begin(), entries.end());
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+  }
+
+  void add(const Key& key, Entry v) override {
+    auto& set = keys_[key];
+    if (std::find(set.begin(), set.end(), v) == set.end()) set.push_back(v);
+  }
+
+  void erase(const Key& key, Entry v) override {
+    auto it = keys_.find(key);
+    if (it == keys_.end()) return;
+    std::erase(it->second, v);
+  }
+
+  core::LookupResult partial_lookup(const Key& key, std::size_t t) override {
+    auto it = keys_.find(key);
+    if (it == keys_.end()) return {};
+    const ServerId home = home_of(key);
+    if (!is_up(home)) return {};  // the key's only holder is down
+    return answer_from(it->second, t, home);
+  }
+
+  Paradigm paradigm() const noexcept override {
+    return Paradigm::kPartitioned;
+  }
+
+  std::size_t storage_cost() const override {
+    std::size_t total = 0;
+    for (const auto& [key, set] : keys_) total += set.size();
+    return total;  // one copy of each mapping
+  }
+
+  ServerId home_of(const Key& key) const {
+    return static_cast<ServerId>(key_hash(key, seed_) % num_servers());
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::unordered_map<Key, std::vector<Entry>> keys_;
+};
+
+/// Figure 1 right: adapter over the paper's partial lookup service.
+class PartialDirectory final : public Directory {
+ public:
+  PartialDirectory(std::size_t num_servers,
+                   core::StrategyConfig per_key_strategy, std::uint64_t seed)
+      : service_([&] {
+          core::ServiceConfig cfg;
+          cfg.num_servers = num_servers;
+          cfg.default_strategy = per_key_strategy;
+          cfg.seed = seed;
+          return cfg;
+        }()) {}
+
+  void place(const Key& key, std::span<const Entry> entries) override {
+    remember(key);
+    service_.place(key, entries);
+  }
+  void add(const Key& key, Entry v) override {
+    remember(key);
+    service_.add(key, v);
+  }
+  void erase(const Key& key, Entry v) override { service_.erase(key, v); }
+
+  core::LookupResult partial_lookup(const Key& key, std::size_t t) override {
+    return service_.partial_lookup(key, t);
+  }
+
+  Paradigm paradigm() const noexcept override { return Paradigm::kPartial; }
+  std::size_t num_servers() const noexcept override {
+    return service_.num_servers();
+  }
+  std::size_t storage_cost() const override {
+    return service_.total_storage();
+  }
+
+  std::vector<std::uint64_t> lookup_load() const override {
+    return service_.total_transport().per_server_processed;
+  }
+
+  void reset_load() override {
+    // Lookup load is read from the transport counters, so zero them on
+    // every per-key cluster.
+    for_each_key_network([](net::Network& net) { net.reset_stats(); });
+  }
+
+  void fail_server(ServerId s) override { service_.fail_server(s); }
+  void recover_all() override { service_.recover_all(); }
+
+  core::PartialLookupService& service() noexcept { return service_; }
+
+ private:
+  void remember(const Key& key) {
+    if (key_set_.insert(key).second) known_keys_.push_back(key);
+  }
+
+  template <typename Fn>
+  void for_each_key_network(Fn&& fn);
+
+  core::PartialLookupService service_;
+  std::vector<Key> known_keys_;
+  std::unordered_set<Key> key_set_;
+};
+
+template <typename Fn>
+void PartialDirectory::for_each_key_network(Fn&& fn) {
+  for (const auto& key : known_keys_) {
+    fn(service_.strategy(key).network());
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<Directory> make_directory(
+    Paradigm paradigm, std::size_t num_servers,
+    core::StrategyConfig per_key_strategy, std::uint64_t seed) {
+  switch (paradigm) {
+    case Paradigm::kReplicated:
+      return std::make_unique<ReplicatedDirectory>(num_servers, seed);
+    case Paradigm::kPartitioned:
+      return std::make_unique<PartitionedDirectory>(num_servers, seed);
+    case Paradigm::kPartial:
+      return std::make_unique<PartialDirectory>(num_servers,
+                                                per_key_strategy, seed);
+  }
+  PLS_CHECK_MSG(false, "unknown paradigm");
+}
+
+}  // namespace pls::baseline

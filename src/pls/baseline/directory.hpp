@@ -1,0 +1,65 @@
+// The three ways of managing a key's entries from the paper's Figure 1,
+// behind one multi-key interface:
+//   * Replicated   — traditional full replication: every server stores the
+//                    whole mapping of every key;
+//   * Partitioned  — traditional hashing (the Chord/CAN approach of §8):
+//                    key k lives, whole, on server hash(k) mod n;
+//   * Partial      — this paper's contribution, adapting
+//                    core::PartialLookupService.
+//
+// The interface exposes per-server *lookup* load so the §9 hot-spot claim
+// ("partial lookup services are insensitive to the popular-key problems
+// which plague hashing-based services") can be measured head-to-head —
+// see bench_ablation_hotspot.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pls/core/service.hpp"
+
+namespace pls::baseline {
+
+enum class Paradigm { kReplicated, kPartitioned, kPartial };
+
+std::string_view to_string(Paradigm paradigm) noexcept;
+
+class Directory {
+ public:
+  virtual ~Directory() = default;
+  Directory(const Directory&) = delete;
+  Directory& operator=(const Directory&) = delete;
+
+  virtual void place(const Key& key, std::span<const Entry> entries) = 0;
+  virtual void add(const Key& key, Entry v) = 0;
+  virtual void erase(const Key& key, Entry v) = 0;
+  virtual core::LookupResult partial_lookup(const Key& key,
+                                            std::size_t t) = 0;
+
+  virtual Paradigm paradigm() const noexcept = 0;
+  virtual std::size_t num_servers() const noexcept = 0;
+  /// Total stored entries across servers (the Figure-1 storage contrast).
+  virtual std::size_t storage_cost() const = 0;
+  /// Lookup requests processed per server since the last reset.
+  virtual std::vector<std::uint64_t> lookup_load() const = 0;
+  virtual void reset_load() = 0;
+
+  virtual void fail_server(ServerId s) = 0;
+  virtual void recover_all() = 0;
+
+ protected:
+  Directory() = default;
+};
+
+/// Builds a directory of the requested paradigm over `num_servers`.
+/// `per_key_strategy` configures the partial paradigm (ignored by the
+/// traditional ones).
+std::unique_ptr<Directory> make_directory(
+    Paradigm paradigm, std::size_t num_servers,
+    core::StrategyConfig per_key_strategy, std::uint64_t seed);
+
+}  // namespace pls::baseline

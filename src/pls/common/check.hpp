@@ -1,0 +1,40 @@
+// Precondition / invariant checking.
+//
+// PLS_CHECK enforces caller-visible preconditions (C++ Core Guidelines I.6):
+// it is always on and throws std::logic_error so both tests and library
+// users get a diagnosable failure instead of UB. PLS_ASSERT guards internal
+// invariants and compiles out in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pls::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PLS_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace pls::detail
+
+#define PLS_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) ::pls::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define PLS_CHECK_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::pls::detail::check_failed(#expr, __FILE__, __LINE__, (msg));        \
+  } while (false)
+
+#ifdef NDEBUG
+#define PLS_ASSERT(expr) ((void)0)
+#else
+#define PLS_ASSERT(expr) PLS_CHECK(expr)
+#endif

@@ -1,0 +1,65 @@
+#include "pls/common/distributions.hpp"
+
+#include <cmath>
+
+#include "pls/common/check.hpp"
+
+namespace pls {
+
+PoissonProcess::PoissonProcess(double mean_interarrival, Rng rng)
+    : mean_(mean_interarrival), rng_(rng) {
+  PLS_CHECK_MSG(mean_interarrival > 0.0,
+                "Poisson mean inter-arrival must be positive");
+}
+
+SimTime PoissonProcess::next() {
+  now_ += rng_.exponential(mean_);
+  return now_;
+}
+
+ExponentialLifetime::ExponentialLifetime(double mean) : mean_(mean) {
+  PLS_CHECK_MSG(mean > 0.0, "exponential lifetime mean must be positive");
+}
+
+SimTime ExponentialLifetime::sample(Rng& rng) const {
+  return rng.exponential(mean_);
+}
+
+ZipfLikeLifetime::ZipfLikeLifetime(double cutoff) : cutoff_(cutoff) {
+  PLS_CHECK_MSG(cutoff > 1.0, "Zipf-like cutoff C must exceed 1");
+}
+
+ZipfLikeLifetime ZipfLikeLifetime::scaled_to_mean(double target_mean) {
+  PLS_CHECK_MSG(target_mean > 1.0, "Zipf-like mean must exceed 1");
+  // (C-1)/ln C is strictly increasing in C; bisect for the target.
+  double lo = 1.0 + 1e-9;
+  double hi = 2.0;
+  auto mean_of = [](double c) { return (c - 1.0) / std::log(c); };
+  while (mean_of(hi) < target_mean) hi *= 2.0;
+  for (int i = 0; i < 200 && hi - lo > 1e-9 * hi; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (mean_of(mid) < target_mean ? lo : hi) = mid;
+  }
+  return ZipfLikeLifetime(0.5 * (lo + hi));
+}
+
+SimTime ZipfLikeLifetime::sample(Rng& rng) const {
+  // Inverse CDF of f(t) = 1/(t ln C) on [1, C]: F(t) = ln t / ln C.
+  return std::pow(cutoff_, rng.uniform_real());
+}
+
+double ZipfLikeLifetime::mean() const noexcept {
+  return (cutoff_ - 1.0) / std::log(cutoff_);
+}
+
+std::unique_ptr<LifetimeDistribution> make_lifetime(std::string_view name,
+                                                    double scale) {
+  if (name == "exp") return std::make_unique<ExponentialLifetime>(scale);
+  if (name == "zipf") {
+    return std::make_unique<ZipfLikeLifetime>(
+        ZipfLikeLifetime::scaled_to_mean(scale));
+  }
+  PLS_CHECK_MSG(false, "unknown lifetime distribution: " + std::string(name));
+}
+
+}  // namespace pls

@@ -1,0 +1,45 @@
+#include "pls/common/hashing.hpp"
+
+#include <algorithm>
+
+#include "pls/common/check.hpp"
+#include "pls/common/rng.hpp"
+
+namespace pls {
+
+std::uint64_t mix_hash(std::uint64_t value, std::uint64_t seed) noexcept {
+  std::uint64_t x = value + 0x9e3779b97f4a7c15ULL + seed;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= seed * 0xda942042e4dd58b5ULL;
+  x = (x ^ (x >> 31)) * 0x2545f4914f6cdd1dULL;
+  return x ^ (x >> 28);
+}
+
+HashFamily::HashFamily(std::size_t y, std::size_t num_servers,
+                       std::uint64_t seed)
+    : num_servers_(num_servers) {
+  PLS_CHECK_MSG(y > 0, "Hash family needs at least one function");
+  PLS_CHECK_MSG(num_servers > 0, "Hash family needs at least one server");
+  std::uint64_t sm = seed;
+  seeds_.reserve(y);
+  for (std::size_t i = 0; i < y; ++i) seeds_.push_back(splitmix64(sm));
+}
+
+ServerId HashFamily::operator()(std::size_t i, Entry v) const noexcept {
+  PLS_ASSERT(i < seeds_.size());
+  return static_cast<ServerId>(mix_hash(v, seeds_[i]) %
+                               static_cast<std::uint64_t>(num_servers_));
+}
+
+std::vector<ServerId> HashFamily::targets(Entry v) const {
+  std::vector<ServerId> out;
+  out.reserve(seeds_.size());
+  for (std::size_t i = 0; i < seeds_.size(); ++i) {
+    const ServerId s = (*this)(i, v);
+    if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace pls

@@ -1,0 +1,41 @@
+// Seeded 64-bit hash family used by the Hash-y strategy.
+//
+// The paper assumes y independent uniform hash functions f_1..f_y mapping
+// entries to servers. We instantiate them from one avalanche mixer
+// parameterised by per-function seeds; tests check uniformity and pairwise
+// near-independence empirically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pls/common/types.hpp"
+
+namespace pls {
+
+/// Stateless mixing hash of a 64-bit value under a 64-bit seed
+/// (murmur-style finalizer over value ^ seed expansions).
+std::uint64_t mix_hash(std::uint64_t value, std::uint64_t seed) noexcept;
+
+/// A family of y hash functions onto [0, num_servers).
+class HashFamily {
+ public:
+  /// Creates y functions derived deterministically from `seed`.
+  HashFamily(std::size_t y, std::size_t num_servers, std::uint64_t seed);
+
+  std::size_t size() const noexcept { return seeds_.size(); }
+  std::size_t num_servers() const noexcept { return num_servers_; }
+
+  /// Server chosen by function `i` for entry `v`.
+  ServerId operator()(std::size_t i, Entry v) const noexcept;
+
+  /// The *distinct* servers assigned to `v` by all y functions, i.e. where
+  /// Hash-y stores v (collisions between functions deduplicate, §3.5).
+  std::vector<ServerId> targets(Entry v) const;
+
+ private:
+  std::size_t num_servers_;
+  std::vector<std::uint64_t> seeds_;
+};
+
+}  // namespace pls

@@ -1,0 +1,127 @@
+#include "pls/common/rng.hpp"
+
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace pls {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // xoshiro's all-zero state is a fixed point; splitmix64 cannot emit four
+  // zeros from any seed, but keep the guard explicit.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) noexcept {
+  PLS_ASSERT(bound > 0);
+  // Lemire's method: multiply-shift with rejection to remove modulo bias.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  PLS_ASSERT(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  const std::uint64_t draw = (span == 0) ? next_u64() : uniform(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
+}
+
+double Rng::uniform_real() noexcept {
+  // 53 random mantissa bits -> uniform on [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_real() < p;
+}
+
+double Rng::exponential(double mean) noexcept {
+  PLS_ASSERT(mean > 0.0);
+  double u = uniform_real();
+  // Guard against log(0); uniform_real can return exactly 0.
+  if (u <= 0.0) u = std::numeric_limits<double>::min();
+  return -mean * std::log(u);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  PLS_CHECK_MSG(k <= n, "cannot sample more indices than the population");
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k == n) {
+    out = permutation(n);
+    return out;
+  }
+  // Floyd's algorithm produces a uniform k-subset; the final shuffle makes
+  // the *order* uniform too (callers use the order for tie-breaking).
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::size_t>(uniform(j + 1));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  shuffle(std::span<std::size_t>(out));
+  return out;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
+  shuffle(std::span<std::size_t>(out));
+  return out;
+}
+
+Rng Rng::fork(std::uint64_t stream) noexcept {
+  // Mix the parent's next output with the stream id through splitmix64.
+  std::uint64_t mix = next_u64() ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace pls

@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// We use xoshiro256** (Blackman & Vigna) seeded through splitmix64. Every
+// randomized component of the library takes an explicit Rng (or a seed and
+// derives one), so whole experiments replay bit-for-bit from a single seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pls/common/check.hpp"
+
+namespace pls {
+
+/// splitmix64 step; also used to expand user seeds into full generator state.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator with sampling helpers tailored to the PLS
+/// simulations (distinct-k subsets, shuffles, exponential variates).
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next_u64(); }
+
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's unbiased multiply-shift rejection method.
+  std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform_real() noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Exponential variate with the given mean. Precondition: mean > 0.
+  double exponential(double mean) noexcept;
+
+  /// k distinct indices drawn uniformly from [0, n), in random order.
+  /// Precondition: k <= n. Uses Floyd's algorithm: O(k) expected.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Fisher-Yates shuffle of a span in place.
+  template <typename T>
+  void shuffle(std::span<T> data) noexcept {
+    for (std::size_t i = data.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(data[i - 1], data[j]);
+    }
+  }
+
+  /// Random permutation of [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derives an independent child generator; `stream` distinguishes
+  /// siblings derived from the same parent state.
+  Rng fork(std::uint64_t stream) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace pls

@@ -1,0 +1,62 @@
+// Small statistics toolkit used by the metrics module and the benchmark
+// harness: running moments (Welford), confidence intervals, and a fixed-bin
+// histogram for distribution-shaped diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pls {
+
+/// Numerically stable running mean / variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  double ci95_halfwidth() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Coefficient of variation of `values` around a fixed `ideal` reference,
+/// exactly the unfairness form of the paper's eq. (1):
+///   (1/ideal) * sqrt( sum_j (v_j - ideal)^2 / N ).
+/// Precondition handled by the caller: ideal != 0, N > 0.
+double coefficient_of_variation(const std::vector<double>& values,
+                                double ideal) noexcept;
+
+/// Equal-width histogram over [lo, hi); samples outside clamp to the edge
+/// bins so mass is never lost.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace pls

@@ -1,0 +1,28 @@
+// Fundamental vocabulary types shared by every PLS module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pls {
+
+/// An entry is an opaque 64-bit value (e.g. a host id, a URL id). The paper
+/// treats entries as interchangeable tokens; applications map payloads to
+/// ids externally (see examples/).
+using Entry = std::uint64_t;
+
+/// Index of a server within a cluster, in [0, n).
+using ServerId = std::uint32_t;
+
+/// Key of the multi-key service facade. Strategies themselves are
+/// single-key, as in the paper (§2: keys are managed independently).
+using Key = std::string;
+
+/// Simulation time. The paper uses abstract "time units" (one add per 10
+/// time units); double keeps lifetime distributions exact.
+using SimTime = double;
+
+inline constexpr ServerId kInvalidServer = static_cast<ServerId>(-1);
+
+}  // namespace pls

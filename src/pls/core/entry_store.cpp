@@ -1,0 +1,56 @@
+#include "pls/core/entry_store.hpp"
+
+#include "pls/common/check.hpp"
+
+namespace pls::core {
+
+bool EntryStore::insert(Entry v) {
+  if (index_.contains(v)) return false;
+  index_.emplace(v, list_.size());
+  list_.push_back(v);
+  return true;
+}
+
+bool EntryStore::erase(Entry v) {
+  auto it = index_.find(v);
+  if (it == index_.end()) return false;
+  const std::size_t pos = it->second;
+  const Entry last = list_.back();
+  list_[pos] = last;
+  index_[last] = pos;
+  list_.pop_back();
+  index_.erase(it);
+  return true;
+}
+
+void EntryStore::clear() noexcept {
+  list_.clear();
+  index_.clear();
+}
+
+void EntryStore::assign(std::span<const Entry> entries) {
+  clear();
+  list_.reserve(entries.size());
+  for (Entry v : entries) insert(v);
+}
+
+std::vector<Entry> EntryStore::sample(std::size_t k, Rng& rng) const {
+  if (k >= list_.size()) {
+    std::vector<Entry> all = list_;
+    rng.shuffle(std::span<Entry>(all));
+    return all;
+  }
+  std::vector<Entry> out;
+  out.reserve(k);
+  for (std::size_t idx : rng.sample_indices(list_.size(), k)) {
+    out.push_back(list_[idx]);
+  }
+  return out;
+}
+
+Entry EntryStore::random_entry(Rng& rng) const {
+  PLS_CHECK_MSG(!empty(), "random_entry() on an empty store");
+  return list_[rng.uniform(list_.size())];
+}
+
+}  // namespace pls::core

@@ -1,0 +1,51 @@
+// Per-server entry storage.
+//
+// The hot operations in every strategy are membership tests, single-entry
+// insert/erase, and *uniform random k-subset sampling* (every contacted
+// server "returns t randomly selected entries", §3). A vector plus an index
+// map gives O(1) for all of them (erase via swap-with-last).
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "pls/common/rng.hpp"
+#include "pls/common/types.hpp"
+
+namespace pls::core {
+
+class EntryStore {
+ public:
+  std::size_t size() const noexcept { return list_.size(); }
+  bool empty() const noexcept { return list_.empty(); }
+  bool contains(Entry v) const { return index_.contains(v); }
+
+  /// Inserts v; returns false if already present (servers store an entry at
+  /// most once, §3.5).
+  bool insert(Entry v);
+
+  /// Erases v; returns false if absent.
+  bool erase(Entry v);
+
+  void clear() noexcept;
+
+  /// Replaces the content with `entries` (duplicates collapse).
+  void assign(std::span<const Entry> entries);
+
+  /// All stored entries, unordered. Stable until the next mutation.
+  std::span<const Entry> entries() const noexcept { return list_; }
+
+  /// min(k, size()) distinct entries drawn uniformly, in random order —
+  /// the lookup answer of a single server.
+  std::vector<Entry> sample(std::size_t k, Rng& rng) const;
+
+  /// One entry drawn uniformly. Precondition: !empty().
+  Entry random_entry(Rng& rng) const;
+
+ private:
+  std::vector<Entry> list_;
+  std::unordered_map<Entry, std::size_t> index_;
+};
+
+}  // namespace pls::core

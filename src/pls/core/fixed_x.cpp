@@ -1,0 +1,46 @@
+#include "pls/core/fixed_x.hpp"
+
+#include "pls/common/check.hpp"
+
+namespace pls::core {
+
+void FixedServer::on_message(const net::Message& m, net::Network& net) {
+  if (const auto* place = std::get_if<net::PlaceRequest>(&m)) {
+    // Keep the first x of the h entries and broadcast only those (§3.2).
+    std::vector<Entry> kept = place->entries;
+    if (kept.size() > x_) kept.resize(x_);
+    net.broadcast(id(), net::StoreBatch{std::move(kept)});
+  } else if (const auto* add = std::get_if<net::AddRequest>(&m)) {
+    // Selective broadcast (§5.2): only when below the x-entry quota. All
+    // servers hold identical content, so the local check decides globally.
+    if (store().size() < x_ && !store().contains(add->entry)) {
+      net.broadcast(id(), net::StoreEntry{add->entry});
+    }
+  } else if (const auto* del = std::get_if<net::DeleteRequest>(&m)) {
+    if (store().contains(del->entry)) {
+      net.broadcast(id(), net::RemoveEntry{del->entry});
+    }
+  } else {
+    StrategyServer::on_message(m, net);
+  }
+}
+
+FixedStrategy::FixedStrategy(StrategyConfig config, std::size_t num_servers,
+                             std::shared_ptr<net::FailureState> failures)
+    : Strategy(config, num_servers, std::move(failures)) {
+  PLS_CHECK_MSG(config.param >= 1, "Fixed-x needs x >= 1");
+  PLS_CHECK_MSG(config.storage_budget == 0,
+                "Fixed-x takes its budget through x, not storage_budget");
+  Rng master(config.seed);
+  for (std::size_t i = 0; i < num_servers; ++i) {
+    register_server<FixedServer>(static_cast<ServerId>(i),
+                                 master.fork(0x1000 + i), config.param);
+  }
+}
+
+LookupResult FixedStrategy::partial_lookup(std::size_t t) {
+  // All servers are identical; contacting more than one gains nothing.
+  return single_server_lookup(network(), client_rng(), t);
+}
+
+}  // namespace pls::core

@@ -1,0 +1,37 @@
+// §3.2/§5.2 Fixed-x: every server stores the *same* x entries.
+//
+// Storage cost x*n, lookup cost 1 (when t <= x), unfairness is the worst
+// of all schemes (only the chosen x entries are ever returned), but update
+// overhead is lowest: a receiving server broadcasts only when the update
+// actually affects the shared x-subset ("selective broadcast").
+//
+// Dynamic deletes can leave servers with fewer than x entries; callers pick
+// x = t + b with a cushion b (§6.2, Fig 12).
+#pragma once
+
+#include "pls/core/strategy.hpp"
+
+namespace pls::core {
+
+class FixedServer final : public StrategyServer {
+ public:
+  FixedServer(ServerId id, Rng rng, std::size_t x)
+      : StrategyServer(id, rng), x_(x) {}
+
+  void on_message(const net::Message& m, net::Network& net) override;
+
+ private:
+  std::size_t x_;
+};
+
+class FixedStrategy final : public Strategy {
+ public:
+  FixedStrategy(StrategyConfig config, std::size_t num_servers,
+                std::shared_ptr<net::FailureState> failures);
+
+  LookupResult partial_lookup(std::size_t t) override;
+
+  std::size_t x() const noexcept { return config().param; }
+};
+
+}  // namespace pls::core

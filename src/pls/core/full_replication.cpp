@@ -1,0 +1,37 @@
+#include "pls/core/full_replication.hpp"
+
+#include "pls/common/check.hpp"
+
+namespace pls::core {
+
+void FullReplicationServer::on_message(const net::Message& m,
+                                       net::Network& net) {
+  if (const auto* place = std::get_if<net::PlaceRequest>(&m)) {
+    net.broadcast(id(), net::StoreBatch{place->entries});
+  } else if (const auto* add = std::get_if<net::AddRequest>(&m)) {
+    net.broadcast(id(), net::StoreEntry{add->entry});
+  } else if (const auto* del = std::get_if<net::DeleteRequest>(&m)) {
+    net.broadcast(id(), net::RemoveEntry{del->entry});
+  } else {
+    StrategyServer::on_message(m, net);
+  }
+}
+
+FullReplicationStrategy::FullReplicationStrategy(
+    StrategyConfig config, std::size_t num_servers,
+    std::shared_ptr<net::FailureState> failures)
+    : Strategy(config, num_servers, std::move(failures)) {
+  PLS_CHECK_MSG(config.storage_budget == 0,
+                "Full Replication has no storage-budget mode");
+  Rng master(config.seed);
+  for (std::size_t i = 0; i < num_servers; ++i) {
+    register_server<FullReplicationServer>(static_cast<ServerId>(i),
+                                           master.fork(0x1000 + i));
+  }
+}
+
+LookupResult FullReplicationStrategy::partial_lookup(std::size_t t) {
+  return single_server_lookup(network(), client_rng(), t);
+}
+
+}  // namespace pls::core

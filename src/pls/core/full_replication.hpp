@@ -1,0 +1,25 @@
+// §3.1/§5.1 Full Replication: every server stores every entry.
+//
+// The traditional baseline. Lookups cost exactly one server; every update
+// is a broadcast. Storage cost h*n (Table 1).
+#pragma once
+
+#include "pls/core/strategy.hpp"
+
+namespace pls::core {
+
+class FullReplicationServer final : public StrategyServer {
+ public:
+  using StrategyServer::StrategyServer;
+  void on_message(const net::Message& m, net::Network& net) override;
+};
+
+class FullReplicationStrategy final : public Strategy {
+ public:
+  FullReplicationStrategy(StrategyConfig config, std::size_t num_servers,
+                          std::shared_ptr<net::FailureState> failures);
+
+  LookupResult partial_lookup(std::size_t t) override;
+};
+
+}  // namespace pls::core

@@ -1,0 +1,65 @@
+#include "pls/core/hash_y.hpp"
+
+#include "pls/common/check.hpp"
+
+namespace pls::core {
+
+void HashServer::on_message(const net::Message& m, net::Network& net) {
+  if (const auto* place = std::get_if<net::PlaceRequest>(&m)) {
+    // Reset every server, then distribute. With a storage budget L below
+    // y*h, entry i gets floor(L/h) or ceil(L/h) copies via its first hash
+    // functions — the "keep a subset" regime of §4.3.
+    net.broadcast(id(), net::StoreBatch{});
+    const std::size_t h = place->entries.size();
+    const std::size_t y = family_.size();
+    for (std::size_t i = 0; i < h; ++i) {
+      std::size_t copies = y;
+      if (storage_budget_ != 0 && h > 0) {
+        copies = storage_budget_ / h + (i < storage_budget_ % h ? 1 : 0);
+        PLS_CHECK_MSG(copies <= y,
+                      "storage budget exceeds what y hash functions place");
+      }
+      const Entry v = place->entries[i];
+      // Deduplicate colliding functions: one copy per distinct server.
+      std::vector<ServerId> sent;
+      for (std::size_t j = 0; j < copies; ++j) {
+        const ServerId target = family_(j, v);
+        bool dup = false;
+        for (ServerId s : sent) dup = dup || (s == target);
+        if (!dup) {
+          sent.push_back(target);
+          net.send(id(), target, net::StoreEntry{v});
+        }
+      }
+    }
+  } else if (const auto* add = std::get_if<net::AddRequest>(&m)) {
+    for (ServerId target : family_.targets(add->entry)) {
+      net.send(id(), target, net::StoreEntry{add->entry});
+    }
+  } else if (const auto* del = std::get_if<net::DeleteRequest>(&m)) {
+    for (ServerId target : family_.targets(del->entry)) {
+      net.send(id(), target, net::RemoveEntry{del->entry});
+    }
+  } else {
+    StrategyServer::on_message(m, net);
+  }
+}
+
+HashStrategy::HashStrategy(StrategyConfig config, std::size_t num_servers,
+                           std::shared_ptr<net::FailureState> failures)
+    : Strategy(config, num_servers, std::move(failures)),
+      family_(config.param, num_servers, Rng(config.seed).fork(0x2000)()) {
+  PLS_CHECK_MSG(config.param >= 1, "Hash-y needs y >= 1");
+  Rng master(config.seed);
+  for (std::size_t i = 0; i < num_servers; ++i) {
+    register_server<HashServer>(static_cast<ServerId>(i),
+                                master.fork(0x1000 + i), family_,
+                                config.storage_budget);
+  }
+}
+
+LookupResult HashStrategy::partial_lookup(std::size_t t) {
+  return random_order_lookup(network(), client_rng(), t);
+}
+
+}  // namespace pls::core

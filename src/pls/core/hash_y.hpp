@@ -1,0 +1,44 @@
+// §3.5/§5.5 Hash-y: entry v is stored at servers f_1(v)..f_y(v).
+//
+// Updates are point-to-point (no broadcasts, no coordinator): the cheapest
+// scheme under churn, at the price of unbalanced per-server loads and hence
+// a lookup cost slightly above 1 even for small t. Collisions between hash
+// functions deduplicate, so expected storage is h*n*(1-(1-1/n)^y)
+// (Table 1).
+#pragma once
+
+#include "pls/common/hashing.hpp"
+#include "pls/core/strategy.hpp"
+
+namespace pls::core {
+
+class HashServer final : public StrategyServer {
+ public:
+  HashServer(ServerId id, Rng rng, HashFamily family,
+             std::size_t storage_budget)
+      : StrategyServer(id, rng),
+        family_(std::move(family)),
+        storage_budget_(storage_budget) {}
+
+  void on_message(const net::Message& m, net::Network& net) override;
+
+ private:
+  HashFamily family_;
+  std::size_t storage_budget_;
+};
+
+class HashStrategy final : public Strategy {
+ public:
+  HashStrategy(StrategyConfig config, std::size_t num_servers,
+               std::shared_ptr<net::FailureState> failures);
+
+  LookupResult partial_lookup(std::size_t t) override;
+
+  std::size_t y() const noexcept { return config().param; }
+  const HashFamily& family() const noexcept { return family_; }
+
+ private:
+  HashFamily family_;
+};
+
+}  // namespace pls::core

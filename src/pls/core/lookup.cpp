@@ -1,0 +1,134 @@
+#include "pls/core/lookup.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "pls/common/check.hpp"
+
+namespace pls::core {
+
+namespace {
+
+/// Sends a LookupRequest to `target`, merging distinct entries into `out`.
+/// Returns true if the server processed the request.
+bool query_one(net::Network& net, ServerId target, std::size_t t,
+               std::unordered_set<Entry>& seen, LookupResult& out) {
+  auto reply = net.client_rpc(
+      target, net::LookupRequest{static_cast<std::uint32_t>(t)});
+  if (!reply.has_value()) return false;
+  ++out.servers_contacted;
+  const auto& payload = std::get<net::LookupReply>(*reply);
+  for (Entry v : payload.entries) {
+    if (seen.insert(v).second) out.entries.push_back(v);
+  }
+  return true;
+}
+
+}  // namespace
+
+LookupResult single_server_lookup(net::Network& net, Rng& rng, std::size_t t) {
+  LookupResult out;
+  const auto up = net.failures().up_servers();
+  if (up.empty()) return out;
+  // "Select a random server; if it has failed keep selecting until an
+  // operational one is found" — equivalent to uniform over the up set.
+  const ServerId target = up[rng.uniform(up.size())];
+  std::unordered_set<Entry> seen;
+  query_one(net, target, t, seen, out);
+  out.satisfied = out.entries.size() >= t;
+  return out;
+}
+
+LookupResult random_order_lookup(net::Network& net, Rng& rng, std::size_t t) {
+  LookupResult out;
+  auto up = net.failures().up_servers();
+  if (up.empty()) return out;
+  rng.shuffle(std::span<ServerId>(up));
+  std::unordered_set<Entry> seen;
+  for (ServerId target : up) {
+    query_one(net, target, t, seen, out);
+    if (out.entries.size() >= t) break;
+  }
+  out.satisfied = out.entries.size() >= t;
+  return out;
+}
+
+LookupResult subset_lookup(net::Network& net, Rng& rng, std::size_t t,
+                           std::span<const ServerId> candidates) {
+  LookupResult out;
+  std::vector<ServerId> order;
+  order.reserve(candidates.size());
+  for (ServerId s : candidates) {
+    PLS_CHECK_MSG(s < net.size(), "candidate server out of range");
+    if (net.is_up(s) &&
+        std::find(order.begin(), order.end(), s) == order.end()) {
+      order.push_back(s);
+    }
+  }
+  rng.shuffle(std::span<ServerId>(order));
+  std::unordered_set<Entry> seen;
+  for (ServerId target : order) {
+    query_one(net, target, t, seen, out);
+    if (out.entries.size() >= t) break;
+  }
+  out.satisfied = out.entries.size() >= t;
+  return out;
+}
+
+LookupResult exhaustive_lookup(net::Network& net, Rng& rng) {
+  LookupResult out;
+  auto up = net.failures().up_servers();
+  rng.shuffle(std::span<ServerId>(up));
+  std::unordered_set<Entry> seen;
+  for (ServerId target : up) {
+    query_one(net, target, std::numeric_limits<std::uint32_t>::max(), seen,
+              out);
+  }
+  out.satisfied = !out.entries.empty();
+  return out;
+}
+
+LookupResult stride_order_lookup(net::Network& net, Rng& rng, std::size_t t,
+                                 std::size_t stride) {
+  PLS_CHECK_MSG(stride > 0, "stride must be positive");
+  LookupResult out;
+  const std::size_t n = net.size();
+  const auto up = net.failures().up_servers();
+  if (up.empty()) return out;
+
+  std::vector<bool> asked(n, false);
+  std::size_t asked_up = 0;
+  std::unordered_set<Entry> seen;
+
+  auto ask = [&](ServerId target) {
+    asked[target] = true;
+    if (net.is_up(target)) {
+      ++asked_up;
+      query_one(net, target, t, seen, out);
+    }
+  };
+
+  const ServerId start = up[rng.uniform(up.size())];
+  ServerId next = start;
+  while (out.entries.size() < t && asked_up < up.size()) {
+    if (asked[next] || !net.is_up(next)) {
+      // §3.4: on failures (or once the deterministic sequence wraps onto an
+      // already-asked server) fall back to random operational servers.
+      std::vector<ServerId> remaining;
+      remaining.reserve(up.size() - asked_up);
+      for (ServerId s : up) {
+        if (!asked[s]) remaining.push_back(s);
+      }
+      if (remaining.empty()) break;
+      ask(remaining[rng.uniform(remaining.size())]);
+    } else {
+      ask(next);
+    }
+    next = static_cast<ServerId>((next + stride) % n);
+  }
+  out.satisfied = out.entries.size() >= t;
+  return out;
+}
+
+}  // namespace pls::core

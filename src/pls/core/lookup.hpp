@@ -1,0 +1,57 @@
+// Client-side lookup machinery shared by all strategies.
+//
+// §3 gives each strategy one of three client behaviours:
+//   * single-server (Full Replication, Fixed-x): one random operational
+//     server answers; its reply is final.
+//   * random-order multi-server (RandomServer-x, Hash-y): keep contacting
+//     servers in random order, merging distinct entries, until >= t.
+//   * stride-order multi-server (Round-Robin-y): random start s, then
+//     s+y, s+2y, ... (disjoint content per step); random fallback on
+//     failures.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pls/common/rng.hpp"
+#include "pls/common/types.hpp"
+#include "pls/net/network.hpp"
+
+namespace pls::core {
+
+/// Result of one partial_lookup(t).
+struct LookupResult {
+  /// Distinct entries retrieved, in retrieval order.
+  std::vector<Entry> entries;
+  /// Number of servers that processed a lookup request.
+  std::size_t servers_contacted = 0;
+  /// True when |entries| >= t.
+  bool satisfied = false;
+};
+
+/// Contact one random operational server and return its answer verbatim.
+LookupResult single_server_lookup(net::Network& net, Rng& rng, std::size_t t);
+
+/// Contact operational servers in uniformly random order until t distinct
+/// entries are gathered or every operational server has answered.
+LookupResult random_order_lookup(net::Network& net, Rng& rng, std::size_t t);
+
+/// Contact servers s, s+stride, s+2*stride, ... (mod n) from a random
+/// operational start. Failed or repeated targets fall back to random
+/// operational servers, per §3.4. Stops at t distinct entries or when all
+/// operational servers have answered.
+LookupResult stride_order_lookup(net::Network& net, Rng& rng, std::size_t t,
+                                 std::size_t stride);
+
+/// Like random_order_lookup but restricted to `candidates` (the reachable
+/// servers of a §7.2 limited-reachability client). Down or duplicate
+/// candidates are skipped.
+LookupResult subset_lookup(net::Network& net, Rng& rng, std::size_t t,
+                           std::span<const ServerId> candidates);
+
+/// Contact every operational server and return everything it stores (the
+/// per-server answer cap is lifted). Used by exhaustive preference
+/// lookups (§7.1) and diagnostics; costs up-server-count messages.
+LookupResult exhaustive_lookup(net::Network& net, Rng& rng);
+
+}  // namespace pls::core

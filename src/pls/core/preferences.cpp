@@ -1,0 +1,71 @@
+#include "pls/core/preferences.hpp"
+
+#include <algorithm>
+
+#include "pls/common/check.hpp"
+
+namespace pls::core {
+
+namespace {
+
+/// Sorts by cost and truncates to the best t, filling in the aggregates.
+PreferredResult rank_and_trim(LookupResult raw, std::size_t t,
+                              const CostFn& cost) {
+  PreferredResult out;
+  out.servers_contacted = raw.servers_contacted;
+  out.entries = std::move(raw.entries);
+  std::sort(out.entries.begin(), out.entries.end(),
+            [&](Entry a, Entry b) { return cost(a) < cost(b); });
+  if (out.entries.size() > t) out.entries.resize(t);
+  out.satisfied = out.entries.size() >= t;
+  if (!out.entries.empty()) {
+    double sum = 0.0;
+    for (Entry v : out.entries) sum += cost(v);
+    out.mean_cost = sum / static_cast<double>(out.entries.size());
+  }
+  return out;
+}
+
+}  // namespace
+
+PreferredResult preferred_lookup(Strategy& strategy, std::size_t t,
+                                 const CostFn& cost, PreferenceMode mode,
+                                 Rng& rng) {
+  PLS_CHECK_MSG(static_cast<bool>(cost), "preference lookup needs a cost fn");
+  switch (mode) {
+    case PreferenceMode::kStopAtT:
+      return rank_and_trim(strategy.partial_lookup(t), t, cost);
+    case PreferenceMode::kExhaustive:
+      return rank_and_trim(exhaustive_lookup(strategy.network(), rng), t,
+                           cost);
+  }
+  PLS_CHECK_MSG(false, "unknown preference mode");
+}
+
+double preference_regret(const PreferredResult& result,
+                         std::span<const Entry> universe, const CostFn& cost,
+                         std::size_t t) {
+  PLS_CHECK_MSG(!universe.empty(), "regret needs a non-empty universe");
+  PLS_CHECK_MSG(t > 0 && t <= universe.size(),
+                "regret needs 1 <= t <= |universe|");
+  std::vector<double> costs;
+  costs.reserve(universe.size());
+  for (Entry v : universe) costs.push_back(cost(v));
+  std::sort(costs.begin(), costs.end());
+
+  double ideal = 0.0;
+  for (std::size_t i = 0; i < t; ++i) ideal += costs[i];
+  ideal /= static_cast<double>(t);
+
+  // Penalise missing slots at the universe's worst cost so low-coverage
+  // schemes cannot look good by returning few (cheap) entries.
+  double got = 0.0;
+  for (Entry v : result.entries) got += cost(v);
+  const double worst = costs.back();
+  for (std::size_t i = result.entries.size(); i < t; ++i) got += worst;
+  got /= static_cast<double>(t);
+
+  return got - ideal;
+}
+
+}  // namespace pls::core

@@ -1,0 +1,55 @@
+// §7.1 "Clients with Preferences" — the paper's first proposed variation,
+// implemented.
+//
+// A client attaches a cost function C over entries and wants the t *best*
+// entries, not just any t. Two protocols bracket the trade-off:
+//   * kStopAtT: run the strategy's normal partial lookup (cheap: the usual
+//     §4.2 cost) and sort what came back — the best t *seen*, which can
+//     miss better entries on uncontacted servers;
+//   * kExhaustive: contact every operational server and take the global
+//     best t of everything stored — optimal answer among stored entries,
+//     at cost n.
+// The gap between the two is the scheme's "preference regret"; schemes
+// with small coverage (Fixed-x) have irreducible regret even exhaustively.
+#pragma once
+
+#include <functional>
+
+#include "pls/core/strategy.hpp"
+
+namespace pls::core {
+
+/// Client-side cost of an entry; lower is better (§7.1's C_i).
+using CostFn = std::function<double(Entry)>;
+
+enum class PreferenceMode {
+  kStopAtT,     ///< normal lookup, then keep the best t seen
+  kExhaustive,  ///< contact all operational servers, best t stored
+};
+
+struct PreferredResult {
+  /// Up to t entries, sorted by ascending cost.
+  std::vector<Entry> entries;
+  /// Mean cost of the returned entries (0 when empty).
+  double mean_cost = 0.0;
+  std::size_t servers_contacted = 0;
+  bool satisfied = false;
+};
+
+/// partial_lookup(t) with a preference (§7.1). The cost function is the
+/// client's private knowledge: servers still return unranked entries and
+/// ranking happens client-side. `rng` drives the client's server-contact
+/// order in exhaustive mode.
+PreferredResult preferred_lookup(Strategy& strategy, std::size_t t,
+                                 const CostFn& cost, PreferenceMode mode,
+                                 Rng& rng);
+
+/// Mean returned cost minus the mean cost of the true best-t entries of
+/// `universe` — 0 when the lookup found an optimal answer, positive
+/// otherwise. Unsatisfied lookups count missing slots at the universe's
+/// worst cost, so coverage gaps are penalised rather than hidden.
+double preference_regret(const PreferredResult& result,
+                         std::span<const Entry> universe, const CostFn& cost,
+                         std::size_t t);
+
+}  // namespace pls::core

@@ -1,0 +1,87 @@
+#include "pls/core/random_server_x.hpp"
+
+#include "pls/common/check.hpp"
+
+namespace pls::core {
+
+void RandomServerServer::on_message(const net::Message& m, net::Network& net) {
+  if (const auto* place = std::get_if<net::PlaceRequest>(&m)) {
+    net.broadcast(id(), net::StoreBatch{place->entries});
+  } else if (const auto* batch = std::get_if<net::StoreBatch>(&m)) {
+    // Independently select a uniformly random x-subset of the batch (§3.3).
+    local_h_ = batch->entries.size();
+    if (batch->entries.size() <= x_) {
+      store().assign(batch->entries);
+    } else {
+      store().clear();
+      for (std::size_t idx : rng().sample_indices(batch->entries.size(), x_)) {
+        store().insert(batch->entries[idx]);
+      }
+    }
+  } else if (const auto* add = std::get_if<net::AddRequest>(&m)) {
+    // Every update is broadcast; each receiver decides randomly (§5.3).
+    net.broadcast(id(), net::ReservoirAdd{add->entry});
+  } else if (const auto* res = std::get_if<net::ReservoirAdd>(&m)) {
+    ++local_h_;
+    if (store().contains(res->entry)) return;
+    if (store().size() < x_) {
+      store().insert(res->entry);
+    } else if (rng().bernoulli(static_cast<double>(x_) /
+                               static_cast<double>(local_h_))) {
+      // Keep the newcomer: evict a random resident so the subset stays a
+      // uniform sample of all entries seen so far (reservoir sampling).
+      store().erase(store().random_entry(rng()));
+      store().insert(res->entry);
+    }
+  } else if (const auto* del = std::get_if<net::DeleteRequest>(&m)) {
+    net.broadcast(id(), net::RemoveEntry{del->entry});
+  } else if (const auto* rem = std::get_if<net::RemoveEntry>(&m)) {
+    if (local_h_ > 0) --local_h_;
+    const bool held = store().erase(rem->entry);
+    // Default cushion scheme: no replacement sought. The ablation variant
+    // refills immediately from a peer (§5.3's costlier alternative).
+    if (held && active_replacement_) fetch_replacement(rem->entry, net);
+  } else {
+    StrategyServer::on_message(m, net);
+  }
+}
+
+void RandomServerServer::fetch_replacement(Entry deleted, net::Network& net) {
+  const std::size_t n = net.size();
+  if (n < 2) return;
+  // One attempt at a random peer; "two servers are not likely to have the
+  // same entries" (§5.3), so a single probe almost always suffices.
+  auto peer = static_cast<ServerId>(rng().uniform(n - 1));
+  if (peer >= id()) ++peer;
+  if (!net.is_up(peer)) return;
+  const auto reply = net.rpc(
+      id(), peer, net::LookupRequest{static_cast<std::uint32_t>(x_)});
+  if (!reply.has_value()) return;
+  for (Entry candidate : std::get<net::LookupReply>(*reply).entries) {
+    if (candidate != deleted && !store().contains(candidate)) {
+      store().insert(candidate);
+      return;
+    }
+  }
+}
+
+RandomServerStrategy::RandomServerStrategy(
+    StrategyConfig config, std::size_t num_servers,
+    std::shared_ptr<net::FailureState> failures)
+    : Strategy(config, num_servers, std::move(failures)) {
+  PLS_CHECK_MSG(config.param >= 1, "RandomServer-x needs x >= 1");
+  PLS_CHECK_MSG(config.storage_budget == 0,
+                "RandomServer-x takes its budget through x");
+  Rng master(config.seed);
+  for (std::size_t i = 0; i < num_servers; ++i) {
+    register_server<RandomServerServer>(static_cast<ServerId>(i),
+                                        master.fork(0x1000 + i), config.param,
+                                        config.rs_active_replacement);
+  }
+}
+
+LookupResult RandomServerStrategy::partial_lookup(std::size_t t) {
+  return random_order_lookup(network(), client_rng(), t);
+}
+
+}  // namespace pls::core

@@ -1,0 +1,178 @@
+#include "pls/core/round_robin_y.hpp"
+
+#include "pls/common/check.hpp"
+
+namespace pls::core {
+
+std::optional<std::uint64_t> RoundRobinServer::slot_of(Entry v) const {
+  auto it = slot_of_.find(v);
+  if (it == slot_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+void RoundRobinServer::set_slot(Entry v, std::uint64_t slot) {
+  store().insert(v);
+  auto it = slot_of_.find(v);
+  if (it != slot_of_.end()) entry_at_slot_.erase(it->second);
+  slot_of_[v] = slot;
+  entry_at_slot_[slot] = v;
+}
+
+void RoundRobinServer::drop_entry(Entry v) {
+  store().erase(v);
+  auto it = slot_of_.find(v);
+  if (it != slot_of_.end()) {
+    entry_at_slot_.erase(it->second);
+    slot_of_.erase(it);
+  }
+}
+
+void RoundRobinServer::handle_place(const net::PlaceRequest& place,
+                                    net::Network& net) {
+  // Reset the whole cluster, then hand out slot i to servers i..i+c-1.
+  net.broadcast(id(), net::StoreBatch{});
+  const std::size_t n = net.size();
+  const std::size_t h = place.entries.size();
+  for (std::size_t i = 0; i < h; ++i) {
+    std::size_t copies = y_;
+    if (storage_budget_ != 0) {
+      copies = storage_budget_ / h + (i < storage_budget_ % h ? 1 : 0);
+      PLS_CHECK_MSG(copies <= n, "storage budget would duplicate per server");
+    }
+    for (std::size_t j = 0; j < copies; ++j) {
+      const auto target = static_cast<ServerId>((i + j) % n);
+      net.send(id(), target, net::StoreSlotted{place.entries[i], i});
+    }
+  }
+  head_ = 0;
+  tail_ = h;
+  live_.clear();
+  live_.insert(place.entries.begin(), place.entries.end());
+}
+
+void RoundRobinServer::handle_remove_broadcast(const net::RoundRemove& rm,
+                                               net::Network& net) {
+  if (!store().contains(rm.entry)) return;
+  const std::uint64_t p_v = slot_of_.at(rm.entry);
+  drop_entry(rm.entry);
+  if (p_v == rm.head_slot) return;  // deleting the head entry: no migration
+  const auto head_server = static_cast<ServerId>(rm.head_slot % net.size());
+  const auto reply =
+      net.rpc(id(), head_server, net::MigrateRequest{rm.entry, rm.head_slot});
+  if (!reply.has_value()) return;  // head server down: hole stays (documented)
+  const auto& mig = std::get<net::MigrateReply>(*reply);
+  if (mig.valid) set_slot(mig.replacement, p_v);
+}
+
+void RoundRobinServer::on_message(const net::Message& m, net::Network& net) {
+  if (const auto* place = std::get_if<net::PlaceRequest>(&m)) {
+    handle_place(*place, net);
+  } else if (const auto* batch = std::get_if<net::StoreBatch>(&m)) {
+    // Used only as the cluster-wide reset preceding redistribution.
+    store().assign(batch->entries);
+    slot_of_.clear();
+    entry_at_slot_.clear();
+    migrations_.clear();
+    head_ = tail_ = 0;
+    live_.clear();
+  } else if (const auto* slotted = std::get_if<net::StoreSlotted>(&m)) {
+    set_slot(slotted->entry, slotted->slot);
+  } else if (const auto* add = std::get_if<net::AddRequest>(&m)) {
+    // Coordinator role: assign slot `tail`, fan out y copies (§5.4).
+    if (live_.contains(add->entry)) return;
+    const std::uint64_t slot = tail_++;
+    live_.insert(add->entry);
+    const std::size_t n = net.size();
+    for (std::size_t j = 0; j < y_; ++j) {
+      const auto target = static_cast<ServerId>((slot + j) % n);
+      net.send(id(), target, net::StoreSlotted{add->entry, slot});
+    }
+  } else if (const auto* del = std::get_if<net::DeleteRequest>(&m)) {
+    // Coordinator role: locate v by broadcast; holders plug the hole with
+    // the head-slot entry; head advances (Fig 10/11).
+    if (!live_.contains(del->entry)) return;
+    live_.erase(del->entry);
+    net.broadcast(id(), net::RoundRemove{del->entry, head_});
+    ++head_;
+  } else if (const auto* rm = std::get_if<net::RoundRemove>(&m)) {
+    handle_remove_broadcast(*rm, net);
+  } else if (const auto* purge = std::get_if<net::PurgeEntry>(&m)) {
+    // Drop the migrated entry's *old* copy only: holders that already
+    // re-homed it at the deleted entry's slot fail the guard and keep it.
+    auto it = slot_of_.find(purge->entry);
+    if (it != slot_of_.end() && it->second == purge->old_slot) {
+      drop_entry(purge->entry);
+    }
+  } else if (const auto* rem = std::get_if<net::RemoveEntry>(&m)) {
+    drop_entry(rem->entry);
+  } else {
+    StrategyServer::on_message(m, net);
+  }
+}
+
+net::Message RoundRobinServer::on_rpc(const net::Message& m,
+                                      net::Network& net) {
+  if (const auto* req = std::get_if<net::MigrateRequest>(&m)) {
+    // Head-slot server role (Fig 11's migrate()): pick R[v] once, count
+    // requests in M[v], purge the old copies after the y-th request.
+    auto [it, inserted] = migrations_.try_emplace(req->entry);
+    MigrationState& st = it->second;
+    if (inserted) {
+      auto at = entry_at_slot_.find(req->head_slot);
+      if (at != entry_at_slot_.end()) {
+        st.replacement = at->second;
+        st.valid = true;
+      }
+    }
+    ++st.requests;
+    net::MigrateReply reply{st.replacement, st.valid};
+    if (st.requests >= y_) {
+      if (st.valid) {
+        const std::size_t n = net.size();
+        for (std::size_t j = 0; j < y_; ++j) {
+          const auto target = static_cast<ServerId>((req->head_slot + j) % n);
+          net.send(id(), target,
+                   net::PurgeEntry{st.replacement, req->head_slot});
+        }
+      }
+      migrations_.erase(req->entry);
+    }
+    return reply;
+  }
+  return StrategyServer::on_rpc(m, net);
+}
+
+RoundRobinStrategy::RoundRobinStrategy(
+    StrategyConfig config, std::size_t num_servers,
+    std::shared_ptr<net::FailureState> failures)
+    : Strategy(config, num_servers, std::move(failures)) {
+  PLS_CHECK_MSG(config.param >= 1, "Round-Robin-y needs y >= 1");
+  PLS_CHECK_MSG(config.param <= num_servers,
+                "Round-Robin-y needs y <= n (distinct copy holders)");
+  Rng master(config.seed);
+  for (std::size_t i = 0; i < num_servers; ++i) {
+    register_server<RoundRobinServer>(static_cast<ServerId>(i),
+                                      master.fork(0x1000 + i), config.param,
+                                      config.storage_budget);
+  }
+}
+
+LookupResult RoundRobinStrategy::partial_lookup(std::size_t t) {
+  return stride_order_lookup(network(), client_rng(), t, y());
+}
+
+std::uint64_t RoundRobinStrategy::head() const {
+  return static_cast<const RoundRobinServer&>(server_state(0)).head();
+}
+
+std::uint64_t RoundRobinStrategy::tail() const {
+  return static_cast<const RoundRobinServer&>(server_state(0)).tail();
+}
+
+ServerId RoundRobinStrategy::update_target() {
+  // §5.4: every update goes through the coordinator. If it is down the
+  // update cannot proceed (the bottleneck the paper criticises).
+  return network().is_up(0) ? ServerId{0} : kInvalidServer;
+}
+
+}  // namespace pls::core

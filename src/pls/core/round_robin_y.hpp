@@ -1,0 +1,101 @@
+// §3.4/§5.4 Round-Robin-y: entry i is stored at servers i..i+y-1 (mod n).
+//
+// The deterministic layout gives the lowest lookup cost (stride-y server
+// sequences share no entries before wrap-around), zero unfairness, and
+// complete coverage — at the price of a coordinator (server 0, the paper's
+// "server 1") holding the head/tail counters, which every update must pass
+// through (§6.3's bottleneck), and a migration protocol that "plugs the
+// hole" a delete leaves in the round-robin sequence (Fig 10/11):
+//
+//   * Every live entry occupies a logical slot; live slots form the
+//     contiguous range [head, tail).
+//   * add(v): v takes slot tail, stored at servers tail..tail+y-1 (mod n);
+//     tail advances.
+//   * delete(v) at slot p: the coordinator broadcasts RoundRemove(v, head).
+//     Every holder of v drops it and asks the head-slot server (via the
+//     MigrateRequest RPC) for the replacement u — the entry at slot head —
+//     then stores u at slot p. After all y holders have asked, the head-slot
+//     server purges u's old copies (guarded by the old slot number so
+//     holders that already re-homed u keep it). head advances. If v itself
+//     sits at slot head, holders just drop it and no migration runs.
+//
+// The coordinator also tracks the live-entry set so that deletes of absent
+// entries are ignored; this adds no messages and resolves a case the
+// paper's pseudo-code leaves undefined.
+//
+// Known limitation (shared with the paper): a server failure *during* a
+// delete can strand stale copies; Round-Robin is explicitly the wrong
+// scheme for dynamic, failure-prone settings (§6.3).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "pls/core/strategy.hpp"
+
+namespace pls::core {
+
+class RoundRobinServer final : public StrategyServer {
+ public:
+  RoundRobinServer(ServerId id, Rng rng, std::size_t y,
+                   std::size_t storage_budget)
+      : StrategyServer(id, rng), y_(y), storage_budget_(storage_budget) {}
+
+  void on_message(const net::Message& m, net::Network& net) override;
+  net::Message on_rpc(const net::Message& m, net::Network& net) override;
+
+  /// Coordinator counters (meaningful on server 0 only).
+  std::uint64_t head() const noexcept { return head_; }
+  std::uint64_t tail() const noexcept { return tail_; }
+  std::size_t live_count() const noexcept { return live_.size(); }
+
+  /// The logical slot this server records for `v`, or nullopt.
+  std::optional<std::uint64_t> slot_of(Entry v) const;
+
+ private:
+  void set_slot(Entry v, std::uint64_t slot);
+  void drop_entry(Entry v);
+  void handle_place(const net::PlaceRequest& place, net::Network& net);
+  void handle_remove_broadcast(const net::RoundRemove& rm, net::Network& net);
+
+  std::size_t y_;
+  std::size_t storage_budget_;
+
+  // Slot bookkeeping, maintained on every server for its own copies.
+  std::unordered_map<Entry, std::uint64_t> slot_of_;
+  std::unordered_map<std::uint64_t, Entry> entry_at_slot_;
+
+  // Migration bookkeeping (Fig 11's M[v] / R[v]), on the head-slot server.
+  struct MigrationState {
+    std::size_t requests = 0;
+    Entry replacement = 0;
+    bool valid = false;
+  };
+  std::unordered_map<Entry, MigrationState> migrations_;
+
+  // Coordinator state (server 0 only): the paper's head/tail counters plus
+  // the live-entry set.
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+  std::unordered_set<Entry> live_;
+};
+
+class RoundRobinStrategy final : public Strategy {
+ public:
+  RoundRobinStrategy(StrategyConfig config, std::size_t num_servers,
+                     std::shared_ptr<net::FailureState> failures);
+
+  LookupResult partial_lookup(std::size_t t) override;
+
+  std::size_t y() const noexcept { return config().param; }
+
+  /// The coordinator's counters, exposed for tests and diagnostics.
+  std::uint64_t head() const;
+  std::uint64_t tail() const;
+
+ protected:
+  /// All updates route through the coordinator (§5.4).
+  ServerId update_target() override;
+};
+
+}  // namespace pls::core

@@ -1,0 +1,101 @@
+#include "pls/core/service.hpp"
+
+#include <utility>
+
+#include "pls/common/check.hpp"
+#include "pls/common/hashing.hpp"
+
+namespace pls::core {
+
+PartialLookupService::PartialLookupService(ServiceConfig config)
+    : config_(std::move(config)),
+      failures_(net::make_failure_state(config_.num_servers)),
+      key_seeder_(Rng(config_.seed).fork(0x5e41)) {
+  PLS_CHECK_MSG(config_.num_servers > 0, "service needs at least one server");
+}
+
+Strategy& PartialLookupService::strategy_for(const Key& key) {
+  auto it = keys_.find(key);
+  if (it != keys_.end()) return *it->second;
+
+  StrategyConfig cfg = config_.default_strategy;
+  if (config_.strategy_policy) {
+    if (auto override_cfg = config_.strategy_policy(key)) cfg = *override_cfg;
+  }
+  // Give each key an independent random stream derived from the service
+  // seed and the key's content, so runs replay deterministically regardless
+  // of key-creation order.
+  std::uint64_t key_hash = 0xcbf29ce484222325ULL;
+  for (char c : key) {
+    key_hash = (key_hash ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  cfg.seed = mix_hash(key_hash, config_.seed);
+
+  auto strategy = make_strategy(cfg, config_.num_servers, failures_);
+  auto [pos, inserted] = keys_.emplace(key, std::move(strategy));
+  PLS_ASSERT(inserted);
+  return *pos->second;
+}
+
+void PartialLookupService::place(const Key& key,
+                                 std::span<const Entry> entries) {
+  strategy_for(key).place(entries);
+}
+
+void PartialLookupService::add(const Key& key, Entry v) {
+  strategy_for(key).add(v);
+}
+
+void PartialLookupService::erase(const Key& key, Entry v) {
+  auto it = keys_.find(key);
+  if (it == keys_.end()) return;  // deleting from an unknown key is a no-op
+  it->second->erase(v);
+}
+
+LookupResult PartialLookupService::partial_lookup(const Key& key,
+                                                  std::size_t t) {
+  auto it = keys_.find(key);
+  if (it == keys_.end()) return LookupResult{};  // §2: unknown key -> empty
+  return it->second->partial_lookup(t);
+}
+
+bool PartialLookupService::contains_key(const Key& key) const {
+  return keys_.contains(key);
+}
+
+Strategy& PartialLookupService::strategy(const Key& key) {
+  auto it = keys_.find(key);
+  PLS_CHECK_MSG(it != keys_.end(), "unknown key: " + key);
+  return *it->second;
+}
+
+const Strategy& PartialLookupService::strategy(const Key& key) const {
+  auto it = keys_.find(key);
+  PLS_CHECK_MSG(it != keys_.end(), "unknown key: " + key);
+  return *it->second;
+}
+
+std::size_t PartialLookupService::total_storage() const {
+  std::size_t total = 0;
+  for (const auto& [key, strategy] : keys_) total += strategy->storage_cost();
+  return total;
+}
+
+net::TransportStats PartialLookupService::total_transport() const {
+  net::TransportStats total;
+  total.per_server_processed.assign(config_.num_servers, 0);
+  for (const auto& [key, strategy] : keys_) {
+    const auto& s = strategy->network().stats();
+    total.sent += s.sent;
+    total.processed += s.processed;
+    total.dropped += s.dropped;
+    total.broadcasts += s.broadcasts;
+    total.rpcs += s.rpcs;
+    for (std::size_t i = 0; i < s.per_server_processed.size(); ++i) {
+      total.per_server_processed[i] += s.per_server_processed[i];
+    }
+  }
+  return total;
+}
+
+}  // namespace pls::core

@@ -1,0 +1,80 @@
+// The multi-key partial lookup service — the public API a downstream user
+// adopts.
+//
+// §2 of the paper: "each key can be managed separately ... different
+// strategies can be used to manage different types of keys. For instance,
+// frequently updated keys require strategies with small update costs, while
+// static keys want low lookup costs and fairness." This facade implements
+// exactly that: one Strategy instance per key, a default configuration, an
+// optional per-key policy override, and a FailureState shared by every key
+// so an injected server failure affects all keys at once (as it would on a
+// real cluster).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "pls/core/strategy.hpp"
+#include "pls/core/strategy_factory.hpp"
+
+namespace pls::core {
+
+struct ServiceConfig {
+  std::size_t num_servers = 10;
+  StrategyConfig default_strategy{};
+  /// Optional per-key override: return nullopt to use the default. Called
+  /// once per key, on first touch.
+  std::function<std::optional<StrategyConfig>(const Key&)> strategy_policy;
+  std::uint64_t seed = 1;
+};
+
+class PartialLookupService {
+ public:
+  explicit PartialLookupService(ServiceConfig config);
+
+  /// place(k, {v...}): (re)initialises the entries of key k.
+  void place(const Key& key, std::span<const Entry> entries);
+
+  /// add(k, v).
+  void add(const Key& key, Entry v);
+
+  /// delete(k, v) — named erase because `delete` is reserved.
+  void erase(const Key& key, Entry v);
+
+  /// partial_lookup(k, t): returns >= t entries when possible; an unknown
+  /// key yields the empty result of §2's semantics.
+  LookupResult partial_lookup(const Key& key, std::size_t t);
+
+  bool contains_key(const Key& key) const;
+  std::size_t num_keys() const noexcept { return keys_.size(); }
+  std::size_t num_servers() const noexcept { return config_.num_servers; }
+
+  /// Cluster-wide failure injection (affects every key).
+  void fail_server(ServerId s) { failures_->fail(s); }
+  void recover_server(ServerId s) { failures_->recover(s); }
+  void recover_all() { failures_->recover_all(); }
+  const net::FailureState& failures() const noexcept { return *failures_; }
+
+  /// Direct access to a key's strategy (metrics, diagnostics). The key must
+  /// exist.
+  Strategy& strategy(const Key& key);
+  const Strategy& strategy(const Key& key) const;
+
+  /// Summed §4.1 storage cost over all keys.
+  std::size_t total_storage() const;
+
+  /// Summed transport counters over all keys' clusters.
+  net::TransportStats total_transport() const;
+
+ private:
+  Strategy& strategy_for(const Key& key);
+
+  ServiceConfig config_;
+  std::shared_ptr<net::FailureState> failures_;
+  std::unordered_map<Key, std::unique_ptr<Strategy>> keys_;
+  Rng key_seeder_;
+};
+
+}  // namespace pls::core

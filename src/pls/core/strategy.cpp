@@ -1,0 +1,128 @@
+#include "pls/core/strategy.hpp"
+
+#include <unordered_set>
+#include <utility>
+
+#include "pls/common/check.hpp"
+
+namespace pls::core {
+
+std::string_view to_string(StrategyKind kind) noexcept {
+  switch (kind) {
+    case StrategyKind::kFullReplication:
+      return "FullReplication";
+    case StrategyKind::kFixed:
+      return "Fixed";
+    case StrategyKind::kRandomServer:
+      return "RandomServer";
+    case StrategyKind::kRoundRobin:
+      return "RoundRobin";
+    case StrategyKind::kHash:
+      return "Hash";
+  }
+  return "?";
+}
+
+std::size_t Placement::total_entries() const noexcept {
+  std::size_t total = 0;
+  for (const auto& s : servers) total += s.size();
+  return total;
+}
+
+std::size_t Placement::distinct_entries() const {
+  std::unordered_set<Entry> seen;
+  for (const auto& s : servers) seen.insert(s.begin(), s.end());
+  return seen.size();
+}
+
+void StrategyServer::on_message(const net::Message& m, net::Network& net) {
+  (void)net;
+  if (const auto* batch = std::get_if<net::StoreBatch>(&m)) {
+    store_.assign(batch->entries);
+  } else if (const auto* one = std::get_if<net::StoreEntry>(&m)) {
+    store_.insert(one->entry);
+  } else if (const auto* rem = std::get_if<net::RemoveEntry>(&m)) {
+    store_.erase(rem->entry);
+  }
+  // Other messages are strategy-specific; unhandled ones are ignored, the
+  // usual behaviour of a server receiving a protocol message it has no
+  // role in (e.g. a RoundRemove for an entry it does not store).
+}
+
+net::Message StrategyServer::on_rpc(const net::Message& m, net::Network& net) {
+  (void)net;
+  if (const auto* req = std::get_if<net::LookupRequest>(&m)) {
+    return net::LookupReply{store_.sample(req->target, rng_)};
+  }
+  return net::Ack{};
+}
+
+Strategy::Strategy(StrategyConfig config, std::size_t num_servers,
+                   std::shared_ptr<net::FailureState> failures)
+    : config_(config),
+      failures_(std::move(failures)),
+      net_(failures_),
+      client_rng_(Rng(config.seed).fork(0x11)) {
+  PLS_CHECK_MSG(num_servers > 0, "need at least one server");
+  PLS_CHECK_MSG(failures_->size() == num_servers,
+                "FailureState size must match the cluster size");
+}
+
+ServerId Strategy::random_up_server() {
+  const auto up = net_.failures().up_servers();
+  if (up.empty()) return kInvalidServer;
+  return up[client_rng_.uniform(up.size())];
+}
+
+ServerId Strategy::update_target() { return random_up_server(); }
+
+StrategyServer& Strategy::server_state(ServerId s) {
+  PLS_CHECK(s < servers_.size());
+  return *servers_[s];
+}
+
+const StrategyServer& Strategy::server_state(ServerId s) const {
+  PLS_CHECK(s < servers_.size());
+  return *servers_[s];
+}
+
+void Strategy::place(std::span<const Entry> entries) {
+  const ServerId target = update_target();
+  if (target == kInvalidServer) return;
+  net_.client_send(target,
+                   net::PlaceRequest{{entries.begin(), entries.end()}});
+}
+
+void Strategy::add(Entry v) {
+  PLS_CHECK_MSG(config_.storage_budget == 0,
+                "storage-budget placements are static-only (no add)");
+  const ServerId target = update_target();
+  if (target == kInvalidServer) return;
+  net_.client_send(target, net::AddRequest{v});
+}
+
+void Strategy::erase(Entry v) {
+  PLS_CHECK_MSG(config_.storage_budget == 0,
+                "storage-budget placements are static-only (no delete)");
+  const ServerId target = update_target();
+  if (target == kInvalidServer) return;
+  net_.client_send(target, net::DeleteRequest{v});
+}
+
+Placement Strategy::placement() const {
+  Placement p;
+  p.servers.reserve(servers_.size());
+  for (const StrategyServer* s : servers_) {
+    const auto span = s->store().entries();
+    p.servers.emplace_back(span.begin(), span.end());
+  }
+  return p;
+}
+
+std::size_t Strategy::storage_cost() const noexcept {
+  std::size_t total = 0;
+  for (const StrategyServer* s : servers_) total += s->store().size();
+  return total;
+}
+
+}  // namespace pls::core

@@ -1,0 +1,170 @@
+// The strategy framework: the partial-lookup interface of §2, the five
+// concrete schemes of §3/§5 behind it, and the Placement snapshot the
+// metrics module analyses.
+//
+// A Strategy manages ONE key, exactly as the paper does ("we focus here on
+// strategies that manage only one key", §2); pls::core::PartialLookupService
+// composes per-key strategies into the multi-key service.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pls/common/rng.hpp"
+#include "pls/common/types.hpp"
+#include "pls/core/entry_store.hpp"
+#include "pls/core/lookup.hpp"
+#include "pls/net/network.hpp"
+
+namespace pls::core {
+
+enum class StrategyKind {
+  kFullReplication,  ///< §3.1: every server stores everything
+  kFixed,            ///< §3.2: every server stores the same x entries
+  kRandomServer,     ///< §3.3: every server stores its own random x entries
+  kRoundRobin,       ///< §3.4: entry i on servers i..i+y-1 (mod n)
+  kHash,             ///< §3.5: entry v on servers f_1(v)..f_y(v)
+};
+
+std::string_view to_string(StrategyKind kind) noexcept;
+
+/// Per-key strategy configuration.
+struct StrategyConfig {
+  StrategyKind kind = StrategyKind::kFullReplication;
+  /// x for Fixed/RandomServer, y for Round-Robin/Hash; ignored by Full
+  /// Replication. Must be >= 1 where it applies.
+  std::size_t param = 1;
+  /// Optional total-storage budget applied at place() time by Round-Robin
+  /// and Hash (0 = unlimited). Used by the §4.3 coverage experiment where
+  /// budgets below h force partial placement. Static placement only.
+  std::size_t storage_budget = 0;
+  /// RandomServer-x only: §5.3's "active replacement" alternative for
+  /// deletes — a server that loses an entry immediately fetches a
+  /// substitute from a random peer instead of relying on the cushion.
+  /// Costlier and, per the paper, *less* fair under churn; kept as an
+  /// ablation (bench_ablation_replacement re-measures the claim).
+  bool rs_active_replacement = false;
+  std::uint64_t seed = 1;
+};
+
+/// Immutable snapshot of which server stores which entries. The §4 metrics
+/// (storage, coverage, fault tolerance) are functions of this alone.
+struct Placement {
+  std::vector<std::vector<Entry>> servers;
+
+  std::size_t num_servers() const noexcept { return servers.size(); }
+  /// Total stored entries across servers — the §4.1 storage cost.
+  std::size_t total_entries() const noexcept;
+  /// Number of distinct entries stored on at least one server.
+  std::size_t distinct_entries() const;
+};
+
+/// Server base shared by all strategies: an EntryStore plus default
+/// handling of the generic messages (StoreBatch/StoreEntry/RemoveEntry and
+/// the LookupRequest RPC). Strategy-specific servers override `on_message`
+/// for their placement/update logic.
+class StrategyServer : public net::Server {
+ public:
+  StrategyServer(ServerId id, Rng rng) : net::Server(id), rng_(rng) {}
+
+  EntryStore& store() noexcept { return store_; }
+  const EntryStore& store() const noexcept { return store_; }
+
+  void on_message(const net::Message& m, net::Network& net) override;
+  net::Message on_rpc(const net::Message& m, net::Network& net) override;
+
+ protected:
+  Rng& rng() noexcept { return rng_; }
+
+ private:
+  EntryStore store_;
+  Rng rng_;
+};
+
+/// The partial lookup service interface of §2, single key. Thread
+/// compatibility: a Strategy and its cluster are a single-threaded
+/// simulation unit; drive each instance from one thread.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  Strategy(const Strategy&) = delete;
+  Strategy& operator=(const Strategy&) = delete;
+
+  /// place(v1..vh): initialises the key's entries in batch. Replaces any
+  /// previous content, per the §2 semantics.
+  void place(std::span<const Entry> entries);
+
+  /// add(v): incremental insert.
+  void add(Entry v);
+
+  /// delete(v) (named erase: `delete` is reserved): incremental removal.
+  void erase(Entry v);
+
+  /// partial_lookup(t): at least t entries when the strategy can provide
+  /// them; `satisfied` is false otherwise.
+  virtual LookupResult partial_lookup(std::size_t t) = 0;
+
+  StrategyKind kind() const noexcept { return config_.kind; }
+  std::string_view name() const noexcept { return to_string(config_.kind); }
+  const StrategyConfig& config() const noexcept { return config_; }
+
+  std::size_t num_servers() const noexcept { return net_.size(); }
+  net::Network& network() noexcept { return net_; }
+  const net::Network& network() const noexcept { return net_; }
+
+  /// Snapshot of the current entry placement across servers.
+  Placement placement() const;
+
+  /// Total entries stored across all servers (§4.1 storage cost).
+  std::size_t storage_cost() const noexcept;
+
+  /// Failure injection (shared with sibling strategies when the
+  /// FailureState is shared by a PartialLookupService).
+  void fail_server(ServerId s) { net_.fail(s); }
+  void recover_server(ServerId s) { net_.recover(s); }
+  void recover_all() { failures_->recover_all(); }
+
+ protected:
+  Strategy(StrategyConfig config, std::size_t num_servers,
+           std::shared_ptr<net::FailureState> failures);
+
+  /// Delivery target for client requests: a uniformly random operational
+  /// server (§5.1: "a client selects a server S at random").
+  /// Returns kInvalidServer when the whole cluster is down.
+  ServerId random_up_server();
+
+  /// Hook: where this strategy's clients send place/add/delete requests.
+  /// Default: random operational server. Round-Robin overrides to its
+  /// coordinator (server 1 in the paper's numbering, id 0 here).
+  virtual ServerId update_target();
+
+  Rng& client_rng() noexcept { return client_rng_; }
+  StrategyServer& server_state(ServerId s);
+  const StrategyServer& server_state(ServerId s) const;
+
+ private:
+  StrategyConfig config_;
+  std::shared_ptr<net::FailureState> failures_;
+  net::Network net_;
+  Rng client_rng_;
+
+ protected:
+  /// Typed views of the servers owned by net_; filled by subclasses'
+  /// register_server().
+  std::vector<StrategyServer*> servers_;
+
+  /// Creates, registers and records a server of type T.
+  template <typename T, typename... Args>
+  T& register_server(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *owned;
+    net_.add_server(std::move(owned));
+    servers_.push_back(&ref);
+    return ref;
+  }
+};
+
+}  // namespace pls::core

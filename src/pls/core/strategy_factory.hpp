@@ -1,0 +1,24 @@
+// Construction of strategies from configuration.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "pls/core/strategy.hpp"
+
+namespace pls::core {
+
+/// Builds a strategy over `num_servers` servers. Pass a shared FailureState
+/// to correlate failures across several strategies (the multi-key service
+/// does); pass nullptr to get a private one.
+std::unique_ptr<Strategy> make_strategy(
+    StrategyConfig config, std::size_t num_servers,
+    std::shared_ptr<net::FailureState> failures = nullptr);
+
+/// Parses the names used throughout the paper and this repo's CLIs:
+/// "full", "fixed", "randomserver", "roundrobin"/"round", "hash"
+/// (case-insensitive). Returns nullopt for unknown names.
+std::optional<StrategyKind> parse_strategy_kind(std::string_view name);
+
+}  // namespace pls::core

@@ -1,0 +1,41 @@
+#include "pls/metrics/availability.hpp"
+
+#include <unordered_set>
+
+namespace pls::metrics {
+
+bool lookup_satisfiable(const core::Strategy& strategy, std::size_t t) {
+  if (t == 0) return true;
+  const auto placement = strategy.placement();
+  const auto& failures = strategy.network().failures();
+
+  switch (strategy.kind()) {
+    case core::StrategyKind::kFullReplication:
+    case core::StrategyKind::kFixed: {
+      // One random operational server answers; all are identical, so any
+      // operational server having >= t entries decides.
+      for (std::size_t s = 0; s < placement.num_servers(); ++s) {
+        if (failures.is_up(static_cast<ServerId>(s))) {
+          return placement.servers[s].size() >= t;
+        }
+      }
+      return false;
+    }
+    case core::StrategyKind::kRandomServer:
+    case core::StrategyKind::kRoundRobin:
+    case core::StrategyKind::kHash: {
+      // Clients merge answers across servers: operational coverage decides.
+      std::unordered_set<Entry> seen;
+      for (std::size_t s = 0; s < placement.num_servers(); ++s) {
+        if (!failures.is_up(static_cast<ServerId>(s))) continue;
+        seen.insert(placement.servers[s].begin(),
+                    placement.servers[s].end());
+        if (seen.size() >= t) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace pls::metrics

@@ -1,0 +1,25 @@
+#include "pls/metrics/coverage.hpp"
+
+#include <unordered_set>
+
+#include "pls/common/check.hpp"
+
+namespace pls::metrics {
+
+std::size_t max_coverage(const core::Placement& placement) {
+  return placement.distinct_entries();
+}
+
+std::size_t coverage_of_up(const core::Placement& placement,
+                           const std::vector<bool>& up) {
+  PLS_CHECK(up.size() == placement.servers.size());
+  std::unordered_set<Entry> seen;
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    if (up[i]) {
+      seen.insert(placement.servers[i].begin(), placement.servers[i].end());
+    }
+  }
+  return seen.size();
+}
+
+}  // namespace pls::metrics

@@ -1,0 +1,21 @@
+// §4.3 maximum coverage: the number of distinct entries a client could
+// retrieve by contacting every operational server — an upper bound on any
+// supportable target answer size.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pls/core/strategy.hpp"
+
+namespace pls::metrics {
+
+/// Distinct entries across all servers of the placement.
+std::size_t max_coverage(const core::Placement& placement);
+
+/// Distinct entries across the subset of servers flagged operational.
+/// `up[i]` corresponds to placement.servers[i].
+std::size_t coverage_of_up(const core::Placement& placement,
+                           const std::vector<bool>& up);
+
+}  // namespace pls::metrics

@@ -1,0 +1,98 @@
+#include "pls/metrics/fault_tolerance.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pls/common/check.hpp"
+#include "pls/metrics/coverage.hpp"
+
+namespace pls::metrics {
+
+std::size_t fault_tolerance(const core::Placement& placement, std::size_t t) {
+  const std::size_t n = placement.num_servers();
+  std::vector<bool> up(n, true);
+
+  // f_e: number of operational servers holding entry e.
+  std::unordered_map<Entry, std::size_t> freq;
+  for (const auto& server : placement.servers) {
+    for (Entry e : server) ++freq[e];
+  }
+
+  auto coverage_at_least = [&](std::size_t target) {
+    std::size_t covered = 0;
+    for (const auto& [e, f] : freq) {
+      if (f > 0 && ++covered >= target) return true;
+    }
+    return target == 0;
+  };
+
+  if (!coverage_at_least(t)) return 0;
+
+  std::size_t failures = 0;
+  std::size_t up_count = n;
+  while (up_count > 1) {
+    // Appendix A step 1-2: fail the server with the highest importance.
+    double best_score = -1.0;
+    std::size_t victim = n;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (!up[s]) continue;
+      double score = 0.0;
+      for (Entry e : placement.servers[s]) {
+        score += 1.0 / static_cast<double>(freq.at(e));
+      }
+      if (score > best_score) {
+        best_score = score;
+        victim = s;
+      }
+    }
+    PLS_ASSERT(victim < n);
+
+    // Tentatively fail it; roll back if the survivors drop below t.
+    for (Entry e : placement.servers[victim]) --freq.at(e);
+    if (!coverage_at_least(t)) {
+      for (Entry e : placement.servers[victim]) ++freq.at(e);
+      break;
+    }
+    up[victim] = false;
+    --up_count;
+    ++failures;
+  }
+  return failures;
+}
+
+std::size_t fault_tolerance_exact(const core::Placement& placement,
+                                  std::size_t t) {
+  const std::size_t n = placement.num_servers();
+  PLS_CHECK_MSG(n <= 20, "exhaustive fault tolerance is exponential in n");
+
+  auto covers = [&](std::uint32_t up_mask) {
+    std::unordered_set<Entry> seen;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (up_mask & (1u << s)) {
+        seen.insert(placement.servers[s].begin(), placement.servers[s].end());
+        if (seen.size() >= t) return true;
+      }
+    }
+    return seen.size() >= t;
+  };
+
+  const auto full = static_cast<std::uint32_t>((1ull << n) - 1);
+  if (!covers(full)) return 0;
+
+  // Find the smallest failure set that breaks coverage; tolerance is one
+  // less. A client always needs >= 1 operational server, so k < n.
+  for (std::size_t k = 1; k < n; ++k) {
+    // Iterate all subsets of size k via Gosper's hack.
+    auto subset = static_cast<std::uint32_t>((1ull << k) - 1);
+    while (subset < (1ull << n)) {
+      if (!covers(full & ~subset)) return k - 1;
+      const std::uint32_t c = subset & (0u - subset);
+      const std::uint32_t r = subset + c;
+      subset = (((r ^ subset) >> 2) / c) | r;
+    }
+  }
+  return n - 1;
+}
+
+}  // namespace pls::metrics

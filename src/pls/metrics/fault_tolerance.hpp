@@ -1,0 +1,27 @@
+// §4.4 fault tolerance: the number of server failures a placement survives,
+// in the worst case, before some partial_lookup(t) must fail.
+//
+// The exact value is a SET-COVER-hard minimisation, so — exactly as the
+// paper does — we compute it with the Appendix A greedy heuristic: an
+// adversary repeatedly fails the server with the highest importance score
+// X_S = sum over its entries e of 1/f_e (f_e = how many operational servers
+// still hold e), as long as the survivors keep coverage >= t.
+#pragma once
+
+#include <cstddef>
+
+#include "pls/core/strategy.hpp"
+
+namespace pls::metrics {
+
+/// Greedy-heuristic count of tolerable worst-case failures for target
+/// answer size t. Returns 0 when even the full placement cannot cover t.
+/// At most n-1 by definition (a client needs one operational server).
+std::size_t fault_tolerance(const core::Placement& placement, std::size_t t);
+
+/// Exact minimum by exhaustive search over failure subsets — exponential in
+/// n, usable for n <= ~15. Tests validate the heuristic against this.
+std::size_t fault_tolerance_exact(const core::Placement& placement,
+                                  std::size_t t);
+
+}  // namespace pls::metrics

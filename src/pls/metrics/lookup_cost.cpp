@@ -1,0 +1,27 @@
+#include "pls/metrics/lookup_cost.hpp"
+
+namespace pls::metrics {
+
+LookupCostResult measure_lookup_cost(core::Strategy& strategy, std::size_t t,
+                                     std::size_t num_lookups) {
+  RunningStats stats;
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < num_lookups; ++i) {
+    const auto result = strategy.partial_lookup(t);
+    if (result.satisfied) {
+      stats.add(static_cast<double>(result.servers_contacted));
+    } else {
+      ++failures;
+    }
+  }
+  LookupCostResult out;
+  out.mean_servers = stats.mean();
+  out.ci95 = stats.ci95_halfwidth();
+  out.failure_rate = num_lookups == 0
+                         ? 0.0
+                         : static_cast<double>(failures) /
+                               static_cast<double>(num_lookups);
+  return out;
+}
+
+}  // namespace pls::metrics

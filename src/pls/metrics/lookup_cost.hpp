@@ -1,0 +1,28 @@
+// §4.2 client lookup cost: the expected number of servers a client
+// contacts during a partial_lookup(t), measured by running lookups against
+// the live strategy (no failures assumed, as in the paper).
+#pragma once
+
+#include <cstddef>
+
+#include "pls/common/stats.hpp"
+#include "pls/core/strategy.hpp"
+
+namespace pls::metrics {
+
+struct LookupCostResult {
+  double mean_servers = 0.0;
+  double ci95 = 0.0;
+  /// Fraction of lookups that ended unsatisfied (< t entries even after
+  /// contacting every server) — 0 for well-configured placements.
+  double failure_rate = 0.0;
+};
+
+/// Runs `num_lookups` partial_lookup(t) calls and averages the number of
+/// servers contacted. Only satisfied lookups count toward the mean (an
+/// unsatisfiable t has undefined cost, §4.2); the failure rate is reported
+/// separately.
+LookupCostResult measure_lookup_cost(core::Strategy& strategy, std::size_t t,
+                                     std::size_t num_lookups);
+
+}  // namespace pls::metrics

@@ -1,0 +1,26 @@
+#include "pls/metrics/storage.hpp"
+
+#include <algorithm>
+
+namespace pls::metrics {
+
+std::size_t storage_cost(const core::Placement& placement) noexcept {
+  return placement.total_entries();
+}
+
+std::vector<std::size_t> per_server_storage(
+    const core::Placement& placement) {
+  std::vector<std::size_t> out;
+  out.reserve(placement.servers.size());
+  for (const auto& s : placement.servers) out.push_back(s.size());
+  return out;
+}
+
+std::size_t storage_imbalance(const core::Placement& placement) {
+  if (placement.servers.empty()) return 0;
+  const auto counts = per_server_storage(placement);
+  const auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+  return *mx - *mn;
+}
+
+}  // namespace pls::metrics

@@ -1,0 +1,22 @@
+// §4.1 storage cost: total entries stored across all servers, all entries
+// assumed equal-sized.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pls/core/strategy.hpp"
+
+namespace pls::metrics {
+
+/// Combined number of entries stored on all servers.
+std::size_t storage_cost(const core::Placement& placement) noexcept;
+
+/// Per-server entry counts, index = server id.
+std::vector<std::size_t> per_server_storage(const core::Placement& placement);
+
+/// Max/min per-server imbalance (0 for perfectly balanced layouts; at most
+/// y for Round-Robin-y, unbounded in principle for Hash-y).
+std::size_t storage_imbalance(const core::Placement& placement);
+
+}  // namespace pls::metrics

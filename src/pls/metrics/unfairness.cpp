@@ -1,0 +1,53 @@
+#include "pls/metrics/unfairness.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "pls/common/check.hpp"
+
+namespace pls::metrics {
+
+double unfairness_from_probabilities(std::span<const double> probabilities,
+                                     double ideal) {
+  PLS_CHECK_MSG(!probabilities.empty(), "empty probability vector");
+  PLS_CHECK_MSG(ideal > 0.0, "ideal retrieval probability must be positive");
+  double sumsq = 0.0;
+  for (double p : probabilities) {
+    const double d = p - ideal;
+    sumsq += d * d;
+  }
+  return std::sqrt(sumsq / static_cast<double>(probabilities.size())) / ideal;
+}
+
+double instance_unfairness(core::Strategy& strategy,
+                           std::span<const Entry> universe, std::size_t t,
+                           std::size_t num_lookups) {
+  PLS_CHECK_MSG(!universe.empty(), "unfairness needs a non-empty universe");
+  PLS_CHECK_MSG(t > 0, "target answer size must be positive");
+  PLS_CHECK_MSG(num_lookups > 0, "need at least one lookup");
+
+  std::unordered_map<Entry, std::size_t> hits;
+  hits.reserve(universe.size());
+  for (Entry e : universe) hits.emplace(e, 0);
+
+  for (std::size_t i = 0; i < num_lookups; ++i) {
+    const auto result = strategy.partial_lookup(t);
+    for (Entry e : result.entries) {
+      auto it = hits.find(e);
+      if (it != hits.end()) ++it->second;
+    }
+  }
+
+  std::vector<double> probabilities;
+  probabilities.reserve(universe.size());
+  for (Entry e : universe) {
+    probabilities.push_back(static_cast<double>(hits.at(e)) /
+                            static_cast<double>(num_lookups));
+  }
+  const double ideal = static_cast<double>(t) /
+                       static_cast<double>(universe.size());
+  return unfairness_from_probabilities(probabilities, ideal);
+}
+
+}  // namespace pls::metrics

@@ -1,0 +1,29 @@
+// §4.5 unfairness: how unevenly a scheme returns the entries of a key.
+//
+// For one *instance* (a concrete placement), eq. (1):
+//     U_I = (h/t) * sqrt( sum_j (p_I(j) - t/h)^2 / h )
+// where p_I(j) is the probability that entry j appears in a lookup answer
+// and t/h is the ideal. p is estimated from simulated lookups. A strategy's
+// unfairness is the mean of U_I over independently seeded instances.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "pls/core/strategy.hpp"
+
+namespace pls::metrics {
+
+/// Estimates U_I for the strategy's current placement, over the entry
+/// universe `universe` (entries a perfectly fair scheme would range over —
+/// usually the full set passed to place()). Runs `num_lookups` lookups.
+double instance_unfairness(core::Strategy& strategy,
+                           std::span<const Entry> universe, std::size_t t,
+                           std::size_t num_lookups);
+
+/// Exact U_I computed from known per-entry retrieval probabilities, for
+/// analytical cross-checks in tests. `ideal` is t/h.
+double unfairness_from_probabilities(std::span<const double> probabilities,
+                                     double ideal);
+
+}  // namespace pls::metrics

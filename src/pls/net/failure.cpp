@@ -1,0 +1,51 @@
+#include "pls/net/failure.hpp"
+
+#include "pls/common/check.hpp"
+
+namespace pls::net {
+
+FailureState::FailureState(std::size_t num_servers)
+    : up_(num_servers, true), up_count_(num_servers) {
+  PLS_CHECK_MSG(num_servers > 0, "a cluster needs at least one server");
+}
+
+bool FailureState::is_up(ServerId s) const {
+  PLS_CHECK(s < up_.size());
+  return up_[s];
+}
+
+void FailureState::fail(ServerId s) {
+  PLS_CHECK(s < up_.size());
+  if (up_[s]) {
+    up_[s] = false;
+    --up_count_;
+  }
+}
+
+void FailureState::recover(ServerId s) {
+  PLS_CHECK(s < up_.size());
+  if (!up_[s]) {
+    up_[s] = true;
+    ++up_count_;
+  }
+}
+
+void FailureState::recover_all() noexcept {
+  up_.assign(up_.size(), true);
+  up_count_ = up_.size();
+}
+
+std::vector<ServerId> FailureState::up_servers() const {
+  std::vector<ServerId> out;
+  out.reserve(up_count_);
+  for (std::size_t i = 0; i < up_.size(); ++i) {
+    if (up_[i]) out.push_back(static_cast<ServerId>(i));
+  }
+  return out;
+}
+
+std::shared_ptr<FailureState> make_failure_state(std::size_t num_servers) {
+  return std::make_shared<FailureState>(num_servers);
+}
+
+}  // namespace pls::net

@@ -1,0 +1,38 @@
+// Shared server up/down state.
+//
+// The multi-key service facade gives every per-key strategy a view of the
+// same FailureState, so injected server failures correlate across keys the
+// way they would on a real cluster.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "pls/common/types.hpp"
+
+namespace pls::net {
+
+class FailureState {
+ public:
+  explicit FailureState(std::size_t num_servers);
+
+  std::size_t size() const noexcept { return up_.size(); }
+  bool is_up(ServerId s) const;
+  std::size_t up_count() const noexcept { return up_count_; }
+
+  void fail(ServerId s);
+  void recover(ServerId s);
+  void recover_all() noexcept;
+
+  /// Ids of all currently operational servers, ascending.
+  std::vector<ServerId> up_servers() const;
+
+ private:
+  std::vector<bool> up_;
+  std::size_t up_count_;
+};
+
+std::shared_ptr<FailureState> make_failure_state(std::size_t num_servers);
+
+}  // namespace pls::net

@@ -1,0 +1,46 @@
+#include "pls/net/failure_injector.hpp"
+
+#include "pls/common/check.hpp"
+
+namespace pls::net {
+
+FailureInjector::FailureInjector(std::shared_ptr<FailureState> failures,
+                                 Config config)
+    : failures_state_(std::move(failures)),
+      config_(config),
+      rng_(Rng(config.seed).fork(0xfa11)) {
+  PLS_CHECK_MSG(failures_state_ != nullptr, "injector needs a FailureState");
+  PLS_CHECK_MSG(config.mttf > 0.0, "MTTF must be positive");
+  PLS_CHECK_MSG(config.mttr > 0.0, "MTTR must be positive");
+}
+
+void FailureInjector::arm(sim::Simulator& sim) {
+  PLS_CHECK_MSG(!armed_, "injector already armed");
+  armed_ = true;
+  for (ServerId s = 0; s < failures_state_->size(); ++s) {
+    schedule_failure(sim, s);
+  }
+}
+
+void FailureInjector::schedule_failure(sim::Simulator& sim, ServerId server) {
+  sim.schedule_after(rng_.exponential(config_.mttf), [this, &sim, server] {
+    failures_state_->fail(server);
+    ++failures_;
+    schedule_recovery(sim, server);
+  });
+}
+
+void FailureInjector::schedule_recovery(sim::Simulator& sim,
+                                        ServerId server) {
+  sim.schedule_after(rng_.exponential(config_.mttr), [this, &sim, server] {
+    failures_state_->recover(server);
+    ++recoveries_;
+    schedule_failure(sim, server);
+  });
+}
+
+double FailureInjector::expected_availability() const noexcept {
+  return config_.mttf / (config_.mttf + config_.mttr);
+}
+
+}  // namespace pls::net

@@ -1,0 +1,54 @@
+// Stochastic crash/recovery injection.
+//
+// The paper evaluates worst-case (adversarial) failures; a deployed
+// service also cares about random crash/repair dynamics. Each server
+// alternates exponentially distributed up-times (mean MTTF) and repair
+// times (mean MTTR), scheduled through the discrete-event simulator and
+// applied to the shared FailureState — so every strategy watching that
+// state sees the same outage timeline.
+#pragma once
+
+#include <memory>
+
+#include "pls/common/rng.hpp"
+#include "pls/net/failure.hpp"
+#include "pls/sim/simulator.hpp"
+
+namespace pls::net {
+
+class FailureInjector {
+ public:
+  struct Config {
+    /// Mean time to failure of an up server (exponential). Must be > 0.
+    double mttf = 1000.0;
+    /// Mean time to repair of a down server (exponential). Must be > 0.
+    double mttr = 100.0;
+    std::uint64_t seed = 1;
+  };
+
+  FailureInjector(std::shared_ptr<FailureState> failures, Config config);
+
+  /// Schedules the first failure for every server. Call once; events
+  /// re-arm themselves for the lifetime of `sim`. The injector must
+  /// outlive the simulator run.
+  void arm(sim::Simulator& sim);
+
+  std::uint64_t failures_injected() const noexcept { return failures_; }
+  std::uint64_t recoveries_injected() const noexcept { return recoveries_; }
+
+  /// Expected steady-state availability of one server: MTTF/(MTTF+MTTR).
+  double expected_availability() const noexcept;
+
+ private:
+  void schedule_failure(sim::Simulator& sim, ServerId server);
+  void schedule_recovery(sim::Simulator& sim, ServerId server);
+
+  std::shared_ptr<FailureState> failures_state_;
+  Config config_;
+  Rng rng_;
+  std::uint64_t failures_ = 0;
+  std::uint64_t recoveries_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace pls::net

@@ -1,0 +1,114 @@
+// The wire vocabulary of the simulated cluster.
+//
+// Every protocol in the paper is expressed in these messages; the Network
+// charges costs per delivery exactly as §6.4's cost model prescribes
+// (broadcast = n processed messages, point-to-point = 1). Client requests
+// (PlaceRequest/AddRequest/DeleteRequest/LookupRequest) are delivered to one
+// server, which then executes the strategy-specific fan-out of §3/§5.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "pls/common/types.hpp"
+
+namespace pls::net {
+
+/// Client -> server: place(v1..vh), the batch initialisation of §2.
+struct PlaceRequest {
+  std::vector<Entry> entries;
+};
+
+/// Client -> server: add(v).
+struct AddRequest {
+  Entry entry;
+};
+
+/// Client -> server: delete(v).
+struct DeleteRequest {
+  Entry entry;
+};
+
+/// "Replace your local content for this key with (your strategy's subset
+/// of) this batch" — the store{...} broadcast of §3.1-§3.3.
+struct StoreBatch {
+  std::vector<Entry> entries;
+};
+
+/// Unconditional "store this entry locally" (Full Replication / Fixed-x
+/// adds, Hash-y placement and adds).
+struct StoreEntry {
+  Entry entry;
+};
+
+/// Round-Robin-y "store this entry; it lives at logical slot `slot`". Slot
+/// knowledge is what lets servers plug delete holes locally (§5.4).
+struct StoreSlotted {
+  Entry entry;
+  std::uint64_t slot = 0;
+};
+
+/// "Delete your local copy of this entry, if any."
+struct RemoveEntry {
+  Entry entry;
+};
+
+/// RandomServer-x dynamic add (§5.3): each receiver increments its local
+/// entry counter and keeps the entry with probability x/h via reservoir
+/// sampling, evicting a random resident.
+struct ReservoirAdd {
+  Entry entry;
+};
+
+/// Round-Robin-y delete broadcast (§5.4, Fig 11): removes `entry` and
+/// triggers hole-plugging migration of the entry at slot `head_slot`.
+struct RoundRemove {
+  Entry entry;
+  std::uint64_t head_slot = 0;
+};
+
+/// Round-Robin-y migration RPC: a server that lost a copy of `entry` asks
+/// the head-slot server for the replacement entry.
+struct MigrateRequest {
+  Entry entry;
+  std::uint64_t head_slot = 0;
+};
+
+/// Reply to MigrateRequest. `valid` is false when no replacement exists.
+struct MigrateReply {
+  Entry replacement = 0;
+  bool valid = false;
+};
+
+/// Round-Robin-y: drop the migrated replacement from its old position.
+/// Guarded by `old_slot` so servers that already re-stored the entry at its
+/// new slot keep it.
+struct PurgeEntry {
+  Entry entry;
+  std::uint64_t old_slot = 0;
+};
+
+/// Client lookup RPC: "return up to `target` random entries you store".
+struct LookupRequest {
+  std::uint32_t target = 0;
+};
+
+/// Reply to LookupRequest.
+struct LookupReply {
+  std::vector<Entry> entries;
+};
+
+/// Generic empty acknowledgement.
+struct Ack {};
+
+using Message =
+    std::variant<PlaceRequest, AddRequest, DeleteRequest, StoreBatch,
+                 StoreEntry, StoreSlotted, RemoveEntry, ReservoirAdd,
+                 RoundRemove, MigrateRequest, MigrateReply, PurgeEntry,
+                 LookupRequest, LookupReply, Ack>;
+
+/// Short human-readable tag for tracing.
+const char* message_name(const Message& m) noexcept;
+
+}  // namespace pls::net

@@ -1,0 +1,199 @@
+#include "pls/net/network.hpp"
+
+#include <utility>
+
+#include "pls/common/check.hpp"
+
+namespace pls::net {
+
+const char* message_name(const Message& m) noexcept {
+  struct Visitor {
+    const char* operator()(const PlaceRequest&) const { return "PlaceRequest"; }
+    const char* operator()(const AddRequest&) const { return "AddRequest"; }
+    const char* operator()(const DeleteRequest&) const {
+      return "DeleteRequest";
+    }
+    const char* operator()(const StoreBatch&) const { return "StoreBatch"; }
+    const char* operator()(const StoreEntry&) const { return "StoreEntry"; }
+    const char* operator()(const StoreSlotted&) const { return "StoreSlotted"; }
+    const char* operator()(const RemoveEntry&) const { return "RemoveEntry"; }
+    const char* operator()(const ReservoirAdd&) const { return "ReservoirAdd"; }
+    const char* operator()(const RoundRemove&) const { return "RoundRemove"; }
+    const char* operator()(const MigrateRequest&) const {
+      return "MigrateRequest";
+    }
+    const char* operator()(const MigrateReply&) const { return "MigrateReply"; }
+    const char* operator()(const PurgeEntry&) const { return "PurgeEntry"; }
+    const char* operator()(const LookupRequest&) const {
+      return "LookupRequest";
+    }
+    const char* operator()(const LookupReply&) const { return "LookupReply"; }
+    const char* operator()(const Ack&) const { return "Ack"; }
+  };
+  return std::visit(Visitor{}, m);
+}
+
+Network::Network(std::shared_ptr<FailureState> failures)
+    : failures_(std::move(failures)) {
+  PLS_CHECK_MSG(failures_ != nullptr, "Network needs a FailureState");
+  stats_.per_server_processed.assign(failures_->size(), 0);
+}
+
+ServerId Network::add_server(std::unique_ptr<Server> server) {
+  PLS_CHECK_MSG(server != nullptr, "null server");
+  PLS_CHECK_MSG(server->id() == servers_.size(),
+                "servers must be added in id order");
+  PLS_CHECK_MSG(servers_.size() < failures_->size(),
+                "more servers than the FailureState was sized for");
+  servers_.push_back(std::move(server));
+  return static_cast<ServerId>(servers_.size() - 1);
+}
+
+Server& Network::server(ServerId s) {
+  PLS_CHECK(s < servers_.size());
+  return *servers_[s];
+}
+
+const Server& Network::server(ServerId s) const {
+  PLS_CHECK(s < servers_.size());
+  return *servers_[s];
+}
+
+void Network::deliver(ServerId to, const Message& m) {
+  ++stats_.processed;
+  ++stats_.per_server_processed[to];
+  if (trace_ != nullptr) {
+    trace_->record(sim_ != nullptr ? sim_->now() : 0.0,
+                   sim::TraceKind::kMessage,
+                   std::string(message_name(m)) + " -> server " +
+                       std::to_string(to));
+  }
+  servers_[to]->on_message(m, *this);
+}
+
+void Network::record_drop(ServerId to, const Message& m) {
+  ++stats_.dropped;
+  if (trace_ != nullptr) {
+    trace_->record(sim_ != nullptr ? sim_->now() : 0.0,
+                   sim::TraceKind::kFailure,
+                   std::string(message_name(m)) + " dropped at server " +
+                       std::to_string(to));
+  }
+}
+
+bool Network::client_send(ServerId to, const Message& m) {
+  PLS_CHECK(to < servers_.size());
+  ++stats_.sent;
+  if (!failures_->is_up(to)) {
+    record_drop(to, m);
+    return false;
+  }
+  if (sim_ != nullptr) {
+    Message copy = m;
+    sim_->schedule_after(latency_, [this, to, msg = std::move(copy)]() {
+      if (failures_->is_up(to)) {
+        deliver(to, msg);
+      } else {
+        record_drop(to, msg);
+      }
+    });
+    return true;
+  }
+  deliver(to, m);
+  return true;
+}
+
+std::optional<Message> Network::client_rpc(ServerId to, const Message& m) {
+  PLS_CHECK(to < servers_.size());
+  ++stats_.sent;
+  if (!failures_->is_up(to)) {
+    record_drop(to, m);
+    return std::nullopt;
+  }
+  // RPCs are synchronous; the request is one processed server message, the
+  // reply back to the client is free under the paper's cost model.
+  ++stats_.processed;
+  ++stats_.per_server_processed[to];
+  ++stats_.rpcs;
+  return servers_[to]->on_rpc(m, *this);
+}
+
+void Network::send(ServerId from, ServerId to, const Message& m) {
+  PLS_CHECK(from < servers_.size());
+  PLS_CHECK(to < servers_.size());
+  ++stats_.sent;
+  if (!failures_->is_up(to)) {
+    record_drop(to, m);
+    return;
+  }
+  if (sim_ != nullptr) {
+    Message copy = m;
+    sim_->schedule_after(latency_, [this, to, msg = std::move(copy)]() {
+      if (failures_->is_up(to)) {
+        deliver(to, msg);
+      } else {
+        record_drop(to, msg);
+      }
+    });
+    return;
+  }
+  deliver(to, m);
+}
+
+void Network::broadcast(ServerId from, const Message& m) {
+  PLS_CHECK(from < servers_.size());
+  ++stats_.broadcasts;
+  for (ServerId to = 0; to < servers_.size(); ++to) {
+    ++stats_.sent;
+    if (!failures_->is_up(to)) {
+      record_drop(to, m);
+      continue;
+    }
+    if (sim_ != nullptr) {
+      Message copy = m;
+      sim_->schedule_after(latency_, [this, to, msg = std::move(copy)]() {
+        if (failures_->is_up(to)) {
+          deliver(to, msg);
+        } else {
+          record_drop(to, msg);
+        }
+      });
+    } else {
+      deliver(to, m);
+    }
+  }
+}
+
+std::optional<Message> Network::rpc(ServerId from, ServerId to,
+                                    const Message& m) {
+  PLS_CHECK(from < servers_.size());
+  PLS_CHECK(to < servers_.size());
+  PLS_CHECK_MSG(sim_ == nullptr, "RPC requires immediate delivery mode");
+  ++stats_.sent;
+  if (!failures_->is_up(to)) {
+    record_drop(to, m);
+    return std::nullopt;
+  }
+  ++stats_.rpcs;
+  // Request processed by the callee...
+  ++stats_.processed;
+  ++stats_.per_server_processed[to];
+  Message reply = servers_[to]->on_rpc(m, *this);
+  // ...and the reply processed by the calling *server* (unlike client RPCs).
+  ++stats_.sent;
+  if (!failures_->is_up(from)) {
+    record_drop(from, reply);
+    return std::nullopt;
+  }
+  ++stats_.processed;
+  ++stats_.per_server_processed[from];
+  return reply;
+}
+
+void Network::attach_simulator(sim::Simulator* sim, double latency) {
+  PLS_CHECK_MSG(latency >= 0.0, "negative latency");
+  sim_ = sim;
+  latency_ = latency;
+}
+
+}  // namespace pls::net

@@ -1,0 +1,9 @@
+// Server is header-only apart from anchoring the vtable here.
+#include "pls/net/server.hpp"
+
+namespace pls::net {
+
+// Key function anchor: keeps one vtable/RTTI copy for the hierarchy.
+static_assert(sizeof(Server) > 0);
+
+}  // namespace pls::net

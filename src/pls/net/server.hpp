@@ -1,0 +1,35 @@
+// Abstract server: a participant in the simulated cluster.
+//
+// Concrete servers (one subclass per placement strategy, in pls::core)
+// implement the message-handling logic of §3 and §5. The base class knows
+// nothing about entry storage; it is purely the transport endpoint.
+#pragma once
+
+#include "pls/common/types.hpp"
+#include "pls/net/message.hpp"
+
+namespace pls::net {
+
+class Network;
+
+class Server {
+ public:
+  explicit Server(ServerId id) : id_(id) {}
+  virtual ~Server() = default;
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  ServerId id() const noexcept { return id_; }
+
+  /// Handles a one-way message. May send further messages through `net`.
+  virtual void on_message(const Message& m, Network& net) = 0;
+
+  /// Handles a request/reply exchange; must return the reply message.
+  virtual Message on_rpc(const Message& m, Network& net) = 0;
+
+ private:
+  ServerId id_;
+};
+
+}  // namespace pls::net

@@ -1,0 +1,36 @@
+// Message accounting for the simulated cluster.
+//
+// `processed` is the paper's update-overhead metric (§6.4): the number of
+// messages received and processed by servers. Per-server counts expose the
+// Round-Robin coordinator bottleneck discussed in §6.3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pls/common/types.hpp"
+
+namespace pls::net {
+
+struct TransportStats {
+  std::uint64_t sent = 0;        ///< messages put on the wire
+  std::uint64_t processed = 0;   ///< messages handled by operational servers
+  std::uint64_t dropped = 0;     ///< messages addressed to failed servers
+  std::uint64_t broadcasts = 0;  ///< broadcast operations issued
+  std::uint64_t rpcs = 0;        ///< request/reply exchanges
+  std::vector<std::uint64_t> per_server_processed;
+
+  void reset() noexcept {
+    sent = processed = dropped = broadcasts = rpcs = 0;
+    per_server_processed.assign(per_server_processed.size(), 0);
+  }
+
+  /// Largest per-server processed count (the bottleneck server's load).
+  std::uint64_t max_per_server() const noexcept {
+    std::uint64_t m = 0;
+    for (auto c : per_server_processed) m = c > m ? c : m;
+    return m;
+  }
+};
+
+}  // namespace pls::net

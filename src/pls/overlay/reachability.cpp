@@ -1,0 +1,79 @@
+#include "pls/overlay/reachability.hpp"
+
+#include <unordered_set>
+
+#include "pls/common/check.hpp"
+
+namespace pls::overlay {
+
+std::vector<ServerId> ServerMap::reachable_servers(
+    const Topology& topo, NodeId client, std::size_t max_hops) const {
+  const auto dist = topo.distances_from(client);
+  std::vector<ServerId> out;
+  for (std::size_t i = 0; i < server_nodes.size(); ++i) {
+    const NodeId node = server_nodes[i];
+    PLS_CHECK(node < topo.size());
+    if (dist[node] <= max_hops) out.push_back(static_cast<ServerId>(i));
+  }
+  return out;
+}
+
+core::LookupResult restricted_lookup(core::Strategy& strategy,
+                                     const Topology& topo,
+                                     const ServerMap& servers,
+                                     NodeId client_node,
+                                     std::size_t max_hops, std::size_t t,
+                                     Rng& rng) {
+  PLS_CHECK_MSG(servers.server_nodes.size() == strategy.num_servers(),
+                "server map does not match the cluster size");
+  const auto reachable =
+      servers.reachable_servers(topo, client_node, max_hops);
+  return core::subset_lookup(strategy.network(), rng, t, reachable);
+}
+
+double client_satisfaction(const core::Strategy& strategy,
+                           const Topology& topo, const ServerMap& servers,
+                           std::size_t max_hops, std::size_t t) {
+  PLS_CHECK_MSG(servers.server_nodes.size() == strategy.num_servers(),
+                "server map does not match the cluster size");
+  const auto placement = strategy.placement();
+  const auto& failures = strategy.network().failures();
+  std::size_t satisfied = 0;
+  for (NodeId client = 0; client < topo.size(); ++client) {
+    const auto reachable =
+        servers.reachable_servers(topo, client, max_hops);
+    std::unordered_set<Entry> seen;
+    for (ServerId s : reachable) {
+      if (!failures.is_up(s)) continue;
+      seen.insert(placement.servers[s].begin(), placement.servers[s].end());
+      if (seen.size() >= t) break;
+    }
+    satisfied += (seen.size() >= t);
+  }
+  return static_cast<double>(satisfied) / static_cast<double>(topo.size());
+}
+
+std::size_t min_hops_for_full_satisfaction(const core::Strategy& strategy,
+                                           const Topology& topo,
+                                           const ServerMap& servers,
+                                           std::size_t t) {
+  const std::size_t limit = topo.size();  // any path is shorter than n
+  for (std::size_t d = 0; d <= limit; ++d) {
+    if (client_satisfaction(strategy, topo, servers, d, t) >= 1.0) return d;
+  }
+  return SIZE_MAX;
+}
+
+ServerMap evenly_spaced_servers(const Topology& topo, std::size_t n) {
+  PLS_CHECK_MSG(n > 0 && n <= topo.size(),
+                "need 1 <= n <= overlay size servers");
+  ServerMap map;
+  map.server_nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    map.server_nodes.push_back(
+        static_cast<NodeId>(i * topo.size() / n));
+  }
+  return map;
+}
+
+}  // namespace pls::overlay

@@ -1,0 +1,55 @@
+// §7.2 "Servers with Limited Reachability", implemented.
+//
+// The lookup-service servers occupy `server_nodes` of an overlay graph;
+// every other node is a potential client that can only contact servers
+// within `max_hops` of itself. This module restricts partial lookups to
+// the reachable server set, measures how many clients a placement
+// actually serves at a given hop limit, and finds the smallest hop limit
+// that serves everyone — the d-vs-cost trade-off the paper sketches.
+#pragma once
+
+#include "pls/core/strategy.hpp"
+#include "pls/overlay/topology.hpp"
+
+namespace pls::overlay {
+
+/// Where the cluster's servers live in the overlay. server_nodes[i] is the
+/// overlay node hosting ServerId i; nodes must be distinct and in range.
+struct ServerMap {
+  std::vector<NodeId> server_nodes;
+
+  /// ServerIds whose host node lies within max_hops of `client`.
+  std::vector<ServerId> reachable_servers(const Topology& topo,
+                                          NodeId client,
+                                          std::size_t max_hops) const;
+};
+
+/// partial_lookup(t) for a client at `client_node` that can only reach
+/// servers within `max_hops` (§7.2). Contact order is random among the
+/// reachable servers.
+core::LookupResult restricted_lookup(core::Strategy& strategy,
+                                     const Topology& topo,
+                                     const ServerMap& servers,
+                                     NodeId client_node,
+                                     std::size_t max_hops, std::size_t t,
+                                     Rng& rng);
+
+/// Fraction of overlay nodes that could satisfy partial_lookup(t) at the
+/// given hop limit, judged by the coverage of their reachable servers
+/// (message-free, like metrics::lookup_satisfiable).
+double client_satisfaction(const core::Strategy& strategy,
+                           const Topology& topo, const ServerMap& servers,
+                           std::size_t max_hops, std::size_t t);
+
+/// Smallest hop limit at which *every* node can satisfy t, or SIZE_MAX if
+/// even the diameter does not suffice (e.g. coverage < t).
+std::size_t min_hops_for_full_satisfaction(const core::Strategy& strategy,
+                                           const Topology& topo,
+                                           const ServerMap& servers,
+                                           std::size_t t);
+
+/// Spreads n servers over the overlay deterministically (every k-th node),
+/// a simple placement that keeps server-to-server distances even.
+ServerMap evenly_spaced_servers(const Topology& topo, std::size_t n);
+
+}  // namespace pls::overlay

@@ -1,0 +1,132 @@
+#include "pls/overlay/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "pls/common/check.hpp"
+
+namespace pls::overlay {
+
+Topology::Topology(std::size_t num_nodes) : adjacency_(num_nodes) {
+  PLS_CHECK_MSG(num_nodes > 0, "topology needs at least one node");
+}
+
+Topology Topology::ring_with_chords(std::size_t num_nodes,
+                                    std::size_t chords, Rng& rng) {
+  Topology topo(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    topo.add_edge(static_cast<NodeId>(i),
+                  static_cast<NodeId>((i + 1) % num_nodes));
+  }
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < chords && attempts < chords * 20 + 100) {
+    ++attempts;
+    const auto a = static_cast<NodeId>(rng.uniform(num_nodes));
+    const auto b = static_cast<NodeId>(rng.uniform(num_nodes));
+    if (a == b || topo.has_edge(a, b)) continue;
+    topo.add_edge(a, b);
+    ++added;
+  }
+  return topo;
+}
+
+Topology Topology::grid(std::size_t rows, std::size_t cols) {
+  PLS_CHECK_MSG(rows > 0 && cols > 0, "grid needs positive dimensions");
+  Topology topo(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) topo.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) topo.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return topo;
+}
+
+Topology Topology::random_graph(std::size_t num_nodes, std::size_t degree,
+                                Rng& rng) {
+  PLS_CHECK_MSG(degree < num_nodes, "degree must be below the node count");
+  Topology topo(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    std::size_t attempts = 0;
+    while (topo.neighbours(static_cast<NodeId>(i)).size() < degree &&
+           attempts < degree * 30 + 50) {
+      ++attempts;
+      const auto peer = static_cast<NodeId>(rng.uniform(num_nodes));
+      if (peer == i) continue;
+      topo.add_edge(static_cast<NodeId>(i), peer);
+    }
+  }
+  return topo;
+}
+
+void Topology::add_edge(NodeId a, NodeId b) {
+  PLS_CHECK(a < adjacency_.size());
+  PLS_CHECK(b < adjacency_.size());
+  if (a == b || has_edge(a, b)) return;
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++num_edges_;
+}
+
+bool Topology::has_edge(NodeId a, NodeId b) const {
+  PLS_CHECK(a < adjacency_.size());
+  PLS_CHECK(b < adjacency_.size());
+  const auto& adj = adjacency_[a];
+  return std::find(adj.begin(), adj.end(), b) != adj.end();
+}
+
+const std::vector<NodeId>& Topology::neighbours(NodeId node) const {
+  PLS_CHECK(node < adjacency_.size());
+  return adjacency_[node];
+}
+
+std::vector<std::size_t> Topology::distances_from(NodeId source) const {
+  PLS_CHECK(source < adjacency_.size());
+  std::vector<std::size_t> dist(adjacency_.size(), SIZE_MAX);
+  std::deque<NodeId> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    const NodeId node = queue.front();
+    queue.pop_front();
+    for (NodeId next : adjacency_[node]) {
+      if (dist[next] == SIZE_MAX) {
+        dist[next] = dist[node] + 1;
+        queue.push_back(next);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> Topology::within(NodeId source,
+                                     std::size_t max_hops) const {
+  const auto dist = distances_from(source);
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    if (dist[i] <= max_hops) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+bool Topology::connected() const {
+  const auto dist = distances_from(0);
+  return std::find(dist.begin(), dist.end(), SIZE_MAX) == dist.end();
+}
+
+std::size_t Topology::diameter() const {
+  std::size_t longest = 0;
+  for (std::size_t i = 0; i < adjacency_.size(); ++i) {
+    const auto dist = distances_from(static_cast<NodeId>(i));
+    for (std::size_t d : dist) {
+      if (d == SIZE_MAX) return SIZE_MAX;
+      longest = std::max(longest, d);
+    }
+  }
+  return longest;
+}
+
+}  // namespace pls::overlay

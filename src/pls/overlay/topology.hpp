@@ -1,0 +1,62 @@
+// Application-level overlay topologies for the §7.2 limited-reachability
+// variation.
+//
+// In a Gnutella-style overlay, clients and servers are nodes of a graph
+// and a client can only reach nodes within d hops. This module provides
+// the graph substrate: standard overlay shapes, BFS distances, and the
+// reachable-set queries the restricted lookup needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pls/common/rng.hpp"
+
+namespace pls::overlay {
+
+using NodeId = std::uint32_t;
+
+class Topology {
+ public:
+  /// Empty graph over `num_nodes` isolated nodes.
+  explicit Topology(std::size_t num_nodes);
+
+  /// Ring of n nodes plus `chords` random long-range edges (a small-world
+  /// overlay in the Gnutella spirit).
+  static Topology ring_with_chords(std::size_t num_nodes, std::size_t chords,
+                                   Rng& rng);
+
+  /// rows x cols grid (4-neighbour).
+  static Topology grid(std::size_t rows, std::size_t cols);
+
+  /// Random graph where each node draws `degree` neighbours uniformly
+  /// (duplicates and self-loops rejected); approximately regular.
+  static Topology random_graph(std::size_t num_nodes, std::size_t degree,
+                               Rng& rng);
+
+  std::size_t size() const noexcept { return adjacency_.size(); }
+  std::size_t num_edges() const noexcept { return num_edges_; }
+
+  /// Adds an undirected edge; duplicates and self-loops are ignored.
+  void add_edge(NodeId a, NodeId b);
+
+  bool has_edge(NodeId a, NodeId b) const;
+  const std::vector<NodeId>& neighbours(NodeId node) const;
+
+  /// BFS hop distances from `source`; unreachable nodes get SIZE_MAX.
+  std::vector<std::size_t> distances_from(NodeId source) const;
+
+  /// Nodes within `max_hops` of `source` (including the source itself).
+  std::vector<NodeId> within(NodeId source, std::size_t max_hops) const;
+
+  bool connected() const;
+
+  /// Longest shortest path over all pairs; SIZE_MAX when disconnected.
+  std::size_t diameter() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace pls::overlay

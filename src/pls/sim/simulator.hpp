@@ -1,0 +1,44 @@
+// Discrete-event simulator: a clock plus an EventQueue.
+//
+// The paper's dynamic evaluation (§6.1) pre-generates timestamped update
+// events and replays them; pls::workload::Replayer drives this class.
+#pragma once
+
+#include <cstdint>
+
+#include "pls/sim/event_queue.hpp"
+
+namespace pls::sim {
+
+class Simulator {
+ public:
+  SimTime now() const noexcept { return now_; }
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+  /// Schedules `fn` at absolute time `at`. `at` must not be in the past.
+  EventId schedule_at(SimTime at, EventFn fn);
+
+  /// Schedules `fn` after a non-negative delay from now().
+  EventId schedule_after(SimTime delay, EventFn fn);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool idle() const noexcept { return queue_.empty(); }
+
+  /// Runs a single event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs events with time <= deadline, then advances the clock to the
+  /// deadline (even if no event fired). Returns the number executed.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Runs until the queue drains. `max_events` guards against runaway
+  /// self-rescheduling loops. Returns the number executed.
+  std::uint64_t run_all(std::uint64_t max_events = UINT64_MAX);
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace pls::sim

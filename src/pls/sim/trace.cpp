@@ -1,0 +1,52 @@
+#include "pls/sim/trace.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace pls::sim {
+
+const char* to_string(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kAdd:
+      return "add";
+    case TraceKind::kDelete:
+      return "delete";
+    case TraceKind::kPlace:
+      return "place";
+    case TraceKind::kLookup:
+      return "lookup";
+    case TraceKind::kMessage:
+      return "message";
+    case TraceKind::kFailure:
+      return "failure";
+    case TraceKind::kRecovery:
+      return "recovery";
+    case TraceKind::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+void Trace::record(SimTime time, TraceKind kind, std::string detail) {
+  if (!enabled_) return;
+  records_.push_back(TraceRecord{time, kind, std::move(detail)});
+}
+
+std::size_t Trace::count(TraceKind kind) const noexcept {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string Trace::to_text() const {
+  std::ostringstream os;
+  for (const auto& r : records_) {
+    os << '[' << r.time << "] " << to_string(r.kind) << ": " << r.detail
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pls::sim

@@ -1,0 +1,56 @@
+// Optional structured trace of simulation activity.
+//
+// Used by tests to assert causal orderings and by examples to narrate what
+// the simulated cluster is doing. Recording is O(1) append; disabled traces
+// cost one branch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pls/common/types.hpp"
+
+namespace pls::sim {
+
+enum class TraceKind : std::uint8_t {
+  kAdd,
+  kDelete,
+  kPlace,
+  kLookup,
+  kMessage,
+  kFailure,
+  kRecovery,
+  kNote,
+};
+
+const char* to_string(TraceKind kind) noexcept;
+
+struct TraceRecord {
+  SimTime time;
+  TraceKind kind;
+  std::string detail;
+};
+
+class Trace {
+ public:
+  void enable(bool on = true) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+
+  void record(SimTime time, TraceKind kind, std::string detail);
+  void clear() noexcept { records_.clear(); }
+
+  const std::vector<TraceRecord>& records() const noexcept { return records_; }
+
+  /// Number of records of the given kind.
+  std::size_t count(TraceKind kind) const noexcept;
+
+  /// Human-readable dump, one record per line.
+  std::string to_text() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace pls::sim

@@ -1,0 +1,35 @@
+#include "pls/workload/popularity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pls/common/check.hpp"
+
+namespace pls::workload {
+
+ZipfRankSampler::ZipfRankSampler(std::size_t num_ranks, double alpha)
+    : alpha_(alpha) {
+  PLS_CHECK_MSG(num_ranks > 0, "need at least one rank");
+  PLS_CHECK_MSG(alpha >= 0.0, "alpha must be non-negative");
+  cdf_.reserve(num_ranks);
+  double total = 0.0;
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding at the boundary
+}
+
+double ZipfRankSampler::probability(std::size_t rank) const {
+  PLS_CHECK(rank < cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+std::size_t ZipfRankSampler::sample(Rng& rng) const {
+  const double u = rng.uniform_real();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace pls::workload

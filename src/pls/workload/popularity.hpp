@@ -1,0 +1,34 @@
+// Zipf-distributed key popularity, used by the §9 hot-spot experiment:
+// "partial lookup services are insensitive to the popular key or hot-spot
+// problems which plague traditional hashing-based lookup services".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pls/common/rng.hpp"
+
+namespace pls::workload {
+
+/// Samples ranks 0..n-1 with P(rank r) proportional to 1/(r+1)^alpha.
+/// alpha = 0 degenerates to uniform; alpha ~ 1 is the classic web/P2P
+/// popularity skew.
+class ZipfRankSampler {
+ public:
+  ZipfRankSampler(std::size_t num_ranks, double alpha);
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double alpha() const noexcept { return alpha_; }
+
+  /// Probability mass of a rank.
+  double probability(std::size_t rank) const;
+
+  /// Draws a rank (binary search over the CDF: O(log n)).
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace pls::workload

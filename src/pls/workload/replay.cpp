@@ -1,0 +1,53 @@
+#include "pls/workload/replay.hpp"
+
+#include "pls/common/check.hpp"
+#include "pls/metrics/availability.hpp"
+
+namespace pls::workload {
+
+Replayer::Replayer(core::Strategy& strategy, const GeneratedWorkload& workload)
+    : strategy_(strategy), workload_(workload) {}
+
+ReplayResult Replayer::run() {
+  ReplayResult result;
+  strategy_.place(workload_.initial);
+
+  sim::Simulator sim;
+  const auto& events = workload_.events;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const UpdateEvent& ev = events[i];
+    const SimTime gap =
+        (i + 1 < events.size()) ? events[i + 1].time - ev.time : 0.0;
+    sim.schedule_at(ev.time, [this, &result, &ev, i, gap] {
+      if (ev.kind == UpdateKind::kAdd) {
+        strategy_.add(ev.entry);
+        ++result.adds_applied;
+      } else {
+        strategy_.erase(ev.entry);
+        ++result.deletes_applied;
+      }
+      if (observer_) observer_(ev, i, gap);
+    });
+  }
+  sim.run_all();
+  result.end_time = events.empty() ? 0.0 : events.back().time;
+  return result;
+}
+
+double unavailable_time_fraction(core::Strategy& strategy,
+                                 const GeneratedWorkload& workload,
+                                 std::size_t t) {
+  PLS_CHECK_MSG(!workload.events.empty(), "empty workload");
+  double unavailable = 0.0;
+  double total = 0.0;
+  Replayer replayer(strategy, workload);
+  replayer.set_observer(
+      [&](const UpdateEvent&, std::size_t, SimTime gap) {
+        total += gap;
+        if (!metrics::lookup_satisfiable(strategy, t)) unavailable += gap;
+      });
+  replayer.run();
+  return total > 0.0 ? unavailable / total : 0.0;
+}
+
+}  // namespace pls::workload

@@ -1,0 +1,113 @@
+#include "pls/workload/service_workload.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "pls/common/check.hpp"
+#include "pls/common/distributions.hpp"
+
+namespace pls::workload {
+
+GeneratedServiceWorkload generate_service_workload(
+    const ServiceWorkloadConfig& config) {
+  PLS_CHECK_MSG(config.num_keys > 0, "need at least one key");
+  PLS_CHECK_MSG(config.entries_per_key > 0, "need entries per key");
+  PLS_CHECK_MSG(
+      config.lookup_interarrival > 0.0 && config.update_interarrival > 0.0,
+      "inter-arrival times must be positive");
+
+  GeneratedServiceWorkload out;
+  out.config = config;
+
+  Entry next_entry = 1;
+  for (std::size_t k = 0; k < config.num_keys; ++k) {
+    out.keys.push_back("key/" + std::to_string(k));
+    std::vector<Entry> entries(config.entries_per_key);
+    for (auto& v : entries) v = next_entry++;
+    out.initial_entries.push_back(std::move(entries));
+  }
+
+  Rng master(config.seed);
+  ZipfRankSampler popularity(config.num_keys, config.zipf_alpha);
+  Rng popularity_rng = master.fork(1);
+  Rng update_rng = master.fork(2);
+  PoissonProcess lookups(config.lookup_interarrival, master.fork(3));
+  PoissonProcess updates(config.update_interarrival, master.fork(4));
+
+  SimTime next_lookup = lookups.next();
+  SimTime next_update = updates.next();
+  out.events.reserve(config.num_events);
+  while (out.events.size() < config.num_events) {
+    if (next_lookup <= next_update) {
+      out.events.push_back(
+          ServiceEvent{next_lookup, ServiceEventKind::kLookup,
+                       popularity.sample(popularity_rng), 0});
+      next_lookup = lookups.next();
+    } else {
+      const auto key = static_cast<std::size_t>(
+          update_rng.uniform(config.num_keys));
+      if (update_rng.bernoulli(0.5)) {
+        out.events.push_back(ServiceEvent{next_update,
+                                          ServiceEventKind::kAdd, key,
+                                          next_entry++});
+      } else {
+        out.events.push_back(
+            ServiceEvent{next_update, ServiceEventKind::kDelete, key, 0});
+      }
+      next_update = updates.next();
+    }
+  }
+  return out;
+}
+
+ServiceReplayStats replay_service(core::PartialLookupService& service,
+                                  const GeneratedServiceWorkload& workload) {
+  ServiceReplayStats stats;
+  const auto& keys = workload.keys;
+
+  std::vector<std::vector<Entry>> live = workload.initial_entries;
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    service.place(keys[k], live[k]);
+  }
+  std::uint64_t placement_messages = service.total_transport().processed;
+
+  Rng delete_rng(workload.config.seed ^ 0xde1e7e);
+  double contacted = 0.0;
+  for (const auto& ev : workload.events) {
+    switch (ev.kind) {
+      case ServiceEventKind::kLookup: {
+        const auto r = service.partial_lookup(
+            keys[ev.key_index], workload.config.target_answer_size);
+        ++stats.lookups;
+        stats.satisfied += r.satisfied;
+        contacted += static_cast<double>(r.servers_contacted);
+        break;
+      }
+      case ServiceEventKind::kAdd:
+        service.add(keys[ev.key_index], ev.entry);
+        live[ev.key_index].push_back(ev.entry);
+        ++stats.adds;
+        break;
+      case ServiceEventKind::kDelete: {
+        auto& pool = live[ev.key_index];
+        if (pool.empty()) break;
+        const std::size_t idx =
+            static_cast<std::size_t>(delete_rng.uniform(pool.size()));
+        service.erase(keys[ev.key_index], pool[idx]);
+        pool[idx] = pool.back();
+        pool.pop_back();
+        ++stats.deletes;
+        break;
+      }
+    }
+  }
+  if (stats.lookups > 0) {
+    stats.mean_servers_contacted =
+        contacted / static_cast<double>(stats.lookups);
+  }
+  stats.messages_processed =
+      service.total_transport().processed - placement_messages;
+  return stats;
+}
+
+}  // namespace pls::workload

@@ -1,0 +1,78 @@
+// Multi-key service workloads: what a deployed partial lookup service
+// actually sees — a mixed stream of lookups (Zipf-popular keys) and
+// updates (uniform churn across keys), timestamped by Poisson processes.
+//
+// generate_service_workload builds the stream; replay_service drives a
+// PartialLookupService through it and aggregates the user-facing numbers
+// (satisfaction, contact cost, message totals).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pls/core/service.hpp"
+#include "pls/workload/popularity.hpp"
+
+namespace pls::workload {
+
+struct ServiceWorkloadConfig {
+  std::size_t num_keys = 50;
+  /// Zipf exponent of key lookup popularity (0 = uniform).
+  double zipf_alpha = 1.0;
+  /// Initial entries per key.
+  std::size_t entries_per_key = 30;
+  /// Mean time between lookups / between updates (Poisson each).
+  double lookup_interarrival = 1.0;
+  double update_interarrival = 10.0;
+  /// Total events (lookups + updates) to generate.
+  std::size_t num_events = 10000;
+  /// Target answer size of every lookup.
+  std::size_t target_answer_size = 3;
+  std::uint64_t seed = 1;
+};
+
+enum class ServiceEventKind : std::uint8_t { kLookup, kAdd, kDelete };
+
+struct ServiceEvent {
+  SimTime time = 0.0;
+  ServiceEventKind kind = ServiceEventKind::kLookup;
+  std::size_t key_index = 0;
+  /// Entry to add; deletes pick a random live entry at replay time.
+  Entry entry = 0;
+};
+
+struct GeneratedServiceWorkload {
+  std::vector<Key> keys;
+  std::vector<std::vector<Entry>> initial_entries;  // per key
+  std::vector<ServiceEvent> events;                 // time-sorted
+  ServiceWorkloadConfig config;
+};
+
+GeneratedServiceWorkload generate_service_workload(
+    const ServiceWorkloadConfig& config);
+
+struct ServiceReplayStats {
+  std::size_t lookups = 0;
+  std::size_t satisfied = 0;
+  std::size_t adds = 0;
+  std::size_t deletes = 0;
+  double mean_servers_contacted = 0.0;
+  /// Messages processed across all per-key clusters during the replay.
+  std::uint64_t messages_processed = 0;
+
+  double satisfaction_rate() const noexcept {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(satisfied) /
+                     static_cast<double>(lookups);
+  }
+};
+
+/// Places the initial catalogue and replays the event stream. Deletes
+/// target a uniformly random currently-live entry of the key (skipped
+/// when the key is empty). Transport counters are reset after placement
+/// so `messages_processed` covers the replayed traffic only.
+ServiceReplayStats replay_service(core::PartialLookupService& service,
+                                  const GeneratedServiceWorkload& workload);
+
+}  // namespace pls::workload

@@ -1,0 +1,57 @@
+#include "pls/workload/update_stream.hpp"
+
+#include <algorithm>
+
+#include "pls/common/check.hpp"
+
+namespace pls::workload {
+
+GeneratedWorkload generate_workload(const WorkloadConfig& config) {
+  PLS_CHECK_MSG(config.steady_state_entries > 0, "need h >= 1");
+  PLS_CHECK_MSG(config.mean_interarrival > 0.0, "need lambda > 0");
+
+  GeneratedWorkload out;
+  out.config = config;
+
+  Rng master(config.seed);
+  Rng lifetime_rng = master.fork(1);
+  const double scale = config.mean_interarrival *
+                       static_cast<double>(config.steady_state_entries);
+  const auto lifetime = make_lifetime(config.lifetime, scale);
+
+  Entry next_entry = 1;
+  std::vector<UpdateEvent> events;
+  events.reserve(2 * config.num_updates + 2 * config.steady_state_entries);
+
+  // Initial population: h entries live at t=0, each with a fresh lifetime.
+  // (Exact stationarity would draw *residual* lifetimes; for the
+  // exponential this is identical by memorylessness, and for the Zipf-like
+  // case the small transient is flushed by the warm-up the benches use.)
+  for (std::size_t i = 0; i < config.steady_state_entries; ++i) {
+    const Entry v = next_entry++;
+    out.initial.push_back(v);
+    events.push_back(
+        UpdateEvent{lifetime->sample(lifetime_rng), UpdateKind::kDelete, v});
+  }
+
+  // Each add contributes at least one event, so num_updates adds always
+  // suffice to fill the requested stream length.
+  PoissonProcess arrivals(config.mean_interarrival, master.fork(2));
+  for (std::size_t i = 0; i < config.num_updates; ++i) {
+    const SimTime at = arrivals.next();
+    const Entry v = next_entry++;
+    events.push_back(UpdateEvent{at, UpdateKind::kAdd, v});
+    events.push_back(UpdateEvent{at + lifetime->sample(lifetime_rng),
+                                 UpdateKind::kDelete, v});
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const UpdateEvent& a, const UpdateEvent& b) {
+                     return a.time < b.time;
+                   });
+  if (events.size() > config.num_updates) events.resize(config.num_updates);
+  out.events = std::move(events);
+  return out;
+}
+
+}  // namespace pls::workload

@@ -1,0 +1,52 @@
+// §6.1 synthetic update workloads.
+//
+// Adds arrive as a Poisson process (mean inter-arrival lambda, paper value
+// 10 time units). Each added entry gets a lifetime from an exponential or
+// Zipf-like distribution scaled so the steady-state population is h
+// entries; the delete event is recorded at the end of the lifetime. The
+// stream starts from an initial population of h entries (placed at t=0
+// with fresh lifetimes) so measurements begin in steady state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pls/common/distributions.hpp"
+#include "pls/common/rng.hpp"
+#include "pls/common/types.hpp"
+
+namespace pls::workload {
+
+enum class UpdateKind : std::uint8_t { kAdd, kDelete };
+
+struct UpdateEvent {
+  SimTime time = 0.0;
+  UpdateKind kind = UpdateKind::kAdd;
+  Entry entry = 0;
+};
+
+struct WorkloadConfig {
+  /// Mean time between add events (the paper's lambda = 10).
+  double mean_interarrival = 10.0;
+  /// Steady-state number of entries h; lifetimes scale to lambda * h.
+  std::size_t steady_state_entries = 100;
+  /// "exp" or "zipf" (§6.1).
+  std::string lifetime = "exp";
+  /// Number of update events (adds + deletes) to keep, after sorting.
+  std::size_t num_updates = 10000;
+  std::uint64_t seed = 1;
+};
+
+struct GeneratedWorkload {
+  /// Initial population to place() at time 0.
+  std::vector<Entry> initial;
+  /// Timestamped updates, sorted by time (ties in generation order).
+  std::vector<UpdateEvent> events;
+  WorkloadConfig config;
+};
+
+/// Generates a workload per §6.1. Entry ids are unique across the whole
+/// stream (initial population included).
+GeneratedWorkload generate_workload(const WorkloadConfig& config);
+
+}  // namespace pls::workload

@@ -1,0 +1,132 @@
+// Tests for the Fig 3 classification and the rules-of-thumb advisor.
+#include <gtest/gtest.h>
+
+#include "pls/analysis/advisor.hpp"
+
+namespace pls::analysis {
+namespace {
+
+using core::StrategyKind;
+
+TEST(Classification, MatchesFig3Tree) {
+  const auto full = classify(StrategyKind::kFullReplication);
+  EXPECT_TRUE(full.full_replication);
+
+  const auto fixed = classify(StrategyKind::kFixed);
+  EXPECT_FALSE(fixed.full_replication);
+  EXPECT_FALSE(fixed.guarantees_every_entry);
+  EXPECT_FALSE(fixed.randomized);
+
+  const auto random_server = classify(StrategyKind::kRandomServer);
+  EXPECT_FALSE(random_server.guarantees_every_entry);
+  EXPECT_TRUE(random_server.randomized);
+
+  const auto round = classify(StrategyKind::kRoundRobin);
+  EXPECT_TRUE(round.guarantees_every_entry);
+  EXPECT_FALSE(round.randomized);
+
+  const auto hash = classify(StrategyKind::kHash);
+  EXPECT_TRUE(hash.guarantees_every_entry);
+  EXPECT_TRUE(hash.randomized);
+}
+
+WorkloadProfile base_profile() {
+  WorkloadProfile p;
+  p.num_servers = 10;
+  p.expected_entries = 100;
+  p.target_answer_size = 10;
+  return p;
+}
+
+TEST(Advisor, ZeroUnfairnessStaticPicksRoundRobin) {
+  auto p = base_profile();
+  p.require_zero_unfairness = true;
+  p.storage_budget = 200;
+  const auto rec = recommend(p);
+  EXPECT_EQ(rec.kind, StrategyKind::kRoundRobin);
+  EXPECT_EQ(rec.param, 2u);  // budget / h
+  EXPECT_FALSE(rec.rationale.empty());
+}
+
+TEST(Advisor, ZeroUnfairnessUnderChurnPicksFullReplication) {
+  auto p = base_profile();
+  p.require_zero_unfairness = true;
+  p.updates_per_lookup = 0.5;
+  const auto rec = recommend(p);
+  EXPECT_EQ(rec.kind, StrategyKind::kFullReplication);
+  EXPECT_FALSE(rec.cautions.empty());
+}
+
+TEST(Advisor, ChurnWithSmallTargetFractionPicksFixed) {
+  auto p = base_profile();
+  p.updates_per_lookup = 0.2;
+  p.target_answer_size = 5;  // t/h = 0.05 < 1/n = 0.1
+  const auto rec = recommend(p);
+  EXPECT_EQ(rec.kind, StrategyKind::kFixed);
+  EXPECT_EQ(rec.param, 5 + suggest_cushion(5));
+}
+
+TEST(Advisor, ChurnWithLargeTargetFractionPicksHash) {
+  auto p = base_profile();
+  p.updates_per_lookup = 0.2;
+  p.target_answer_size = 40;  // t/h = 0.4 >= 1/n
+  const auto rec = recommend(p);
+  EXPECT_EQ(rec.kind, StrategyKind::kHash);
+  EXPECT_EQ(rec.param, 4u);  // ceil(t*n/h)
+}
+
+TEST(Advisor, StaticCompleteCoveragePicksRoundRobin) {
+  auto p = base_profile();
+  p.require_complete_coverage = true;
+  const auto rec = recommend(p);
+  EXPECT_EQ(rec.kind, StrategyKind::kRoundRobin);
+}
+
+TEST(Advisor, StaticTightBudgetPicksRandomServer) {
+  auto p = base_profile();
+  p.storage_budget = 200;  // well under h*n/2 = 500
+  const auto rec = recommend(p);
+  EXPECT_EQ(rec.kind, StrategyKind::kRandomServer);
+  EXPECT_EQ(rec.param, 20u);  // budget / n
+}
+
+TEST(Advisor, StaticUnconstrainedPicksFixedForFaultTolerance) {
+  const auto rec = recommend(base_profile());
+  EXPECT_EQ(rec.kind, StrategyKind::kFixed);
+  EXPECT_GE(rec.param, 10u);
+}
+
+TEST(Advisor, CushionScalesWithTarget) {
+  EXPECT_EQ(suggest_cushion(1), 2u);
+  EXPECT_EQ(suggest_cushion(10), 2u);
+  EXPECT_EQ(suggest_cushion(15), 3u);  // the Fig 12 sweet spot at t=15
+  EXPECT_EQ(suggest_cushion(40), 8u);
+  EXPECT_GE(suggest_cushion(100), 20u);
+}
+
+TEST(Advisor, ParamNeverExceedsEntryCountForXSchemes) {
+  auto p = base_profile();
+  p.expected_entries = 8;
+  p.target_answer_size = 6;
+  const auto rec = recommend(p);
+  EXPECT_LE(rec.param, 8u);
+}
+
+TEST(Advisor, RejectsDegenerateProfiles) {
+  auto p = base_profile();
+  p.num_servers = 0;
+  EXPECT_THROW(recommend(p), std::logic_error);
+  p = base_profile();
+  p.target_answer_size = 0;
+  EXPECT_THROW(recommend(p), std::logic_error);
+}
+
+TEST(Advisor, RationaleCitesThePaper) {
+  auto p = base_profile();
+  p.updates_per_lookup = 1.0;
+  const auto rec = recommend(p);
+  EXPECT_NE(rec.rationale.find("§"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pls::analysis

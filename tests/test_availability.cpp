@@ -1,0 +1,93 @@
+// Tests for the Fig 12 satisfiability probe.
+#include <gtest/gtest.h>
+
+#include "pls/core/strategy_factory.hpp"
+#include "pls/metrics/availability.hpp"
+
+namespace pls::metrics {
+namespace {
+
+std::vector<Entry> iota_entries(std::size_t h) {
+  std::vector<Entry> out(h);
+  for (std::size_t i = 0; i < h; ++i) out[i] = i + 1;
+  return out;
+}
+
+std::unique_ptr<core::Strategy> make(core::StrategyKind kind,
+                                     std::size_t param, std::size_t n = 5) {
+  return core::make_strategy(
+      core::StrategyConfig{.kind = kind, .param = param, .seed = 9}, n);
+}
+
+TEST(Availability, TrivialForTZero) {
+  const auto s = make(core::StrategyKind::kFixed, 3);
+  EXPECT_TRUE(lookup_satisfiable(*s, 0));
+}
+
+TEST(Availability, FixedSatisfiableIffServerHasT) {
+  const auto s = make(core::StrategyKind::kFixed, 4);
+  s->place(iota_entries(10));
+  EXPECT_TRUE(lookup_satisfiable(*s, 4));
+  EXPECT_FALSE(lookup_satisfiable(*s, 5));  // single-server semantics
+  s->erase(1);
+  EXPECT_FALSE(lookup_satisfiable(*s, 4));
+  EXPECT_TRUE(lookup_satisfiable(*s, 3));
+}
+
+TEST(Availability, MultiServerSchemesUseCoverage) {
+  const auto s = make(core::StrategyKind::kRoundRobin, 1);
+  s->place(iota_entries(10));
+  // Each server holds 2 entries, but clients merge: t up to 10 works.
+  EXPECT_TRUE(lookup_satisfiable(*s, 10));
+  EXPECT_FALSE(lookup_satisfiable(*s, 11));
+}
+
+TEST(Availability, FailuresShrinkCoverage) {
+  const auto s = make(core::StrategyKind::kRoundRobin, 1);
+  s->place(iota_entries(10));
+  s->fail_server(0);  // loses 2 entries (single-copy layout)
+  EXPECT_TRUE(lookup_satisfiable(*s, 8));
+  EXPECT_FALSE(lookup_satisfiable(*s, 9));
+  s->recover_server(0);
+  EXPECT_TRUE(lookup_satisfiable(*s, 10));
+}
+
+TEST(Availability, FullReplicationNeedsOneUpServer) {
+  const auto s = make(core::StrategyKind::kFullReplication, 0);
+  s->place(iota_entries(6));
+  for (ServerId id = 0; id < 4; ++id) s->fail_server(id);
+  EXPECT_TRUE(lookup_satisfiable(*s, 6));
+  s->fail_server(4);
+  EXPECT_FALSE(lookup_satisfiable(*s, 1));
+}
+
+TEST(Availability, RandomServerCountsDistinctAcrossServers) {
+  const auto s = make(core::StrategyKind::kRandomServer, 3, 4);
+  s->place(iota_entries(12));
+  // 4 servers * 3 entries with overlap: satisfiable up to the measured
+  // coverage, not per-server size.
+  const auto coverage = s->placement().distinct_entries();
+  EXPECT_TRUE(lookup_satisfiable(*s, coverage));
+  EXPECT_FALSE(lookup_satisfiable(*s, coverage + 1));
+}
+
+TEST(Availability, HashSatisfiabilityTracksPlacement) {
+  const auto s = make(core::StrategyKind::kHash, 2, 6);
+  s->place(iota_entries(20));
+  EXPECT_TRUE(lookup_satisfiable(*s, 20));
+  s->erase(3);
+  EXPECT_FALSE(lookup_satisfiable(*s, 20));
+  EXPECT_TRUE(lookup_satisfiable(*s, 19));
+}
+
+TEST(Availability, ProbeSendsNoMessages) {
+  const auto s = make(core::StrategyKind::kFixed, 3);
+  s->place(iota_entries(5));
+  s->network().reset_stats();
+  (void)lookup_satisfiable(*s, 3);
+  EXPECT_EQ(s->network().stats().sent, 0u);
+  EXPECT_EQ(s->network().stats().processed, 0u);
+}
+
+}  // namespace
+}  // namespace pls::metrics

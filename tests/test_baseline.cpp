@@ -1,0 +1,166 @@
+// Tests for the Figure-1 paradigm baselines (replicated / partitioned /
+// partial) behind the common Directory interface.
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "pls/baseline/directory.hpp"
+
+namespace pls::baseline {
+namespace {
+
+std::vector<Entry> iota_entries(std::size_t h) {
+  std::vector<Entry> out(h);
+  for (std::size_t i = 0; i < h; ++i) out[i] = i + 1;
+  return out;
+}
+
+core::StrategyConfig partial_cfg() {
+  return core::StrategyConfig{.kind = core::StrategyKind::kRoundRobin,
+                              .param = 2};
+}
+
+class DirectoryParamTest : public ::testing::TestWithParam<Paradigm> {};
+
+TEST_P(DirectoryParamTest, PlaceThenLookupRoundTrips) {
+  const auto dir = make_directory(GetParam(), 5, partial_cfg(), 1);
+  dir->place("k", iota_entries(10));
+  const auto r = dir->partial_lookup("k", 4);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_GE(r.entries.size(), 4u);
+  for (Entry v : r.entries) {
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 10u);
+  }
+}
+
+TEST_P(DirectoryParamTest, UnknownKeyIsEmpty) {
+  const auto dir = make_directory(GetParam(), 4, partial_cfg(), 2);
+  const auto r = dir->partial_lookup("ghost", 1);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_TRUE(r.entries.empty());
+}
+
+TEST_P(DirectoryParamTest, AddAndEraseTakeEffect) {
+  const auto dir = make_directory(GetParam(), 4, partial_cfg(), 3);
+  dir->place("k", std::vector<Entry>{1, 2, 3});
+  dir->add("k", 9);
+  auto r = dir->partial_lookup("k", 4);
+  EXPECT_TRUE(r.satisfied);
+  dir->erase("k", 9);
+  dir->erase("k", 1);
+  r = dir->partial_lookup("k", 4);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_EQ(r.entries.size(), 2u);
+}
+
+TEST_P(DirectoryParamTest, EraseOnUnknownKeyIsANoOp) {
+  const auto dir = make_directory(GetParam(), 3, partial_cfg(), 4);
+  dir->erase("ghost", 1);
+  EXPECT_FALSE(dir->partial_lookup("ghost", 1).satisfied);
+}
+
+TEST_P(DirectoryParamTest, LookupLoadCountsAndResets) {
+  const auto dir = make_directory(GetParam(), 4, partial_cfg(), 5);
+  dir->place("k", iota_entries(8));
+  dir->reset_load();
+  for (int i = 0; i < 20; ++i) (void)dir->partial_lookup("k", 2);
+  const auto load = dir->lookup_load();
+  const auto total = std::accumulate(load.begin(), load.end(), 0ull);
+  EXPECT_GE(total, 20u);
+  dir->reset_load();
+  const auto cleared = dir->lookup_load();
+  EXPECT_EQ(std::accumulate(cleared.begin(), cleared.end(), 0ull), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllParadigms, DirectoryParamTest,
+                         ::testing::Values(Paradigm::kReplicated,
+                                           Paradigm::kPartitioned,
+                                           Paradigm::kPartial),
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
+                         });
+
+TEST(ReplicatedBaseline, StorageIsHTimesN) {
+  const auto dir = make_directory(Paradigm::kReplicated, 6, partial_cfg(), 1);
+  dir->place("a", iota_entries(10));
+  dir->place("b", iota_entries(5));
+  EXPECT_EQ(dir->storage_cost(), (10u + 5u) * 6u);
+}
+
+TEST(ReplicatedBaseline, AnyUpServerAnswers) {
+  const auto dir = make_directory(Paradigm::kReplicated, 4, partial_cfg(), 2);
+  dir->place("k", iota_entries(6));
+  for (ServerId s = 0; s < 3; ++s) dir->fail_server(s);
+  EXPECT_TRUE(dir->partial_lookup("k", 6).satisfied);
+}
+
+TEST(PartitionedBaseline, StorageIsSingleCopy) {
+  const auto dir =
+      make_directory(Paradigm::kPartitioned, 6, partial_cfg(), 1);
+  dir->place("a", iota_entries(10));
+  dir->place("b", iota_entries(5));
+  EXPECT_EQ(dir->storage_cost(), 15u);
+}
+
+TEST(PartitionedBaseline, AllLookupsHitTheHomeServer) {
+  const auto dir =
+      make_directory(Paradigm::kPartitioned, 8, partial_cfg(), 3);
+  dir->place("popular", iota_entries(10));
+  dir->reset_load();
+  for (int i = 0; i < 50; ++i) (void)dir->partial_lookup("popular", 2);
+  const auto load = dir->lookup_load();
+  std::size_t busy_servers = 0;
+  for (auto l : load) busy_servers += (l > 0);
+  EXPECT_EQ(busy_servers, 1u);  // the Figure-1 hot-spot
+  EXPECT_EQ(*std::max_element(load.begin(), load.end()), 50u);
+}
+
+TEST(PartitionedBaseline, HomeServerFailureTakesKeyOffline) {
+  const auto dir =
+      make_directory(Paradigm::kPartitioned, 8, partial_cfg(), 4);
+  dir->place("k", iota_entries(10));
+  // Find the home server by failing servers until the lookup dies.
+  dir->reset_load();
+  (void)dir->partial_lookup("k", 1);
+  const auto load = dir->lookup_load();
+  ServerId home = 0;
+  for (ServerId s = 0; s < 8; ++s) {
+    if (load[s] > 0) home = s;
+  }
+  dir->fail_server(home);
+  EXPECT_FALSE(dir->partial_lookup("k", 1).satisfied);  // §1's S2-down case
+  dir->recover_all();
+  EXPECT_TRUE(dir->partial_lookup("k", 1).satisfied);
+}
+
+TEST(PartialBaseline, SpreadsPopularKeyLoadAcrossServers) {
+  const auto dir = make_directory(Paradigm::kPartial, 8, partial_cfg(), 5);
+  dir->place("popular", iota_entries(16));
+  dir->reset_load();
+  for (int i = 0; i < 400; ++i) (void)dir->partial_lookup("popular", 2);
+  const auto load = dir->lookup_load();
+  std::size_t busy_servers = 0;
+  for (auto l : load) busy_servers += (l > 0);
+  EXPECT_GE(busy_servers, 6u);  // load spread, not a hot-spot
+}
+
+TEST(PartialBaseline, SurvivesAnySingleFailure) {
+  const auto dir = make_directory(Paradigm::kPartial, 8, partial_cfg(), 6);
+  dir->place("k", iota_entries(16));
+  for (ServerId s = 0; s < 8; ++s) {
+    dir->fail_server(s);
+    EXPECT_TRUE(dir->partial_lookup("k", 2).satisfied) << "server " << s;
+    dir->recover_all();
+  }
+}
+
+TEST(ParadigmNames, AreStable) {
+  EXPECT_EQ(to_string(Paradigm::kReplicated), "Replicated");
+  EXPECT_EQ(to_string(Paradigm::kPartitioned), "Partitioned");
+  EXPECT_EQ(to_string(Paradigm::kPartial), "Partial");
+}
+
+}  // namespace
+}  // namespace pls::baseline

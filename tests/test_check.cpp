@@ -1,0 +1,61 @@
+// Tests for the precondition-checking macros.
+#include <gtest/gtest.h>
+
+#include "pls/common/check.hpp"
+
+namespace {
+
+TEST(Check, PassesSilently) {
+  PLS_CHECK(1 + 1 == 2);
+  PLS_CHECK_MSG(true, "never shown");
+  SUCCEED();
+}
+
+TEST(Check, ThrowsLogicErrorOnFailure) {
+  EXPECT_THROW(PLS_CHECK(false), std::logic_error);
+}
+
+TEST(Check, MessageCarriesExpressionAndLocation) {
+  try {
+    PLS_CHECK_MSG(2 < 1, "impossible ordering");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("impossible ordering"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, SideEffectsEvaluateExactlyOnce) {
+  int calls = 0;
+  auto bump = [&calls] {
+    ++calls;
+    return true;
+  };
+  PLS_CHECK(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Check, WorksInsideIfWithoutBraces) {
+  // The do/while(false) idiom must keep the macro statement-safe.
+  bool executed = false;
+  if (true)
+    PLS_CHECK(true);
+  else
+    executed = true;
+  EXPECT_FALSE(executed);
+}
+
+#ifndef NDEBUG
+TEST(Assert, ActiveInDebugBuilds) {
+  EXPECT_THROW(PLS_ASSERT(false), std::logic_error);
+}
+#else
+TEST(Assert, CompiledOutInReleaseBuilds) {
+  PLS_ASSERT(false);  // must be a no-op
+  SUCCEED();
+}
+#endif
+
+}  // namespace

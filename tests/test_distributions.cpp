@@ -1,0 +1,122 @@
+// Unit tests for the §6.1 stochastic models.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "pls/common/distributions.hpp"
+
+namespace pls {
+namespace {
+
+TEST(PoissonProcess, ArrivalsAreMonotonic) {
+  PoissonProcess p(10.0, Rng(1));
+  SimTime prev = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = p.next();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PoissonProcess, MeanInterarrivalMatches) {
+  PoissonProcess p(10.0, Rng(2));
+  constexpr int kArrivals = 100000;
+  SimTime last = 0.0;
+  for (int i = 0; i < kArrivals; ++i) last = p.next();
+  EXPECT_NEAR(last / kArrivals, 10.0, 0.2);
+}
+
+TEST(PoissonProcess, RejectsNonPositiveMean) {
+  EXPECT_THROW(PoissonProcess(0.0, Rng(1)), std::logic_error);
+  EXPECT_THROW(PoissonProcess(-1.0, Rng(1)), std::logic_error);
+}
+
+TEST(ExponentialLifetime, MeanMatches) {
+  ExponentialLifetime d(1000.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 1000.0);
+  Rng rng(3);
+  double sum = 0.0;
+  constexpr int kTrials = 200000;
+  for (int i = 0; i < kTrials; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / kTrials, 1000.0, 20.0);
+}
+
+TEST(ExponentialLifetime, SamplesArePositive) {
+  ExponentialLifetime d(5.0);
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(d.sample(rng), 0.0);
+}
+
+TEST(ExponentialLifetime, RejectsNonPositiveMean) {
+  EXPECT_THROW(ExponentialLifetime(0.0), std::logic_error);
+}
+
+TEST(ZipfLikeLifetime, SamplesWithinSupport) {
+  ZipfLikeLifetime d(1000.0);
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const double t = d.sample(rng);
+    EXPECT_GE(t, 1.0);
+    EXPECT_LE(t, 1000.0);
+  }
+}
+
+TEST(ZipfLikeLifetime, MeanMatchesClosedForm) {
+  // E[t] for density 1/(t ln C) on [1, C] is (C-1)/ln C.
+  const double c = 1000.0;
+  ZipfLikeLifetime d(c);
+  const double expected = (c - 1.0) / std::log(c);
+  EXPECT_NEAR(d.mean(), expected, 1e-9);
+  Rng rng(6);
+  double sum = 0.0;
+  constexpr int kTrials = 400000;
+  for (int i = 0; i < kTrials; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / kTrials, expected, expected * 0.02);
+}
+
+TEST(ZipfLikeLifetime, IsHeavierTailedThanExponentialAtSameScale) {
+  // With C = mean*ln(C)... simply check P(t > C/2) is far larger for the
+  // Zipf-like at the paper's parameterisation than exp with mean C.
+  const double c = 1000.0;
+  ZipfLikeLifetime zipf(c);
+  Rng rng(7);
+  int zipf_small = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) zipf_small += (zipf.sample(rng) < 10.0);
+  // ln(10)/ln(1000) = 1/3 of the mass below 10 — a heavy head AND tail.
+  EXPECT_NEAR(static_cast<double>(zipf_small) / kTrials, 1.0 / 3.0, 0.01);
+}
+
+TEST(ZipfLikeLifetime, RejectsDegenerateCutoff) {
+  EXPECT_THROW(ZipfLikeLifetime(1.0), std::logic_error);
+}
+
+TEST(MakeLifetime, FactoryProducesRequestedModels) {
+  const auto exp_model = make_lifetime("exp", 500.0);
+  EXPECT_EQ(exp_model->name(), "exp");
+  EXPECT_DOUBLE_EQ(exp_model->mean(), 500.0);
+
+  // §6.1's stated intent: expectation lambda*h for both models.
+  const auto zipf_model = make_lifetime("zipf", 500.0);
+  EXPECT_EQ(zipf_model->name(), "zipf");
+  EXPECT_NEAR(zipf_model->mean(), 500.0, 0.01);
+}
+
+TEST(ZipfLikeLifetime, ScaledToMeanSolvesCutoff) {
+  for (double target : {10.0, 145.0, 1000.0}) {
+    const auto d = ZipfLikeLifetime::scaled_to_mean(target);
+    EXPECT_NEAR(d.mean(), target, target * 1e-6);
+    EXPECT_GT(d.cutoff(), target);  // heavy tail stretches past the mean
+  }
+}
+
+TEST(ZipfLikeLifetime, ScaledToMeanRejectsDegenerateTargets) {
+  EXPECT_THROW(ZipfLikeLifetime::scaled_to_mean(1.0), std::logic_error);
+}
+
+TEST(MakeLifetime, UnknownNameThrows) {
+  EXPECT_THROW(make_lifetime("pareto", 10.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pls

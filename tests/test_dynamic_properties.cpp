@@ -1,0 +1,187 @@
+// Parameterized churn sweep: every strategy, both §6.1 lifetime models,
+// several cluster shapes. After replaying a synthetic update stream the
+// service contract must hold: the cluster stores exactly the live set (or
+// a lawful subset for the capacity-bound schemes), storage laws hold, and
+// the transport counters are consistent.
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "pls/core/strategy_factory.hpp"
+#include "pls/metrics/coverage.hpp"
+#include "pls/workload/replay.hpp"
+
+namespace pls::core {
+namespace {
+
+struct ChurnShape {
+  StrategyKind kind;
+  std::size_t n;
+  std::size_t param;
+  const char* lifetime;
+};
+
+std::string churn_name(const ::testing::TestParamInfo<ChurnShape>& info) {
+  const auto& p = info.param;
+  return std::string(to_string(p.kind)) + "_n" + std::to_string(p.n) + "_p" +
+         std::to_string(p.param) + "_" + p.lifetime;
+}
+
+class ChurnPropertyTest : public ::testing::TestWithParam<ChurnShape> {
+ protected:
+  static constexpr std::size_t kSteadyState = 60;
+  static constexpr std::size_t kUpdates = 1200;
+
+  workload::GeneratedWorkload make_workload(std::uint64_t seed) const {
+    workload::WorkloadConfig wc;
+    wc.steady_state_entries = kSteadyState;
+    wc.lifetime = GetParam().lifetime;
+    wc.num_updates = kUpdates;
+    wc.seed = seed;
+    return workload::generate_workload(wc);
+  }
+
+  std::unique_ptr<Strategy> build(std::uint64_t seed) const {
+    const auto& p = GetParam();
+    return make_strategy(
+        StrategyConfig{.kind = p.kind, .param = p.param, .seed = seed}, p.n);
+  }
+
+  static std::set<Entry> live_after(const workload::GeneratedWorkload& wl) {
+    std::set<Entry> live(wl.initial.begin(), wl.initial.end());
+    for (const auto& ev : wl.events) {
+      if (ev.kind == workload::UpdateKind::kAdd) {
+        live.insert(ev.entry);
+      } else {
+        live.erase(ev.entry);
+      }
+    }
+    return live;
+  }
+};
+
+TEST_P(ChurnPropertyTest, StoredEntriesAreASubsetOfTheLiveSet) {
+  const auto wl = make_workload(11);
+  const auto s = build(21);
+  workload::Replayer(*s, wl).run();
+  const auto live = live_after(wl);
+  for (const auto& server : s->placement().servers) {
+    for (Entry v : server) {
+      EXPECT_TRUE(live.contains(v)) << "stale entry " << v;
+    }
+  }
+}
+
+TEST_P(ChurnPropertyTest, CompleteSchemesStoreExactlyTheLiveSet) {
+  const auto& p = GetParam();
+  const auto wl = make_workload(12);
+  const auto s = build(22);
+  workload::Replayer(*s, wl).run();
+  const auto live = live_after(wl);
+  const auto placement = s->placement();
+
+  std::unordered_set<Entry> stored;
+  for (const auto& server : placement.servers) {
+    stored.insert(server.begin(), server.end());
+  }
+
+  switch (p.kind) {
+    case StrategyKind::kFullReplication:
+    case StrategyKind::kRoundRobin:
+    case StrategyKind::kHash:
+      // Guaranteed-storage schemes: coverage == live set, exactly.
+      EXPECT_EQ(stored.size(), live.size());
+      for (Entry v : live) {
+        EXPECT_TRUE(stored.contains(v)) << "lost entry " << v;
+      }
+      break;
+    case StrategyKind::kFixed:
+    case StrategyKind::kRandomServer:
+      // Capacity-bound schemes hold at most x per server.
+      for (const auto& server : placement.servers) {
+        EXPECT_LE(server.size(), p.param);
+      }
+      break;
+  }
+}
+
+TEST_P(ChurnPropertyTest, StorageLawsHoldAfterChurn) {
+  const auto& p = GetParam();
+  const auto wl = make_workload(13);
+  const auto s = build(23);
+  workload::Replayer(*s, wl).run();
+  const std::size_t live = live_after(wl).size();
+  const std::size_t measured = s->storage_cost();
+  switch (p.kind) {
+    case StrategyKind::kFullReplication:
+      EXPECT_EQ(measured, live * p.n);
+      break;
+    case StrategyKind::kRoundRobin:
+      EXPECT_EQ(measured, live * p.param);
+      break;
+    case StrategyKind::kHash:
+      EXPECT_GE(measured, live);
+      EXPECT_LE(measured, live * p.param);
+      break;
+    case StrategyKind::kFixed:
+    case StrategyKind::kRandomServer:
+      EXPECT_LE(measured, p.param * p.n);
+      break;
+  }
+}
+
+TEST_P(ChurnPropertyTest, LookupsRemainServiceableAfterChurn) {
+  const auto wl = make_workload(14);
+  const auto s = build(24);
+  workload::Replayer(*s, wl).run();
+  // A small target must be satisfiable by every scheme at steady state.
+  const auto r = s->partial_lookup(3);
+  EXPECT_TRUE(r.satisfied);
+  const auto live = live_after(wl);
+  for (Entry v : r.entries) EXPECT_TRUE(live.contains(v));
+}
+
+TEST_P(ChurnPropertyTest, TransportCountersAreConsistent) {
+  const auto wl = make_workload(15);
+  const auto s = build(25);
+  s->network().reset_stats();
+  workload::Replayer(*s, wl).run();
+  const auto& stats = s->network().stats();
+  EXPECT_EQ(stats.processed + stats.dropped, stats.sent);
+  EXPECT_EQ(stats.dropped, 0u);  // no failures injected
+  EXPECT_GT(stats.processed, wl.events.size());  // >= 1 message per update
+  std::uint64_t per_server_total = 0;
+  for (auto c : stats.per_server_processed) per_server_total += c;
+  EXPECT_EQ(per_server_total, stats.processed);
+}
+
+TEST_P(ChurnPropertyTest, ReplayIsDeterministic) {
+  const auto wl = make_workload(16);
+  const auto a = build(26);
+  const auto b = build(26);
+  workload::Replayer(*a, wl).run();
+  workload::Replayer(*b, wl).run();
+  EXPECT_EQ(a->placement().servers, b->placement().servers);
+  EXPECT_EQ(a->network().stats().processed, b->network().stats().processed);
+}
+
+std::vector<ChurnShape> churn_shapes() {
+  std::vector<ChurnShape> shapes;
+  for (const char* lifetime : {"exp", "zipf"}) {
+    shapes.push_back({StrategyKind::kFullReplication, 6, 1, lifetime});
+    shapes.push_back({StrategyKind::kFixed, 6, 15, lifetime});
+    shapes.push_back({StrategyKind::kRandomServer, 6, 15, lifetime});
+    shapes.push_back({StrategyKind::kRoundRobin, 6, 2, lifetime});
+    shapes.push_back({StrategyKind::kHash, 6, 2, lifetime});
+    shapes.push_back({StrategyKind::kRoundRobin, 11, 3, lifetime});
+    shapes.push_back({StrategyKind::kHash, 11, 4, lifetime});
+  }
+  return shapes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Churn, ChurnPropertyTest,
+                         ::testing::ValuesIn(churn_shapes()), churn_name);
+
+}  // namespace
+}  // namespace pls::core

@@ -1,0 +1,183 @@
+// Unit tests for the per-server entry store.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pls/core/entry_store.hpp"
+
+namespace pls::core {
+namespace {
+
+TEST(EntryStore, StartsEmpty) {
+  EntryStore s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(1));
+}
+
+TEST(EntryStore, InsertAndContains) {
+  EntryStore s;
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(EntryStore, DuplicateInsertRejected) {
+  EntryStore s;
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(EntryStore, EraseRemovesAndReports) {
+  EntryStore s;
+  s.insert(1);
+  s.insert(2);
+  EXPECT_TRUE(s.erase(1));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_FALSE(s.erase(1));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(EntryStore, SwapRemoveKeepsIndexConsistent) {
+  // Erasing from the middle moves the last element; subsequent operations
+  // on the moved element must still work.
+  EntryStore s;
+  for (Entry v = 0; v < 10; ++v) s.insert(v);
+  EXPECT_TRUE(s.erase(3));
+  EXPECT_TRUE(s.contains(9));  // 9 was swapped into 3's slot
+  EXPECT_TRUE(s.erase(9));
+  EXPECT_EQ(s.size(), 8u);
+  for (Entry v : {0u, 1u, 2u, 4u, 5u, 6u, 7u, 8u}) {
+    EXPECT_TRUE(s.contains(v));
+  }
+}
+
+TEST(EntryStore, AssignReplacesContent) {
+  EntryStore s;
+  s.insert(99);
+  const std::vector<Entry> batch{1, 2, 3, 2};  // duplicate collapses
+  s.assign(batch);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(s.contains(99));
+  EXPECT_TRUE(s.contains(2));
+}
+
+TEST(EntryStore, ClearEmpties) {
+  EntryStore s;
+  s.insert(1);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.insert(1));
+}
+
+TEST(EntryStore, SampleReturnsDistinctSubset) {
+  EntryStore s;
+  for (Entry v = 0; v < 20; ++v) s.insert(v);
+  Rng rng(1);
+  const auto sample = s.sample(5, rng);
+  EXPECT_EQ(sample.size(), 5u);
+  std::set<Entry> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+  for (Entry v : sample) EXPECT_TRUE(s.contains(v));
+}
+
+TEST(EntryStore, OversizedSampleReturnsEverything) {
+  EntryStore s;
+  for (Entry v = 0; v < 4; ++v) s.insert(v);
+  Rng rng(2);
+  const auto sample = s.sample(10, rng);
+  EXPECT_EQ(sample.size(), 4u);
+  std::set<Entry> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(EntryStore, SampleOfEmptyStoreIsEmpty) {
+  EntryStore s;
+  Rng rng(3);
+  EXPECT_TRUE(s.sample(5, rng).empty());
+}
+
+TEST(EntryStore, SampleIsUniform) {
+  // Every entry should appear in a 2-of-10 sample with probability 1/5.
+  EntryStore s;
+  for (Entry v = 0; v < 10; ++v) s.insert(v);
+  Rng rng(4);
+  std::array<int, 10> counts{};
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) {
+    for (Entry v : s.sample(2, rng)) ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.2, 0.02);
+  }
+}
+
+TEST(EntryStore, FullSampleOrderIsShuffled) {
+  // When k >= size the store returns all entries but in random order, as
+  // the lookup semantics require ("returns t random entries").
+  EntryStore s;
+  for (Entry v = 0; v < 10; ++v) s.insert(v);
+  Rng rng(5);
+  std::array<int, 10> first_counts{};
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) ++first_counts[s.sample(10, rng)[0]];
+  for (int c : first_counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.1, 0.02);
+  }
+}
+
+TEST(EntryStore, RandomEntryIsUniform) {
+  EntryStore s;
+  for (Entry v = 0; v < 5; ++v) s.insert(v);
+  Rng rng(6);
+  std::array<int, 5> counts{};
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) ++counts[s.random_entry(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.2, 0.02);
+  }
+}
+
+TEST(EntryStore, RandomEntryOnEmptyThrows) {
+  EntryStore s;
+  Rng rng(7);
+  EXPECT_THROW(s.random_entry(rng), std::logic_error);
+}
+
+TEST(EntryStore, EntriesSpanMatchesContents) {
+  EntryStore s;
+  s.insert(3);
+  s.insert(1);
+  auto span = s.entries();
+  std::vector<Entry> copy(span.begin(), span.end());
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, (std::vector<Entry>{1, 3}));
+}
+
+TEST(EntryStore, FuzzAgainstReferenceSet) {
+  // Property test: the store must behave exactly like std::set under a
+  // random operation sequence.
+  EntryStore s;
+  std::set<Entry> reference;
+  Rng rng(8);
+  for (int i = 0; i < 20000; ++i) {
+    const Entry v = rng.uniform(50);
+    switch (rng.uniform(3)) {
+      case 0:
+        EXPECT_EQ(s.insert(v), reference.insert(v).second);
+        break;
+      case 1:
+        EXPECT_EQ(s.erase(v), reference.erase(v) > 0);
+        break;
+      default:
+        EXPECT_EQ(s.contains(v), reference.contains(v));
+    }
+    EXPECT_EQ(s.size(), reference.size());
+  }
+}
+
+}  // namespace
+}  // namespace pls::core

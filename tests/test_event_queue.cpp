@@ -1,0 +1,113 @@
+// Unit tests for the discrete-event queue.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pls/sim/event_queue.hpp"
+
+namespace pls::sim {
+namespace {
+
+TEST(EventQueue, EmptyByDefault) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliestLiveEvent) {
+  EventQueue q;
+  q.schedule(9.0, [] {});
+  q.schedule(4.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 4.0);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelledHeadRevealsNextEvent) {
+  EventQueue q;
+  const EventId first = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.cancel(first);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, CancelUnknownIdsReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(0));
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, DoubleCancelReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+  EXPECT_THROW(q.next_time(), std::logic_error);
+}
+
+TEST(EventQueue, ScheduleEmptyFunctionThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(1.0, EventFn{}), std::logic_error);
+}
+
+TEST(EventQueue, PoppedCarriesIdAndTime) {
+  EventQueue q;
+  const EventId id = q.schedule(7.5, [] {});
+  const auto popped = q.pop();
+  EXPECT_EQ(popped.id, id);
+  EXPECT_DOUBLE_EQ(popped.time, 7.5);
+}
+
+TEST(EventQueue, StressManyInterleavedOps) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  int executed = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(
+        q.schedule(static_cast<SimTime>(i % 17), [&] { ++executed; }));
+  }
+  for (size_t i = 0; i < ids.size(); i += 3) q.cancel(ids[i]);
+  SimTime prev = -1.0;
+  while (!q.empty()) {
+    auto ev = q.pop();
+    EXPECT_GE(ev.time, prev);
+    prev = ev.time;
+    ev.fn();
+  }
+  EXPECT_EQ(executed, 1000 - 334);
+}
+
+}  // namespace
+}  // namespace pls::sim

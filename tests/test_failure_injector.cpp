@@ -1,0 +1,108 @@
+// Tests for the MTTF/MTTR crash-recovery injector.
+#include <gtest/gtest.h>
+
+#include "pls/core/strategy_factory.hpp"
+#include "pls/net/failure_injector.hpp"
+
+namespace pls::net {
+namespace {
+
+TEST(FailureInjector, InjectsAlternatingFailuresAndRecoveries) {
+  auto failures = make_failure_state(5);
+  FailureInjector injector(failures, {.mttf = 10.0, .mttr = 5.0, .seed = 1});
+  sim::Simulator sim;
+  injector.arm(sim);
+  sim.run_until(1000.0);
+  EXPECT_GT(injector.failures_injected(), 0u);
+  // Failures lead recoveries by at most the number of servers down now.
+  const auto down = 5 - failures->up_count();
+  EXPECT_EQ(injector.failures_injected() - injector.recoveries_injected(),
+            down);
+}
+
+TEST(FailureInjector, AvailabilityMatchesMttfMttrRatio) {
+  auto failures = make_failure_state(20);
+  FailureInjector injector(failures,
+                           {.mttf = 90.0, .mttr = 10.0, .seed = 2});
+  EXPECT_DOUBLE_EQ(injector.expected_availability(), 0.9);
+
+  sim::Simulator sim;
+  injector.arm(sim);
+  // Time-sample server availability over a long horizon.
+  double up_samples = 0.0, total_samples = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    sim.run_until(sim.now() + 10.0);
+    up_samples += static_cast<double>(failures->up_count());
+    total_samples += 20.0;
+  }
+  EXPECT_NEAR(up_samples / total_samples, 0.9, 0.02);
+}
+
+TEST(FailureInjector, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    auto failures = make_failure_state(4);
+    FailureInjector injector(failures,
+                             {.mttf = 20.0, .mttr = 10.0, .seed = seed});
+    sim::Simulator sim;
+    injector.arm(sim);
+    sim.run_until(500.0);
+    return injector.failures_injected();
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST(FailureInjector, CannotArmTwice) {
+  auto failures = make_failure_state(2);
+  FailureInjector injector(failures, {.mttf = 1.0, .mttr = 1.0, .seed = 1});
+  sim::Simulator sim;
+  injector.arm(sim);
+  EXPECT_THROW(injector.arm(sim), std::logic_error);
+}
+
+TEST(FailureInjector, RejectsBadConfig) {
+  auto failures = make_failure_state(2);
+  EXPECT_THROW(
+      FailureInjector(nullptr, {.mttf = 1.0, .mttr = 1.0, .seed = 1}),
+      std::logic_error);
+  EXPECT_THROW(
+      FailureInjector(failures, {.mttf = 0.0, .mttr = 1.0, .seed = 1}),
+      std::logic_error);
+  EXPECT_THROW(
+      FailureInjector(failures, {.mttf = 1.0, .mttr = -1.0, .seed = 1}),
+      std::logic_error);
+}
+
+TEST(FailureInjector, StrategiesKeepServingThroughCrashRecoveryCycles) {
+  // End-to-end: a Round-Robin-2 cluster under continuous crash/repair
+  // keeps answering small lookups whenever coverage allows.
+  auto failures = make_failure_state(10);
+  const auto s = core::make_strategy(
+      core::StrategyConfig{
+          .kind = core::StrategyKind::kRoundRobin, .param = 2, .seed = 3},
+      10, failures);
+  std::vector<Entry> entries(50);
+  for (std::size_t i = 0; i < 50; ++i) entries[i] = i + 1;
+  s->place(entries);
+
+  FailureInjector injector(failures,
+                           {.mttf = 100.0, .mttr = 20.0, .seed = 4});
+  sim::Simulator sim;
+  injector.arm(sim);
+
+  std::size_t satisfied = 0, attempts = 0;
+  for (int step = 0; step < 200; ++step) {
+    sim.run_until(sim.now() + 7.0);
+    if (failures->up_count() == 0) continue;
+    ++attempts;
+    satisfied += s->partial_lookup(3).satisfied;
+  }
+  ASSERT_GT(attempts, 0u);
+  // ~83% per-server availability with 2 copies: nearly all lookups of 3
+  // entries succeed.
+  EXPECT_GT(static_cast<double>(satisfied) / static_cast<double>(attempts),
+            0.9);
+  EXPECT_GT(injector.failures_injected(), 5u);
+}
+
+}  // namespace
+}  // namespace pls::net

@@ -1,0 +1,143 @@
+// Tests for the §4.4 fault-tolerance metric and its Appendix A heuristic.
+#include <gtest/gtest.h>
+
+#include "pls/analysis/models.hpp"
+#include "pls/common/stats.hpp"
+#include "pls/core/round_robin_y.hpp"
+#include "pls/core/strategy_factory.hpp"
+#include "pls/metrics/fault_tolerance.hpp"
+
+namespace pls::metrics {
+namespace {
+
+using core::Placement;
+
+std::vector<Entry> iota_entries(std::size_t h) {
+  std::vector<Entry> out(h);
+  for (std::size_t i = 0; i < h; ++i) out[i] = i + 1;
+  return out;
+}
+
+TEST(FaultTolerance, IdenticalServersTolerateAllButOne) {
+  Placement p{.servers = {{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2, 3}}};
+  EXPECT_EQ(fault_tolerance(p, 3), 3u);
+  EXPECT_EQ(fault_tolerance_exact(p, 3), 3u);
+}
+
+TEST(FaultTolerance, ZeroWhenCoverageAlreadyInsufficient) {
+  Placement p{.servers = {{1}, {1}}};
+  EXPECT_EQ(fault_tolerance(p, 2), 0u);
+  EXPECT_EQ(fault_tolerance_exact(p, 2), 0u);
+}
+
+TEST(FaultTolerance, SingleCopyPartitionedLayout) {
+  // 4 servers, 2 distinct entries each, no replication: for t = 4 we need
+  // 2 surviving servers -> tolerate 2 failures.
+  Placement p{.servers = {{1, 2}, {3, 4}, {5, 6}, {7, 8}}};
+  EXPECT_EQ(fault_tolerance(p, 4), 2u);
+  EXPECT_EQ(fault_tolerance_exact(p, 4), 2u);
+  EXPECT_EQ(fault_tolerance(p, 8), 0u);
+  EXPECT_EQ(fault_tolerance(p, 2), 3u);
+}
+
+TEST(FaultTolerance, HeuristicPrefersCriticalServers) {
+  // Server 0 uniquely holds entry 9: the adversary kills it first, which
+  // the X_S importance score captures.
+  Placement p{.servers = {{9, 1, 2}, {1, 2, 3}, {1, 2, 3}}};
+  // t=4 needs entry 9, so failing server 0 already breaks it: tolerance 0.
+  EXPECT_EQ(fault_tolerance_exact(p, 4), 0u);
+  EXPECT_EQ(fault_tolerance(p, 4), 0u);
+}
+
+TEST(FaultTolerance, HeuristicMatchesExactOnRandomSmallPlacements) {
+  // The greedy adversary needs at least as many failures as the optimal
+  // one to break coverage, so greedy tolerance >= exact tolerance always;
+  // on small random placements the overshoot should stay tiny.
+  Rng rng(123);
+  for (int trial = 0; trial < 60; ++trial) {
+    Placement p;
+    const std::size_t n = 4 + rng.uniform(3);
+    const std::size_t h = 6 + rng.uniform(6);
+    p.servers.resize(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      for (Entry v = 1; v <= h; ++v) {
+        if (rng.bernoulli(0.4)) p.servers[s].push_back(v);
+      }
+    }
+    const std::size_t t = 1 + rng.uniform(h / 2);
+    const auto greedy = fault_tolerance(p, t);
+    const auto exact = fault_tolerance_exact(p, t);
+    EXPECT_LE(exact, greedy)
+        << "the exhaustive adversary cannot be weaker than greedy";
+    EXPECT_LE(greedy, exact + 2u) << "greedy should be near-optimal";
+  }
+}
+
+TEST(FaultTolerance, RoundRobinMatchesClosedForm) {
+  // §4.4: Round-Robin-y tolerates min(n-1, n - ceil(tn/h) + y - 1).
+  for (const auto& [t, expected] :
+       {std::pair<std::size_t, std::size_t>{10, 9},
+        {20, 9},
+        {30, 8},
+        {40, 7},
+        {50, 6}}) {
+    core::RoundRobinStrategy s(
+        core::StrategyConfig{
+            .kind = core::StrategyKind::kRoundRobin, .param = 2, .seed = 3},
+        10, net::make_failure_state(10));
+    s.place(iota_entries(100));
+    EXPECT_EQ(fault_tolerance(s.placement(), t), expected) << "t=" << t;
+    EXPECT_EQ(analysis::fault_tolerance_round_robin(t, 100, 10, 2), expected);
+  }
+}
+
+TEST(FaultTolerance, FullReplicationAlwaysNMinusOne) {
+  const auto s = core::make_strategy(
+      core::StrategyConfig{.kind = core::StrategyKind::kFullReplication,
+                           .seed = 1},
+      7);
+  s->place(iota_entries(30));
+  for (std::size_t t : {1u, 15u, 30u}) {
+    EXPECT_EQ(fault_tolerance(s->placement(), t), 6u);
+  }
+}
+
+TEST(FaultTolerance, RandomServerExceedsRoundRobin) {
+  // Fig 7: RandomServer-20's overlapping subsets tolerate more worst-case
+  // failures than Round-2's disjoint layout. The gap opens just past
+  // Round-Robin's step boundaries (t = 45 here, where Round-2 drops to 6
+  // while RandomServer degrades smoothly).
+  pls::RunningStats rs_tol, rr_tol;
+  for (int i = 0; i < 30; ++i) {
+    const auto seed = static_cast<std::uint64_t>(900 + i);
+    auto rs = core::make_strategy(
+        core::StrategyConfig{
+            .kind = core::StrategyKind::kRandomServer, .param = 20,
+            .seed = seed},
+        10);
+    rs->place(iota_entries(100));
+    rs_tol.add(static_cast<double>(fault_tolerance(rs->placement(), 45)));
+    auto rr = core::make_strategy(
+        core::StrategyConfig{
+            .kind = core::StrategyKind::kRoundRobin, .param = 2,
+            .seed = seed},
+        10);
+    rr->place(iota_entries(100));
+    rr_tol.add(static_cast<double>(fault_tolerance(rr->placement(), 45)));
+  }
+  EXPECT_GT(rs_tol.mean(), rr_tol.mean());
+}
+
+TEST(FaultToleranceExact, GuardsAgainstLargeN) {
+  Placement p;
+  p.servers.resize(21);
+  EXPECT_THROW(fault_tolerance_exact(p, 1), std::logic_error);
+}
+
+TEST(FaultTolerance, TZeroIsAlwaysSatisfiable) {
+  Placement p{.servers = {{1}, {2}}};
+  EXPECT_EQ(fault_tolerance(p, 0), 1u);  // capped at n-1 by definition
+}
+
+}  // namespace
+}  // namespace pls::metrics

@@ -1,0 +1,186 @@
+// Behaviour tests for the Fixed-x strategy (§3.2, §5.2, §6.2).
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "pls/core/fixed_x.hpp"
+#include "pls/metrics/coverage.hpp"
+
+namespace pls::core {
+namespace {
+
+std::vector<Entry> iota_entries(std::size_t h) {
+  std::vector<Entry> out(h);
+  for (std::size_t i = 0; i < h; ++i) out[i] = i + 1;
+  return out;
+}
+
+FixedStrategy make(std::size_t n, std::size_t x, std::uint64_t seed = 1) {
+  return FixedStrategy(
+      StrategyConfig{.kind = StrategyKind::kFixed, .param = x, .seed = seed},
+      n, net::make_failure_state(n));
+}
+
+/// Invariant of Fixed-x: all servers store the same set.
+void expect_identical_servers(const Placement& p) {
+  std::set<Entry> first(p.servers[0].begin(), p.servers[0].end());
+  for (const auto& server : p.servers) {
+    std::set<Entry> current(server.begin(), server.end());
+    EXPECT_EQ(current, first);
+  }
+}
+
+TEST(Fixed, PlaceKeepsFirstXEntriesOnEveryServer) {
+  auto s = make(4, 3);
+  s.place(iota_entries(10));
+  const auto p = s.placement();
+  for (const auto& server : p.servers) {
+    std::set<Entry> content(server.begin(), server.end());
+    EXPECT_EQ(content, (std::set<Entry>{1, 2, 3}));  // the *first* x
+  }
+}
+
+TEST(Fixed, PlaceWithFewerThanXKeepsAll) {
+  auto s = make(4, 10);
+  s.place(iota_entries(6));
+  for (const auto& server : s.placement().servers) {
+    EXPECT_EQ(server.size(), 6u);
+  }
+}
+
+TEST(Fixed, StorageCostIsXTimesN) {
+  auto s = make(10, 20);
+  s.place(iota_entries(100));
+  EXPECT_EQ(s.storage_cost(), 200u);  // Table 1
+}
+
+TEST(Fixed, CoverageIsExactlyX) {
+  auto s = make(10, 20);
+  s.place(iota_entries(100));
+  EXPECT_EQ(metrics::max_coverage(s.placement()), 20u);  // §4.3
+}
+
+TEST(Fixed, LookupCostOneWhenTWithinX) {
+  auto s = make(10, 20);
+  s.place(iota_entries(100));
+  for (int i = 0; i < 50; ++i) {
+    const auto r = s.partial_lookup(15);
+    EXPECT_TRUE(r.satisfied);
+    EXPECT_EQ(r.servers_contacted, 1u);
+  }
+}
+
+TEST(Fixed, LookupUnsatisfiableBeyondX) {
+  auto s = make(10, 20);
+  s.place(iota_entries(100));
+  const auto r = s.partial_lookup(21);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_EQ(r.entries.size(), 20u);
+  // Fixed-x clients know every server is identical: no retry elsewhere.
+  EXPECT_EQ(r.servers_contacted, 1u);
+}
+
+TEST(Fixed, AddIgnoredWhenFull) {
+  auto s = make(5, 3);
+  s.place(iota_entries(10));
+  s.network().reset_stats();
+  s.add(42);
+  // The contacted server is at quota: 1 processed message, no broadcast.
+  EXPECT_EQ(s.network().stats().processed, 1u);
+  EXPECT_EQ(s.network().stats().broadcasts, 0u);
+  EXPECT_EQ(s.storage_cost(), 15u);
+}
+
+TEST(Fixed, AddBroadcastsWhenBelowQuota) {
+  auto s = make(5, 3);
+  s.place(iota_entries(2));  // only 2 of 3 slots used
+  s.network().reset_stats();
+  s.add(42);
+  EXPECT_EQ(s.network().stats().processed, 6u);  // 1 + n
+  expect_identical_servers(s.placement());
+  EXPECT_EQ(s.placement().servers[0].size(), 3u);
+}
+
+TEST(Fixed, DeleteOfStoredEntryBroadcasts) {
+  auto s = make(5, 3);
+  s.place(iota_entries(10));
+  s.network().reset_stats();
+  s.erase(2);  // entry 2 is in the stored {1,2,3}
+  EXPECT_EQ(s.network().stats().processed, 6u);
+  expect_identical_servers(s.placement());
+  EXPECT_EQ(s.placement().servers[0].size(), 2u);
+}
+
+TEST(Fixed, DeleteOfUnstoredEntryIsLocal) {
+  auto s = make(5, 3);
+  s.place(iota_entries(10));
+  s.network().reset_stats();
+  s.erase(7);  // not one of the first 3: server check only
+  EXPECT_EQ(s.network().stats().processed, 1u);
+  EXPECT_EQ(s.placement().servers[0].size(), 3u);
+}
+
+TEST(Fixed, CushionAbsorbsDeletesThenRefills) {
+  // §6.2: x = t + b; deletes shrink below x until new adds arrive.
+  const std::size_t t = 3, b = 2;
+  auto s = make(4, t + b);
+  s.place(iota_entries(10));
+  s.erase(1);
+  s.erase(2);
+  EXPECT_TRUE(s.partial_lookup(t).satisfied);  // cushion held
+  s.erase(3);
+  EXPECT_FALSE(s.partial_lookup(t).satisfied);  // cushion exhausted
+  s.add(101);  // repair arrives with the next adds
+  EXPECT_TRUE(s.partial_lookup(t).satisfied);
+}
+
+TEST(Fixed, ServersStayIdenticalUnderRandomChurn) {
+  // Property: the Fixed-x invariant (identical servers) holds under any
+  // add/delete interleaving.
+  auto s = make(6, 8);
+  s.place(iota_entries(20));
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const Entry v = rng.uniform(60) + 1;
+    if (rng.bernoulli(0.5)) {
+      s.add(v);
+    } else {
+      s.erase(v);
+    }
+    if (i % 50 == 0) expect_identical_servers(s.placement());
+  }
+  expect_identical_servers(s.placement());
+  EXPECT_LE(s.placement().servers[0].size(), 8u);
+}
+
+TEST(Fixed, LookupWorksWithAllButOneServerDown) {
+  auto s = make(5, 4);
+  s.place(iota_entries(10));
+  for (ServerId id = 1; id < 5; ++id) s.fail_server(id);
+  const auto r = s.partial_lookup(4);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.servers_contacted, 1u);
+}
+
+TEST(Fixed, RejectsZeroX) {
+  EXPECT_THROW(make(3, 0), std::logic_error);
+}
+
+TEST(Fixed, RejectsStorageBudgetMode) {
+  EXPECT_THROW(FixedStrategy(StrategyConfig{.kind = StrategyKind::kFixed,
+                                            .param = 2,
+                                            .storage_budget = 10,
+                                            .seed = 1},
+                             3, net::make_failure_state(3)),
+               std::logic_error);
+}
+
+TEST(Fixed, AccessorsReportConfiguration) {
+  auto s = make(3, 7);
+  EXPECT_EQ(s.x(), 7u);
+  EXPECT_EQ(s.kind(), StrategyKind::kFixed);
+  EXPECT_EQ(s.name(), "Fixed");
+}
+
+}  // namespace
+}  // namespace pls::core

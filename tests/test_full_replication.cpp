@@ -1,0 +1,151 @@
+// Behaviour tests for the Full Replication strategy (§3.1, §5.1).
+#include <gtest/gtest.h>
+
+#include "pls/core/full_replication.hpp"
+#include "pls/metrics/coverage.hpp"
+#include "pls/metrics/fault_tolerance.hpp"
+
+namespace pls::core {
+namespace {
+
+std::vector<Entry> iota_entries(std::size_t h) {
+  std::vector<Entry> out(h);
+  for (std::size_t i = 0; i < h; ++i) out[i] = i + 1;
+  return out;
+}
+
+FullReplicationStrategy make(std::size_t n, std::uint64_t seed = 1) {
+  return FullReplicationStrategy(
+      StrategyConfig{.kind = StrategyKind::kFullReplication, .seed = seed}, n,
+      net::make_failure_state(n));
+}
+
+TEST(FullReplication, PlaceStoresEverythingEverywhere) {
+  auto s = make(5);
+  s.place(iota_entries(20));
+  const auto p = s.placement();
+  ASSERT_EQ(p.num_servers(), 5u);
+  for (const auto& server : p.servers) EXPECT_EQ(server.size(), 20u);
+  EXPECT_EQ(p.distinct_entries(), 20u);
+}
+
+TEST(FullReplication, StorageCostIsHTimesN) {
+  auto s = make(10);
+  s.place(iota_entries(100));
+  EXPECT_EQ(s.storage_cost(), 1000u);  // Table 1
+}
+
+TEST(FullReplication, PlaceReplacesPreviousContent) {
+  auto s = make(3);
+  s.place(iota_entries(5));
+  const std::vector<Entry> fresh{100, 200};
+  s.place(fresh);
+  const auto p = s.placement();
+  for (const auto& server : p.servers) EXPECT_EQ(server.size(), 2u);
+  EXPECT_EQ(metrics::max_coverage(p), 2u);
+}
+
+TEST(FullReplication, LookupContactsExactlyOneServer) {
+  auto s = make(10);
+  s.place(iota_entries(50));
+  for (int i = 0; i < 100; ++i) {
+    const auto r = s.partial_lookup(10);
+    EXPECT_TRUE(r.satisfied);
+    EXPECT_EQ(r.entries.size(), 10u);
+    EXPECT_EQ(r.servers_contacted, 1u);  // §4.2: lookup cost 1
+  }
+}
+
+TEST(FullReplication, AddReachesEveryServer) {
+  auto s = make(4);
+  s.place(iota_entries(3));
+  s.add(99);
+  for (const auto& server : s.placement().servers) {
+    EXPECT_EQ(server.size(), 4u);
+  }
+}
+
+TEST(FullReplication, DeleteReachesEveryServer) {
+  auto s = make(4);
+  s.place(iota_entries(3));
+  s.erase(2);
+  const auto p = s.placement();
+  for (const auto& server : p.servers) EXPECT_EQ(server.size(), 2u);
+  EXPECT_EQ(metrics::max_coverage(p), 2u);
+}
+
+TEST(FullReplication, UpdateCostsOnePlusBroadcast) {
+  auto s = make(10);
+  s.place(iota_entries(5));
+  s.network().reset_stats();
+  s.add(50);
+  // Client request (1) + broadcast (n): §5.1.
+  EXPECT_EQ(s.network().stats().processed, 11u);
+  s.network().reset_stats();
+  s.erase(50);
+  EXPECT_EQ(s.network().stats().processed, 11u);
+}
+
+TEST(FullReplication, SurvivesAllButOneFailure) {
+  auto s = make(6);
+  s.place(iota_entries(30));
+  EXPECT_EQ(metrics::fault_tolerance(s.placement(), 30), 5u);
+  for (ServerId id = 0; id < 5; ++id) s.fail_server(id);
+  const auto r = s.partial_lookup(30);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.entries.size(), 30u);
+}
+
+TEST(FullReplication, LookupFailsOnlyWhenAllServersDown) {
+  auto s = make(3);
+  s.place(iota_entries(4));
+  for (ServerId id = 0; id < 3; ++id) s.fail_server(id);
+  const auto r = s.partial_lookup(1);
+  EXPECT_FALSE(r.satisfied);
+  s.recover_server(1);
+  EXPECT_TRUE(s.partial_lookup(1).satisfied);
+}
+
+TEST(FullReplication, UpdatesProceedWithPartialFailures) {
+  auto s = make(4);
+  s.place(iota_entries(2));
+  s.fail_server(0);
+  s.add(42);
+  s.recover_server(0);
+  const auto p = s.placement();
+  // The failed server missed the broadcast; others have it.
+  std::size_t holders = 0;
+  for (const auto& server : p.servers) {
+    for (Entry v : server) holders += (v == 42);
+  }
+  EXPECT_EQ(holders, 3u);
+}
+
+TEST(FullReplication, RejectsStorageBudget) {
+  EXPECT_THROW(FullReplicationStrategy(
+                   StrategyConfig{.kind = StrategyKind::kFullReplication,
+                                  .storage_budget = 10,
+                                  .seed = 1},
+                   3, net::make_failure_state(3)),
+               std::logic_error);
+}
+
+TEST(FullReplication, NameAndKind) {
+  auto s = make(2);
+  EXPECT_EQ(s.kind(), StrategyKind::kFullReplication);
+  EXPECT_EQ(s.name(), "FullReplication");
+  EXPECT_EQ(s.num_servers(), 2u);
+}
+
+TEST(FullReplication, DeterministicUnderSameSeed) {
+  auto a = make(5, 77);
+  auto b = make(5, 77);
+  a.place(iota_entries(20));
+  b.place(iota_entries(20));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.partial_lookup(5).entries, b.partial_lookup(5).entries);
+  }
+}
+
+}  // namespace
+}  // namespace pls::core

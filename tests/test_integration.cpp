@@ -1,0 +1,161 @@
+// End-to-end integration tests: multi-key service under churn and
+// failures, deterministic replay, deferred-latency delivery.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "pls/core/service.hpp"
+#include "pls/metrics/coverage.hpp"
+#include "pls/workload/replay.hpp"
+
+namespace pls {
+namespace {
+
+using core::PartialLookupService;
+using core::ServiceConfig;
+using core::StrategyConfig;
+using core::StrategyKind;
+
+ServiceConfig napster_like_config() {
+  ServiceConfig cfg;
+  cfg.num_servers = 10;
+  cfg.default_strategy = StrategyConfig{.kind = StrategyKind::kHash,
+                                        .param = 2};
+  // Popular keys get the fair, low-lookup-cost scheme; the long tail gets
+  // the cheap-update scheme — §2's per-key-type strategy selection.
+  cfg.strategy_policy =
+      [](const Key& key) -> std::optional<StrategyConfig> {
+    if (key.starts_with("popular:")) {
+      return StrategyConfig{.kind = StrategyKind::kRoundRobin, .param = 3};
+    }
+    return std::nullopt;
+  };
+  cfg.seed = 2024;
+  return cfg;
+}
+
+TEST(Integration, MixedWorkloadAcrossKeysAndSchemes) {
+  PartialLookupService svc(napster_like_config());
+  Rng rng(1);
+
+  // 20 keys, half popular; each starts with 30 providers.
+  std::vector<Key> keys;
+  for (int k = 0; k < 20; ++k) {
+    Key key = (k % 2 == 0 ? "popular:" : "tail:") + std::to_string(k);
+    keys.push_back(key);
+    std::vector<Entry> providers;
+    for (Entry v = 0; v < 30; ++v) {
+      providers.push_back(static_cast<Entry>(k) * 1000 + v);
+    }
+    svc.place(key, providers);
+  }
+
+  // Churn: random adds/removals across keys.
+  for (int i = 0; i < 2000; ++i) {
+    const Key& key = keys[rng.uniform(keys.size())];
+    const Entry v = rng.uniform(30) +
+                    rng.uniform(keys.size()) * 1000;
+    if (rng.bernoulli(0.5)) {
+      svc.add(key, v);
+    } else {
+      svc.erase(key, v);
+    }
+  }
+
+  // Every key still answers partial lookups.
+  for (const Key& key : keys) {
+    const auto r = svc.partial_lookup(key, 5);
+    EXPECT_TRUE(r.satisfied) << key;
+  }
+  EXPECT_EQ(svc.strategy("popular:0").kind(), StrategyKind::kRoundRobin);
+  EXPECT_EQ(svc.strategy("tail:1").kind(), StrategyKind::kHash);
+}
+
+TEST(Integration, CorrelatedFailuresDegradeAllKeysTogether) {
+  PartialLookupService svc(napster_like_config());
+  svc.place("popular:a", std::vector<Entry>{1, 2, 3, 4, 5, 6});
+  svc.place("tail:b", std::vector<Entry>{10, 20, 30, 40, 50, 60});
+
+  for (ServerId id = 0; id < 9; ++id) svc.fail_server(id);
+  // One survivor: both keys can still answer small lookups from whatever
+  // landed on that server; full coverage is gone for single-copy layouts.
+  const auto ra = svc.partial_lookup("popular:a", 6);
+  const auto rb = svc.partial_lookup("tail:b", 6);
+  // Round-Robin-3 on 10 servers: one survivor holds <= 3 copies per key.
+  EXPECT_LE(ra.entries.size(), 6u);
+  EXPECT_LE(rb.entries.size(), 6u);
+
+  svc.recover_all();
+  EXPECT_TRUE(svc.partial_lookup("popular:a", 6).satisfied);
+  EXPECT_TRUE(svc.partial_lookup("tail:b", 6).satisfied);
+}
+
+TEST(Integration, WholeExperimentIsDeterministic) {
+  auto run_once = [] {
+    workload::WorkloadConfig wc;
+    wc.steady_state_entries = 60;
+    wc.num_updates = 1500;
+    wc.seed = 99;
+    const auto wl = workload::generate_workload(wc);
+    const auto s = core::make_strategy(
+        core::StrategyConfig{
+            .kind = core::StrategyKind::kRandomServer, .param = 12,
+            .seed = 31},
+        8);
+    workload::Replayer(*s, wl).run();
+    std::vector<std::vector<Entry>> placement = s->placement().servers;
+    auto lookup = s->partial_lookup(20);
+    return std::make_pair(placement, lookup.entries);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Integration, DeferredLatencyDeliveryMatchesImmediateOutcome) {
+  // Run the same broadcast-style placement with and without simulated
+  // latency; the final stored state must agree (messages are reliable and
+  // FIFO per the delivery model).
+  const std::vector<Entry> entries{1, 2, 3, 4, 5, 6, 7, 8};
+
+  const auto immediate = core::make_strategy(
+      core::StrategyConfig{
+          .kind = core::StrategyKind::kFullReplication, .seed = 5},
+      4);
+  immediate->place(entries);
+
+  const auto deferred = core::make_strategy(
+      core::StrategyConfig{
+          .kind = core::StrategyKind::kFullReplication, .seed = 5},
+      4);
+  sim::Simulator sim;
+  deferred->network().attach_simulator(&sim, 0.25);
+  deferred->place(entries);
+  sim.run_all();
+  deferred->network().attach_simulator(nullptr);
+
+  EXPECT_EQ(immediate->placement().servers, deferred->placement().servers);
+}
+
+TEST(Integration, ServiceScalesToManyKeys) {
+  ServiceConfig cfg;
+  cfg.num_servers = 8;
+  cfg.default_strategy =
+      StrategyConfig{.kind = StrategyKind::kFixed, .param = 5};
+  cfg.seed = 8;
+  PartialLookupService svc(cfg);
+  for (int k = 0; k < 300; ++k) {
+    svc.place("key" + std::to_string(k),
+              std::vector<Entry>{1, 2, 3, 4, 5, 6, 7});
+  }
+  EXPECT_EQ(svc.num_keys(), 300u);
+  EXPECT_EQ(svc.total_storage(), 300u * 5u * 8u);
+  for (int k = 0; k < 300; k += 37) {
+    EXPECT_TRUE(
+        svc.partial_lookup("key" + std::to_string(k), 5).satisfied);
+  }
+}
+
+}  // namespace
+}  // namespace pls

@@ -1,0 +1,75 @@
+// Tests for the storage (§4.1) and coverage (§4.3) metrics, including the
+// paper's Fig 5 example placements.
+#include <gtest/gtest.h>
+
+#include "pls/metrics/coverage.hpp"
+#include "pls/metrics/storage.hpp"
+
+namespace pls::metrics {
+namespace {
+
+using core::Placement;
+
+TEST(StorageMetric, CountsAllCopies) {
+  Placement p{.servers = {{1, 2, 3}, {1, 2}, {}}};
+  EXPECT_EQ(storage_cost(p), 5u);
+  EXPECT_EQ(per_server_storage(p), (std::vector<std::size_t>{3, 2, 0}));
+}
+
+TEST(StorageMetric, EmptyPlacement) {
+  Placement p{.servers = {{}, {}}};
+  EXPECT_EQ(storage_cost(p), 0u);
+  EXPECT_EQ(storage_imbalance(p), 0u);
+}
+
+TEST(StorageMetric, ImbalanceIsMaxMinusMin) {
+  Placement p{.servers = {{1, 2, 3, 4}, {1}, {1, 2}}};
+  EXPECT_EQ(storage_imbalance(p), 3u);
+}
+
+TEST(CoverageMetric, Fig5Placement1HasCoverageTwo) {
+  // Paper Fig 5 left: three servers all storing {v1, v2}.
+  Placement p{.servers = {{1, 2}, {1, 2}, {1, 2}}};
+  EXPECT_EQ(max_coverage(p), 2u);
+}
+
+TEST(CoverageMetric, Fig5Placement2HasCoverageFive) {
+  // Paper Fig 5 right: {v1,v2}, {v2,v3}, {v4,v5}.
+  Placement p{.servers = {{1, 2}, {2, 3}, {4, 5}}};
+  EXPECT_EQ(max_coverage(p), 5u);
+}
+
+TEST(CoverageMetric, DeleteExampleFromSection43) {
+  // Deleting v2 from placement 1 leaves coverage 1 (cannot serve t=2);
+  // placement 2 keeps coverage 4.
+  Placement p1{.servers = {{1}, {1}, {1}}};
+  EXPECT_EQ(max_coverage(p1), 1u);
+  Placement p2{.servers = {{1}, {3}, {4, 5}}};
+  EXPECT_EQ(max_coverage(p2), 4u);
+}
+
+TEST(CoverageMetric, CoverageOfUpRespectsFailures) {
+  Placement p{.servers = {{1, 2}, {3, 4}, {5, 6}}};
+  const std::vector<bool> all_up{true, true, true};
+  EXPECT_EQ(coverage_of_up(p, all_up), 6u);
+  const std::vector<bool> one_down{true, false, true};
+  EXPECT_EQ(coverage_of_up(p, one_down), 4u);
+  const std::vector<bool> all_down{false, false, false};
+  EXPECT_EQ(coverage_of_up(p, all_down), 0u);
+}
+
+TEST(CoverageMetric, CoverageOfUpChecksSizes) {
+  Placement p{.servers = {{1}, {2}}};
+  const std::vector<bool> wrong_size{true};
+  EXPECT_THROW(coverage_of_up(p, wrong_size), std::logic_error);
+}
+
+TEST(PlacementSnapshot, DistinctEntriesDeduplicates) {
+  Placement p{.servers = {{1, 2}, {2, 3}, {3, 1}}};
+  EXPECT_EQ(p.distinct_entries(), 3u);
+  EXPECT_EQ(p.total_entries(), 6u);
+  EXPECT_EQ(p.num_servers(), 3u);
+}
+
+}  // namespace
+}  // namespace pls::metrics

@@ -1,0 +1,188 @@
+// Tests for the closed-form analytical models (Table 1, §4, §6.4),
+// including cross-checks against the simulated strategies.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "pls/analysis/models.hpp"
+#include "pls/core/strategy_factory.hpp"
+#include "pls/workload/update_stream.hpp"
+
+namespace pls::analysis {
+namespace {
+
+std::vector<Entry> iota_entries(std::size_t h) {
+  std::vector<Entry> out(h);
+  for (std::size_t i = 0; i < h; ++i) out[i] = i + 1;
+  return out;
+}
+
+TEST(StorageModels, Table1Values) {
+  EXPECT_EQ(storage_full_replication(100, 10), 1000u);
+  EXPECT_EQ(storage_per_server_x(100, 10, 20), 200u);
+  EXPECT_EQ(storage_per_server_x(10, 10, 20), 100u);  // x capped at h
+  EXPECT_EQ(storage_round_robin(100, 2), 200u);
+  EXPECT_NEAR(storage_hash_expected(100, 10, 2),
+              1000.0 * (1.0 - 0.81), 1e-9);
+}
+
+TEST(StorageModels, MatchMeasuredPlacements) {
+  struct Case {
+    core::StrategyKind kind;
+    std::size_t param;
+    double expected;
+  };
+  for (const auto& c : {
+           Case{core::StrategyKind::kFullReplication, 1, 1000.0},
+           Case{core::StrategyKind::kFixed, 20, 200.0},
+           Case{core::StrategyKind::kRandomServer, 20, 200.0},
+           Case{core::StrategyKind::kRoundRobin, 2, 200.0},
+       }) {
+    const auto s = core::make_strategy(
+        core::StrategyConfig{.kind = c.kind, .param = c.param, .seed = 1},
+        10);
+    s->place(iota_entries(100));
+    EXPECT_DOUBLE_EQ(static_cast<double>(s->storage_cost()), c.expected)
+        << to_string(c.kind);
+  }
+}
+
+TEST(LookupModels, RoundRobinCeiling) {
+  EXPECT_EQ(lookup_cost_round_robin(10, 100, 10, 2), 1u);
+  EXPECT_EQ(lookup_cost_round_robin(20, 100, 10, 2), 1u);
+  EXPECT_EQ(lookup_cost_round_robin(21, 100, 10, 2), 2u);
+  EXPECT_EQ(lookup_cost_round_robin(50, 100, 10, 2), 3u);
+  EXPECT_EQ(lookup_cost_round_robin(0, 100, 10, 2), 0u);
+}
+
+TEST(LookupModels, RandomServerApproximationTracksSimulation) {
+  // The mean-field model (§4.2 has no closed form) must sit within ~15%
+  // of the simulated mean across the Fig 4 sweep.
+  const auto s = core::make_strategy(
+      core::StrategyConfig{
+          .kind = core::StrategyKind::kRandomServer, .param = 20, .seed = 8},
+      10);
+  s->place(iota_entries(100));
+  for (std::size_t t : {10u, 25u, 35u, 45u}) {
+    double total = 0.0;
+    constexpr int kLookups = 500;
+    for (int i = 0; i < kLookups; ++i) {
+      total += static_cast<double>(s->partial_lookup(t).servers_contacted);
+    }
+    const double simulated = total / kLookups;
+    const double model = lookup_cost_random_server_approx(t, 100, 10, 20);
+    EXPECT_NEAR(model, simulated, simulated * 0.15) << "t=" << t;
+  }
+}
+
+TEST(LookupModels, RandomServerApproximationEdges) {
+  // t within one server: exactly one contact.
+  EXPECT_DOUBLE_EQ(lookup_cost_random_server_approx(15, 100, 10, 20), 1.0);
+  EXPECT_DOUBLE_EQ(lookup_cost_random_server_approx(20, 100, 10, 20), 1.0);
+  // Unreachable targets saturate at n.
+  EXPECT_DOUBLE_EQ(lookup_cost_random_server_approx(100, 100, 10, 20),
+                   10.0);
+  EXPECT_DOUBLE_EQ(lookup_cost_random_server_approx(0, 100, 10, 20), 0.0);
+  // Degenerate growth is monotone in t.
+  EXPECT_LT(lookup_cost_random_server_approx(25, 100, 10, 20),
+            lookup_cost_random_server_approx(45, 100, 10, 20));
+}
+
+TEST(CoverageModels, FixedAndBudgeted) {
+  EXPECT_EQ(coverage_fixed(100, 20), 20u);
+  EXPECT_EQ(coverage_fixed(10, 20), 10u);
+  EXPECT_EQ(coverage_budgeted(100, 40), 40u);
+  EXPECT_EQ(coverage_budgeted(100, 250), 100u);
+}
+
+TEST(CoverageModels, RandomServerExpectation) {
+  EXPECT_NEAR(coverage_random_server(100, 10, 20),
+              100.0 * (1.0 - std::pow(0.8, 10)), 1e-9);
+  EXPECT_NEAR(coverage_random_server(100, 10, 100), 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(coverage_random_server(0, 10, 5), 0.0);
+}
+
+TEST(FaultToleranceModels, IdenticalAndRoundRobin) {
+  EXPECT_EQ(fault_tolerance_identical(10), 9u);
+  EXPECT_EQ(fault_tolerance_identical(0), 0u);
+  // The §4.4 example: Round-1 with t*n/h surviving servers needed.
+  EXPECT_EQ(fault_tolerance_round_robin(10, 100, 10, 1), 9u);
+  EXPECT_EQ(fault_tolerance_round_robin(50, 100, 10, 1), 5u);
+  // y extra iterations add y-1 tolerable failures, capped at n-1.
+  EXPECT_EQ(fault_tolerance_round_robin(50, 100, 10, 2), 6u);
+  EXPECT_EQ(fault_tolerance_round_robin(10, 100, 10, 2), 9u);  // capped
+  EXPECT_EQ(fault_tolerance_round_robin(200, 100, 10, 2), 0u);  // t > h
+}
+
+TEST(UnfairnessModels, FixedClosedForm) {
+  EXPECT_NEAR(unfairness_fixed(100, 20), 2.0, 1e-12);
+  EXPECT_NEAR(unfairness_fixed(100, 25), std::sqrt(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(unfairness_fixed(20, 20), 0.0);
+  EXPECT_DOUBLE_EQ(unfairness_fixed(10, 0), 0.0);
+}
+
+TEST(UpdateCostModels, FixedAndHashFormulas) {
+  // §6.4: Fixed (1 + x*n/h) per update; Hash (1 + y).
+  EXPECT_NEAR(update_cost_fixed(1000, 50, 100, 10), 6000.0, 1e-9);
+  EXPECT_NEAR(update_cost_fixed(1000, 50, 400, 10), 2250.0, 1e-9);
+  EXPECT_NEAR(update_cost_hash(1000, 4), 5000.0, 1e-9);
+  EXPECT_NEAR(update_cost_hash(1000, 1), 2000.0, 1e-9);
+}
+
+TEST(UpdateCostModels, FixedProbabilityClampsAtOne) {
+  // x > h: every update affects the subset; cost = (1 + n) per update.
+  EXPECT_NEAR(update_cost_fixed(100, 50, 20, 10), 1100.0, 1e-9);
+}
+
+TEST(UpdateCostModels, OptimalHashY) {
+  // §6.4's schedule for t=40, n=10: y=1 at h=400, 2 at 200..399,
+  // 3 at 134..199, 4 at 100..133.
+  EXPECT_EQ(optimal_hash_y(40, 400, 10), 1u);
+  EXPECT_EQ(optimal_hash_y(40, 399, 10), 2u);
+  EXPECT_EQ(optimal_hash_y(40, 200, 10), 2u);
+  EXPECT_EQ(optimal_hash_y(40, 199, 10), 3u);
+  EXPECT_EQ(optimal_hash_y(40, 134, 10), 3u);
+  EXPECT_EQ(optimal_hash_y(40, 133, 10), 4u);
+  EXPECT_EQ(optimal_hash_y(40, 100, 10), 4u);
+}
+
+TEST(UpdateCostModels, CrossoverCondition) {
+  // Fixed cheaper iff x*n/h < y (§6.4).
+  EXPECT_TRUE(fixed_cheaper_than_hash(50, 400, 10, 2));   // 1.25 < 2
+  EXPECT_FALSE(fixed_cheaper_than_hash(50, 400, 10, 1));  // 1.25 > 1
+  EXPECT_FALSE(fixed_cheaper_than_hash(50, 100, 10, 4));  // 5 > 4
+  EXPECT_TRUE(fixed_cheaper_than_hash(50, 200, 10, 3));   // 2.5 < 3
+}
+
+TEST(UpdateCostModels, FormulasPredictSimulatedFixedCosts) {
+  // The measured §6.4 overhead must track the analytical (1 + x*n/h)U:
+  // deletes hit the stored x-subset with probability x/h, and each such
+  // hit triggers a delete broadcast plus a refill broadcast on the next
+  // add. Steady-state churn comes from the §6.1 workload generator.
+  workload::WorkloadConfig wc;
+  wc.steady_state_entries = 200;
+  wc.num_updates = 6000;
+  wc.seed = 5;
+  const auto wl = workload::generate_workload(wc);
+
+  const auto s = core::make_strategy(
+      core::StrategyConfig{
+          .kind = core::StrategyKind::kFixed, .param = 50, .seed = 5},
+      10);
+  s->place(wl.initial);
+  s->network().reset_stats();
+  for (const auto& ev : wl.events) {
+    if (ev.kind == workload::UpdateKind::kAdd) {
+      s->add(ev.entry);
+    } else {
+      s->erase(ev.entry);
+    }
+  }
+  const double measured =
+      static_cast<double>(s->network().stats().processed);
+  const double predicted = update_cost_fixed(wl.events.size(), 50, 200, 10);
+  EXPECT_NEAR(measured, predicted, predicted * 0.15);
+}
+
+}  // namespace
+}  // namespace pls::analysis

@@ -1,0 +1,111 @@
+// Tests for the Network -> sim::Trace observability hook.
+#include <gtest/gtest.h>
+
+#include "pls/core/strategy_factory.hpp"
+#include "pls/sim/trace.hpp"
+
+namespace pls::net {
+namespace {
+
+std::vector<Entry> iota_entries(std::size_t h) {
+  std::vector<Entry> out(h);
+  for (std::size_t i = 0; i < h; ++i) out[i] = i + 1;
+  return out;
+}
+
+TEST(NetworkTrace, RecordsEveryProcessedMessage) {
+  const auto s = core::make_strategy(
+      core::StrategyConfig{
+          .kind = core::StrategyKind::kFullReplication, .seed = 1},
+      4);
+  sim::Trace trace;
+  trace.enable();
+  s->network().set_trace(&trace);
+
+  s->place(iota_entries(3));
+  EXPECT_EQ(trace.count(sim::TraceKind::kMessage),
+            s->network().stats().processed);
+
+  const auto before = trace.count(sim::TraceKind::kMessage);
+  s->add(42);  // 1 request + broadcast of 4
+  EXPECT_EQ(trace.count(sim::TraceKind::kMessage), before + 5);
+}
+
+TEST(NetworkTrace, NamesTheMessageAndTarget) {
+  const auto s = core::make_strategy(
+      core::StrategyConfig{
+          .kind = core::StrategyKind::kFixed, .param = 2, .seed = 1},
+      2);
+  sim::Trace trace;
+  trace.enable();
+  s->network().set_trace(&trace);
+  s->place(iota_entries(4));
+  const std::string text = trace.to_text();
+  EXPECT_NE(text.find("PlaceRequest"), std::string::npos);
+  EXPECT_NE(text.find("StoreBatch"), std::string::npos);
+  EXPECT_NE(text.find("server 1"), std::string::npos);
+}
+
+TEST(NetworkTrace, DropsAreRecordedAsFailures) {
+  const auto s = core::make_strategy(
+      core::StrategyConfig{
+          .kind = core::StrategyKind::kFullReplication, .seed = 1},
+      3);
+  s->place(iota_entries(2));
+  sim::Trace trace;
+  trace.enable();
+  s->network().set_trace(&trace);
+  s->fail_server(1);
+  s->add(99);  // the broadcast hits the down server
+  EXPECT_EQ(trace.count(sim::TraceKind::kFailure), 1u);
+  const std::string text = trace.to_text();
+  EXPECT_NE(text.find("dropped at server 1"), std::string::npos);
+}
+
+TEST(NetworkTrace, DetachStopsRecording) {
+  const auto s = core::make_strategy(
+      core::StrategyConfig{
+          .kind = core::StrategyKind::kFullReplication, .seed = 1},
+      2);
+  sim::Trace trace;
+  trace.enable();
+  s->network().set_trace(&trace);
+  s->place(iota_entries(1));
+  const auto count = trace.records().size();
+  s->network().set_trace(nullptr);
+  s->add(5);
+  EXPECT_EQ(trace.records().size(), count);
+}
+
+TEST(NetworkTrace, DisabledTraceStaysEmpty) {
+  const auto s = core::make_strategy(
+      core::StrategyConfig{
+          .kind = core::StrategyKind::kFullReplication, .seed = 1},
+      2);
+  sim::Trace trace;  // not enabled
+  s->network().set_trace(&trace);
+  s->place(iota_entries(1));
+  EXPECT_TRUE(trace.records().empty());
+}
+
+TEST(NetworkTrace, DeferredModeStampsSimulatedTime) {
+  const auto s = core::make_strategy(
+      core::StrategyConfig{
+          .kind = core::StrategyKind::kFullReplication, .seed = 1},
+      2);
+  sim::Trace trace;
+  trace.enable();
+  s->network().set_trace(&trace);
+  sim::Simulator sim;
+  s->network().attach_simulator(&sim, 2.5);
+  s->place(iota_entries(1));
+  sim.run_all();
+  ASSERT_FALSE(trace.records().empty());
+  // The PlaceRequest was delivered after one latency hop, the resulting
+  // StoreBatch broadcasts after two.
+  EXPECT_DOUBLE_EQ(trace.records().front().time, 2.5);
+  EXPECT_DOUBLE_EQ(trace.records().back().time, 5.0);
+}
+
+}  // namespace
+}  // namespace pls::net

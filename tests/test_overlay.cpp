@@ -1,0 +1,197 @@
+// Tests for the §7.2 limited-reachability overlay substrate.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "pls/core/strategy_factory.hpp"
+#include "pls/overlay/reachability.hpp"
+
+namespace pls::overlay {
+namespace {
+
+std::vector<Entry> iota_entries(std::size_t h) {
+  std::vector<Entry> out(h);
+  for (std::size_t i = 0; i < h; ++i) out[i] = i + 1;
+  return out;
+}
+
+TEST(Topology, RingHasRingEdges) {
+  Rng rng(1);
+  const auto topo = Topology::ring_with_chords(8, 0, rng);
+  EXPECT_EQ(topo.num_edges(), 8u);
+  EXPECT_TRUE(topo.has_edge(0, 1));
+  EXPECT_TRUE(topo.has_edge(7, 0));
+  EXPECT_FALSE(topo.has_edge(0, 4));
+  EXPECT_TRUE(topo.connected());
+  EXPECT_EQ(topo.diameter(), 4u);
+}
+
+TEST(Topology, ChordsShrinkTheDiameter) {
+  Rng rng(2);
+  const auto plain = Topology::ring_with_chords(40, 0, rng);
+  const auto chorded = Topology::ring_with_chords(40, 30, rng);
+  EXPECT_LT(chorded.diameter(), plain.diameter());
+  EXPECT_EQ(chorded.num_edges(), 70u);
+}
+
+TEST(Topology, GridDistances) {
+  const auto topo = Topology::grid(3, 4);
+  EXPECT_EQ(topo.size(), 12u);
+  EXPECT_TRUE(topo.connected());
+  EXPECT_EQ(topo.diameter(), 5u);  // (0,0) -> (2,3)
+  const auto dist = topo.distances_from(0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);   // (0,1)
+  EXPECT_EQ(dist[4], 1u);   // (1,0)
+  EXPECT_EQ(dist[11], 5u);  // (2,3)
+}
+
+TEST(Topology, SelfLoopsAndDuplicatesIgnored) {
+  Topology topo(4);
+  topo.add_edge(0, 0);
+  topo.add_edge(1, 2);
+  topo.add_edge(2, 1);
+  EXPECT_EQ(topo.num_edges(), 1u);
+}
+
+TEST(Topology, DisconnectedGraphsReport) {
+  Topology topo(4);
+  topo.add_edge(0, 1);
+  EXPECT_FALSE(topo.connected());
+  EXPECT_EQ(topo.diameter(), SIZE_MAX);
+  const auto dist = topo.distances_from(0);
+  EXPECT_EQ(dist[3], SIZE_MAX);
+}
+
+TEST(Topology, WithinIncludesSourceAndRespectsRadius) {
+  const auto topo = Topology::grid(1, 5);  // a path 0-1-2-3-4
+  const auto near = topo.within(2, 1);
+  EXPECT_EQ(std::set<NodeId>(near.begin(), near.end()),
+            (std::set<NodeId>{1, 2, 3}));
+  EXPECT_EQ(topo.within(0, 0), (std::vector<NodeId>{0}));
+}
+
+TEST(Topology, RandomGraphApproximatesDegree) {
+  Rng rng(3);
+  const auto topo = Topology::random_graph(50, 4, rng);
+  std::size_t total_degree = 0;
+  for (NodeId v = 0; v < 50; ++v) total_degree += topo.neighbours(v).size();
+  EXPECT_GE(total_degree, 50u * 4u);  // each node drew at least 4
+}
+
+TEST(Topology, BoundsChecked) {
+  Topology topo(3);
+  EXPECT_THROW(topo.add_edge(0, 3), std::logic_error);
+  EXPECT_THROW(topo.neighbours(5), std::logic_error);
+  EXPECT_THROW(Topology(0), std::logic_error);
+}
+
+TEST(ServerMap, ReachableServersByHopCount) {
+  const auto topo = Topology::grid(1, 10);  // path of 10 nodes
+  ServerMap servers{.server_nodes = {0, 5, 9}};
+  EXPECT_EQ(servers.reachable_servers(topo, 0, 0),
+            (std::vector<ServerId>{0}));
+  EXPECT_EQ(servers.reachable_servers(topo, 4, 1),
+            (std::vector<ServerId>{1}));
+  EXPECT_EQ(servers.reachable_servers(topo, 4, 4),
+            (std::vector<ServerId>{0, 1}));
+  EXPECT_EQ(servers.reachable_servers(topo, 4, 9).size(), 3u);
+}
+
+TEST(EvenlySpacedServers, CoversTheOverlayUniformly) {
+  const auto topo = Topology::grid(1, 12);
+  const auto map = evenly_spaced_servers(topo, 4);
+  EXPECT_EQ(map.server_nodes, (std::vector<NodeId>{0, 3, 6, 9}));
+  EXPECT_THROW(evenly_spaced_servers(topo, 0), std::logic_error);
+  EXPECT_THROW(evenly_spaced_servers(topo, 13), std::logic_error);
+}
+
+struct RestrictedFixture : public ::testing::Test {
+  RestrictedFixture()
+      : topo(Topology::grid(1, 20)),
+        servers(evenly_spaced_servers(topo, 5)),
+        strategy(core::make_strategy(
+            core::StrategyConfig{
+                .kind = core::StrategyKind::kRoundRobin, .param = 1,
+                .seed = 4},
+            5)) {
+    strategy->place(iota_entries(20));  // 4 entries per server, single copy
+  }
+
+  Topology topo;
+  ServerMap servers;
+  std::unique_ptr<core::Strategy> strategy;
+  Rng rng{9};
+};
+
+TEST_F(RestrictedFixture, LookupUsesOnlyReachableServers) {
+  // Client at node 0 with 2 hops reaches only the server at node 0.
+  const auto r =
+      restricted_lookup(*strategy, topo, servers, 0, 2, 4, rng);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.servers_contacted, 1u);
+  // That server (id 0) holds exactly entries with slot % 5 == 0.
+  for (Entry v : r.entries) {
+    EXPECT_EQ((v - 1) % 5, 0u) << "entry " << v << " not from server 0";
+  }
+}
+
+TEST_F(RestrictedFixture, LargerRadiusUnlocksMoreEntries) {
+  const auto near = restricted_lookup(*strategy, topo, servers, 0, 2, 8,
+                                      rng);
+  EXPECT_FALSE(near.satisfied);  // one server holds only 4 entries
+  const auto far = restricted_lookup(*strategy, topo, servers, 0, 7, 8,
+                                     rng);
+  EXPECT_TRUE(far.satisfied);  // two servers reachable: 8 entries
+}
+
+TEST_F(RestrictedFixture, SatisfactionGrowsMonotonicallyWithHops) {
+  double prev = -1.0;
+  for (std::size_t d = 0; d <= topo.diameter(); ++d) {
+    const double frac = client_satisfaction(*strategy, topo, servers, d, 4);
+    EXPECT_GE(frac, prev);
+    prev = frac;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST_F(RestrictedFixture, MinHopsMatchesGeometry) {
+  // Servers at nodes 0,4,8,12,16 on a 20-path: the farthest client (node
+  // 19) sits 3 hops from its nearest server, and one server's 4 entries
+  // satisfy t = 4.
+  EXPECT_EQ(min_hops_for_full_satisfaction(*strategy, topo, servers, 4),
+            3u);
+  // t = 8 needs two servers: node 19 must span to node 12, 7 hops away.
+  const auto d8 = min_hops_for_full_satisfaction(*strategy, topo, servers, 8);
+  EXPECT_EQ(d8, 7u);
+  // Unsatisfiable targets report SIZE_MAX.
+  EXPECT_EQ(min_hops_for_full_satisfaction(*strategy, topo, servers, 21),
+            SIZE_MAX);
+}
+
+TEST_F(RestrictedFixture, FailuresShrinkReachableCoverage) {
+  strategy->fail_server(0);
+  const auto r = restricted_lookup(*strategy, topo, servers, 0, 2, 1, rng);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_EQ(r.servers_contacted, 0u);
+  const double frac = client_satisfaction(*strategy, topo, servers, 2, 4);
+  EXPECT_LT(frac, 1.0);
+}
+
+TEST(RestrictedLookupValidation, ServerMapMustMatchCluster) {
+  const auto topo = Topology::grid(1, 5);
+  ServerMap wrong{.server_nodes = {0, 1}};
+  const auto s = core::make_strategy(
+      core::StrategyConfig{
+          .kind = core::StrategyKind::kFixed, .param = 2, .seed = 1},
+      3);
+  Rng rng(1);
+  EXPECT_THROW(restricted_lookup(*s, topo, wrong, 0, 1, 1, rng),
+               std::logic_error);
+  EXPECT_THROW(client_satisfaction(*s, topo, wrong, 1, 1),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace pls::overlay

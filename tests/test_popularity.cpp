@@ -1,0 +1,69 @@
+// Tests for the Zipf key-popularity sampler.
+#include <array>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "pls/workload/popularity.hpp"
+
+namespace pls::workload {
+namespace {
+
+TEST(ZipfRankSampler, ProbabilitiesSumToOne) {
+  ZipfRankSampler zipf(20, 1.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < 20; ++r) total += zipf.probability(r);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfRankSampler, AlphaZeroIsUniform) {
+  ZipfRankSampler zipf(10, 0.0);
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(zipf.probability(r), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfRankSampler, ProbabilityDecaysByRank) {
+  ZipfRankSampler zipf(10, 1.0);
+  for (std::size_t r = 1; r < 10; ++r) {
+    EXPECT_LT(zipf.probability(r), zipf.probability(r - 1));
+  }
+  // Classic Zipf: rank 0 twice as likely as rank 1.
+  EXPECT_NEAR(zipf.probability(0) / zipf.probability(1), 2.0, 1e-9);
+}
+
+TEST(ZipfRankSampler, SamplesMatchTheMassFunction) {
+  ZipfRankSampler zipf(8, 1.0);
+  Rng rng(5);
+  std::array<std::size_t, 8> counts{};
+  constexpr std::size_t kDraws = 200000;
+  for (std::size_t i = 0; i < kDraws; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t r = 0; r < 8; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / kDraws,
+                zipf.probability(r), 0.005)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfRankSampler, SamplesAlwaysInRange) {
+  ZipfRankSampler zipf(3, 2.0);
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.sample(rng), 3u);
+}
+
+TEST(ZipfRankSampler, SingleRankAlwaysZero) {
+  ZipfRankSampler zipf(1, 1.0);
+  Rng rng(7);
+  EXPECT_EQ(zipf.sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.probability(0), 1.0);
+}
+
+TEST(ZipfRankSampler, RejectsBadParameters) {
+  EXPECT_THROW(ZipfRankSampler(0, 1.0), std::logic_error);
+  EXPECT_THROW(ZipfRankSampler(5, -0.1), std::logic_error);
+  ZipfRankSampler zipf(5, 1.0);
+  EXPECT_THROW(zipf.probability(5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pls::workload

@@ -1,0 +1,138 @@
+// Tests for the §7.1 clients-with-preferences extension.
+#include <gtest/gtest.h>
+
+#include "pls/common/stats.hpp"
+#include "pls/core/preferences.hpp"
+#include "pls/core/strategy_factory.hpp"
+
+namespace pls::core {
+namespace {
+
+std::vector<Entry> iota_entries(std::size_t h) {
+  std::vector<Entry> out(h);
+  for (std::size_t i = 0; i < h; ++i) out[i] = i + 1;
+  return out;
+}
+
+/// Entry id doubles as its cost: lower id = better provider.
+double id_cost(Entry v) { return static_cast<double>(v); }
+
+std::unique_ptr<Strategy> make(StrategyKind kind, std::size_t param,
+                               std::size_t n = 10) {
+  return make_strategy(
+      StrategyConfig{.kind = kind, .param = param, .seed = 31}, n);
+}
+
+TEST(PreferredLookup, ExhaustiveFindsTheGlobalOptimumUnderFullCoverage) {
+  const auto s = make(StrategyKind::kRoundRobin, 2);
+  const auto universe = iota_entries(100);
+  s->place(universe);
+  Rng rng(1);
+  const auto r =
+      preferred_lookup(*s, 5, id_cost, PreferenceMode::kExhaustive, rng);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.entries, (std::vector<Entry>{1, 2, 3, 4, 5}));
+  EXPECT_DOUBLE_EQ(r.mean_cost, 3.0);
+  EXPECT_EQ(r.servers_contacted, 10u);
+  EXPECT_DOUBLE_EQ(preference_regret(r, universe, id_cost, 5), 0.0);
+}
+
+TEST(PreferredLookup, ResultsAreSortedAscendingByCost) {
+  const auto s = make(StrategyKind::kRandomServer, 20);
+  s->place(iota_entries(100));
+  Rng rng(2);
+  const auto r =
+      preferred_lookup(*s, 10, id_cost, PreferenceMode::kStopAtT, rng);
+  EXPECT_TRUE(r.satisfied);
+  for (std::size_t i = 1; i < r.entries.size(); ++i) {
+    EXPECT_LE(id_cost(r.entries[i - 1]), id_cost(r.entries[i]));
+  }
+}
+
+TEST(PreferredLookup, StopAtTIsCheaperButWorse) {
+  // The §7.1 trade-off: the cheap protocol contacts few servers and pays
+  // regret; the exhaustive one contacts all and is optimal (under full
+  // coverage).
+  const auto universe = iota_entries(100);
+  RunningStats cheap_regret, cheap_cost, full_regret;
+  for (int i = 0; i < 30; ++i) {
+    const auto s = make_strategy(
+        StrategyConfig{.kind = StrategyKind::kRoundRobin, .param = 2,
+                       .seed = 100 + static_cast<std::uint64_t>(i)},
+        10);
+    s->place(universe);
+    Rng rng(static_cast<std::uint64_t>(i));
+    const auto cheap =
+        preferred_lookup(*s, 5, id_cost, PreferenceMode::kStopAtT, rng);
+    const auto full =
+        preferred_lookup(*s, 5, id_cost, PreferenceMode::kExhaustive, rng);
+    cheap_regret.add(preference_regret(cheap, universe, id_cost, 5));
+    cheap_cost.add(static_cast<double>(cheap.servers_contacted));
+    full_regret.add(preference_regret(full, universe, id_cost, 5));
+  }
+  EXPECT_DOUBLE_EQ(full_regret.mean(), 0.0);
+  EXPECT_GT(cheap_regret.mean(), 1.0);   // random t-of-h is far from best-t
+  EXPECT_LT(cheap_cost.mean(), 2.0);     // but contacts ~1 server
+}
+
+TEST(PreferredLookup, FixedHasIrreducibleRegret) {
+  // Fixed-x only ever stores the *first* x entries; if the client's cost
+  // ranks others higher, even exhaustive search cannot recover them.
+  const auto s = make(StrategyKind::kFixed, 20);
+  const auto universe = iota_entries(100);
+  s->place(universe);  // stores entries 1..20 everywhere
+  // Prefer HIGH ids: cost = -id. Best-5 of the universe is 96..100.
+  const auto prefer_high = [](Entry v) { return -static_cast<double>(v); };
+  Rng rng(3);
+  const auto r =
+      preferred_lookup(*s, 5, prefer_high, PreferenceMode::kExhaustive, rng);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.entries.front(), 20u);  // best it can do
+  EXPECT_GT(preference_regret(r, universe, prefer_high, 5), 70.0);
+}
+
+TEST(PreferredLookup, UnsatisfiedSlotsArePenalisedInRegret) {
+  const auto s = make(StrategyKind::kFixed, 3);
+  const auto universe = iota_entries(10);
+  s->place(universe);
+  Rng rng(4);
+  const auto r =
+      preferred_lookup(*s, 5, id_cost, PreferenceMode::kStopAtT, rng);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_EQ(r.entries.size(), 3u);
+  // Two missing slots count at the worst universe cost (10).
+  const double regret = preference_regret(r, universe, id_cost, 5);
+  EXPECT_GE(regret, (10.0 + 10.0 - 4.0 - 5.0) / 5.0);
+}
+
+TEST(PreferredLookup, ExhaustiveSkipsFailedServers) {
+  const auto s = make(StrategyKind::kRoundRobin, 1, 5);
+  s->place(iota_entries(10));
+  s->fail_server(0);
+  Rng rng(5);
+  const auto r =
+      preferred_lookup(*s, 10, id_cost, PreferenceMode::kExhaustive, rng);
+  EXPECT_FALSE(r.satisfied);       // server 0's two entries are gone
+  EXPECT_EQ(r.entries.size(), 8u);
+  EXPECT_EQ(r.servers_contacted, 4u);
+}
+
+TEST(PreferredLookup, ValidatesArguments) {
+  const auto s = make(StrategyKind::kFixed, 2, 3);
+  s->place(iota_entries(4));
+  Rng rng(6);
+  EXPECT_THROW(
+      preferred_lookup(*s, 2, CostFn{}, PreferenceMode::kStopAtT, rng),
+      std::logic_error);
+  const auto r =
+      preferred_lookup(*s, 2, id_cost, PreferenceMode::kStopAtT, rng);
+  const auto universe = iota_entries(4);
+  EXPECT_THROW(preference_regret(r, {}, id_cost, 2), std::logic_error);
+  EXPECT_THROW(preference_regret(r, universe, id_cost, 0),
+               std::logic_error);
+  EXPECT_THROW(preference_regret(r, universe, id_cost, 5),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace pls::core

@@ -1,0 +1,266 @@
+// Behaviour tests for the RandomServer-x strategy (§3.3, §5.3).
+#include <array>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "pls/core/random_server_x.hpp"
+#include "pls/metrics/coverage.hpp"
+
+namespace pls::core {
+namespace {
+
+std::vector<Entry> iota_entries(std::size_t h) {
+  std::vector<Entry> out(h);
+  for (std::size_t i = 0; i < h; ++i) out[i] = i + 1;
+  return out;
+}
+
+RandomServerStrategy make(std::size_t n, std::size_t x,
+                          std::uint64_t seed = 1) {
+  return RandomServerStrategy(
+      StrategyConfig{
+          .kind = StrategyKind::kRandomServer, .param = x, .seed = seed},
+      n, net::make_failure_state(n));
+}
+
+TEST(RandomServer, EveryServerStoresExactlyX) {
+  auto s = make(10, 20);
+  s.place(iota_entries(100));
+  for (const auto& server : s.placement().servers) {
+    EXPECT_EQ(server.size(), 20u);
+  }
+  EXPECT_EQ(s.storage_cost(), 200u);  // Table 1: x*n
+}
+
+TEST(RandomServer, SubsetsComeFromThePlacedEntries) {
+  auto s = make(5, 4);
+  s.place(iota_entries(30));
+  for (const auto& server : s.placement().servers) {
+    for (Entry v : server) {
+      EXPECT_GE(v, 1u);
+      EXPECT_LE(v, 30u);
+    }
+  }
+}
+
+TEST(RandomServer, ServersChooseDifferentSubsets) {
+  auto s = make(10, 20);
+  s.place(iota_entries(100));
+  const auto p = s.placement();
+  std::set<std::set<Entry>> distinct_subsets;
+  for (const auto& server : p.servers) {
+    distinct_subsets.emplace(server.begin(), server.end());
+  }
+  // With C(100,20) possible subsets, 10 servers colliding is impossible in
+  // practice (the paper calls this probability "extremely small").
+  EXPECT_GT(distinct_subsets.size(), 8u);
+}
+
+TEST(RandomServer, SmallerUniverseIsKeptWhole) {
+  auto s = make(4, 10);
+  s.place(iota_entries(6));
+  for (const auto& server : s.placement().servers) {
+    EXPECT_EQ(server.size(), 6u);
+  }
+}
+
+TEST(RandomServer, CoverageMatchesClosedFormExpectation) {
+  // E[coverage] = h * (1 - (1 - x/h)^n) = 100 * (1 - 0.8^10) ~ 89.3 (§4.3).
+  double total = 0.0;
+  constexpr int kInstances = 300;
+  for (int i = 0; i < kInstances; ++i) {
+    auto s = make(10, 20, 1000 + static_cast<std::uint64_t>(i));
+    s.place(iota_entries(100));
+    total += static_cast<double>(metrics::max_coverage(s.placement()));
+  }
+  EXPECT_NEAR(total / kInstances, 100.0 * (1.0 - std::pow(0.8, 10)), 1.0);
+}
+
+TEST(RandomServer, PlacementSubsetIsUniform) {
+  // Every entry should land on a given server with probability x/h.
+  constexpr int kInstances = 2000;
+  std::array<int, 10> counts{};
+  for (int i = 0; i < kInstances; ++i) {
+    auto s = make(3, 4, 50 + static_cast<std::uint64_t>(i));
+    s.place(iota_entries(10));
+    const auto placement = s.placement();
+    for (Entry v : placement.servers[0]) ++counts[v - 1];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kInstances, 0.4, 0.05);
+  }
+}
+
+TEST(RandomServer, LookupMergesServersUntilSatisfied) {
+  auto s = make(10, 20);
+  s.place(iota_entries(100));
+  const auto r = s.partial_lookup(35);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_GE(r.entries.size(), 35u);
+  EXPECT_GE(r.servers_contacted, 2u);  // one server holds only 20
+  std::set<Entry> unique(r.entries.begin(), r.entries.end());
+  EXPECT_EQ(unique.size(), r.entries.size());
+}
+
+TEST(RandomServer, LookupCostExceedsRoundRobinEquivalent) {
+  // §4.2/Fig 4: overlap between random subsets forces extra contacts
+  // compared with the disjoint stride of Round-Robin: asking for 40 of 100
+  // with 20 per server needs >= 2 servers, usually 3 because of overlap.
+  auto s = make(10, 20);
+  s.place(iota_entries(100));
+  double total_contacts = 0.0;
+  constexpr int kLookups = 300;
+  for (int i = 0; i < kLookups; ++i) {
+    const auto r = s.partial_lookup(40);
+    EXPECT_TRUE(r.satisfied);
+    total_contacts += static_cast<double>(r.servers_contacted);
+  }
+  EXPECT_GT(total_contacts / kLookups, 2.2);
+}
+
+TEST(RandomServer, EveryUpdateBroadcasts) {
+  auto s = make(10, 5);
+  s.place(iota_entries(20));
+  s.network().reset_stats();
+  s.add(100);
+  EXPECT_EQ(s.network().stats().processed, 11u);  // 1 + n, §5.3
+  s.network().reset_stats();
+  s.erase(100);
+  EXPECT_EQ(s.network().stats().processed, 11u);
+}
+
+TEST(RandomServer, AddFillsBelowQuotaDeterministically) {
+  auto s = make(4, 10);
+  s.place(iota_entries(3));
+  s.add(50);
+  for (const auto& server : s.placement().servers) {
+    EXPECT_EQ(server.size(), 4u);  // below x: everyone stores the newcomer
+  }
+}
+
+TEST(RandomServer, ReservoirKeepsServerAtQuota) {
+  auto s = make(6, 8);
+  s.place(iota_entries(30));
+  for (Entry v = 100; v < 160; ++v) s.add(v);
+  for (const auto& server : s.placement().servers) {
+    EXPECT_EQ(server.size(), 8u);
+  }
+}
+
+TEST(RandomServer, ReservoirSubsetStaysUniformUnderAdds) {
+  // After placing h0 entries and adding (h-h0) more, each of the h entries
+  // should be on a given server with probability x/h (Vitter's reservoir).
+  constexpr std::size_t kX = 5;
+  constexpr std::size_t kInitial = 10;
+  constexpr std::size_t kFinal = 25;
+  constexpr int kInstances = 3000;
+  std::array<int, kFinal> counts{};
+  for (int i = 0; i < kInstances; ++i) {
+    auto s = make(2, kX, 777 + static_cast<std::uint64_t>(i));
+    s.place(iota_entries(kInitial));
+    for (Entry v = kInitial + 1; v <= kFinal; ++v) s.add(v);
+    const auto placement = s.placement();
+    for (Entry v : placement.servers[0]) ++counts[v - 1];
+  }
+  const double ideal = static_cast<double>(kX) / kFinal;  // 0.2
+  for (std::size_t j = 0; j < kFinal; ++j) {
+    EXPECT_NEAR(static_cast<double>(counts[j]) / kInstances, ideal, 0.035)
+        << "entry " << j + 1;
+  }
+}
+
+TEST(RandomServer, LocalCounterTracksSystemSize) {
+  auto s = make(3, 4);
+  s.place(iota_entries(10));
+  s.add(11);
+  s.add(12);
+  s.erase(1);
+  const auto& server =
+      static_cast<const RandomServerServer&>(s.network().server(0));
+  EXPECT_EQ(server.local_h(), 11u);
+}
+
+TEST(RandomServer, DeleteShrinksAffectedServersOnly) {
+  auto s = make(10, 20);
+  s.place(iota_entries(100));
+  std::size_t holders = 0;
+  for (const auto& server : s.placement().servers) {
+    for (Entry v : server) holders += (v == 1);
+  }
+  s.erase(1);
+  EXPECT_EQ(s.storage_cost(), 200u - holders);  // cushion: no replacement
+}
+
+
+TEST(RandomServer, ActiveReplacementRefillsAfterDelete) {
+  // §5.3's alternative delete handling: a holder immediately pulls a
+  // substitute from a peer, keeping servers at quota without a cushion.
+  RandomServerStrategy s(
+      StrategyConfig{.kind = StrategyKind::kRandomServer,
+                     .param = 5,
+                     .rs_active_replacement = true,
+                     .seed = 9},
+      6, net::make_failure_state(6));
+  s.place(iota_entries(30));
+  for (Entry v = 1; v <= 10; ++v) s.erase(v);
+  for (const auto& server : s.placement().servers) {
+    EXPECT_EQ(server.size(), 5u);  // refilled, unlike the cushion scheme
+  }
+  // Nothing deleted may linger anywhere.
+  for (const auto& server : s.placement().servers) {
+    for (Entry v : server) EXPECT_GT(v, 10u);
+  }
+}
+
+TEST(RandomServer, ActiveReplacementCostsExtraMessages) {
+  auto make_variant = [](bool replacement) {
+    return RandomServerStrategy(
+        StrategyConfig{.kind = StrategyKind::kRandomServer,
+                       .param = 10,
+                       .rs_active_replacement = replacement,
+                       .seed = 9},
+        6, net::make_failure_state(6));
+  };
+  auto cushion = make_variant(false);
+  auto active = make_variant(true);
+  cushion.place(iota_entries(30));
+  active.place(iota_entries(30));
+  cushion.network().reset_stats();
+  active.network().reset_stats();
+  for (Entry v = 1; v <= 15; ++v) {
+    cushion.erase(v);
+    active.erase(v);
+  }
+  // Each affected holder pays a 2-message RPC for its substitute.
+  EXPECT_GT(active.network().stats().processed,
+            cushion.network().stats().processed);
+  EXPECT_GT(active.network().stats().rpcs, 0u);
+  EXPECT_EQ(cushion.network().stats().rpcs, 0u);
+}
+
+TEST(RandomServer, RejectsZeroXAndBudget) {
+  EXPECT_THROW(make(3, 0), std::logic_error);
+  EXPECT_THROW(
+      RandomServerStrategy(StrategyConfig{.kind = StrategyKind::kRandomServer,
+                                          .param = 2,
+                                          .storage_budget = 5,
+                                          .seed = 1},
+                           3, net::make_failure_state(3)),
+      std::logic_error);
+}
+
+TEST(RandomServer, LookupSkipsFailedServers) {
+  auto s = make(6, 10);
+  s.place(iota_entries(20));
+  s.fail_server(0);
+  s.fail_server(1);
+  for (int i = 0; i < 30; ++i) {
+    const auto r = s.partial_lookup(12);
+    EXPECT_TRUE(r.satisfied);
+  }
+}
+
+}  // namespace
+}  // namespace pls::core

@@ -1,0 +1,207 @@
+// Unit tests for pls::Rng: determinism, bounds, sampling uniformity.
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pls/common/rng.hpp"
+
+namespace pls {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng r(0);
+  EXPECT_NE(r.next_u64(), r.next_u64());
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.uniform(bound), bound);
+  }
+}
+
+TEST(Rng, UniformBoundOneAlwaysZero) {
+  Rng r(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.uniform(1), 0u);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng r(99);
+  constexpr std::size_t kBuckets = 10;
+  constexpr std::size_t kDraws = 100000;
+  std::array<std::size_t, kBuckets> counts{};
+  for (std::size_t i = 0; i < kDraws; ++i) ++counts[r.uniform(kBuckets)];
+  // Chi-square with 9 dof: 99.9th percentile ~ 27.9.
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (auto c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformRealInHalfOpenUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform_real();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-1.0));
+    EXPECT_TRUE(r.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r(13);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(17);
+  double sum = 0.0;
+  constexpr int kTrials = 200000;
+  for (int i = 0; i < kTrials; ++i) sum += r.exponential(10.0);
+  EXPECT_NEAR(sum / kTrials, 10.0, 0.2);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng r(19);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(r.exponential(0.001), 0.0);
+}
+
+TEST(Rng, SampleIndicesAreDistinctAndInRange) {
+  Rng r(23);
+  for (std::size_t n : {1ul, 5ul, 20ul, 100ul}) {
+    for (std::size_t k = 0; k <= n; k += std::max<std::size_t>(1, n / 4)) {
+      const auto sample = r.sample_indices(n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<std::size_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), k);
+      for (auto idx : sample) EXPECT_LT(idx, n);
+    }
+  }
+}
+
+TEST(Rng, SampleIndicesRejectsOversizedRequest) {
+  Rng r(29);
+  EXPECT_THROW(r.sample_indices(3, 4), std::logic_error);
+}
+
+TEST(Rng, SampleIndicesIsUniformOverElements) {
+  // Each of 10 elements should appear in a 3-subset with probability 3/10.
+  Rng r(31);
+  constexpr int kTrials = 30000;
+  std::array<int, 10> counts{};
+  for (int i = 0; i < kTrials; ++i) {
+    for (auto idx : r.sample_indices(10, 3)) ++counts[idx];
+  }
+  for (auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.3, 0.02);
+  }
+}
+
+TEST(Rng, SampleIndicesOrderIsRandom) {
+  // The first element of the sample should be uniform over the population.
+  Rng r(37);
+  constexpr int kTrials = 30000;
+  std::array<int, 10> first_counts{};
+  for (int i = 0; i < kTrials; ++i) {
+    first_counts[r.sample_indices(10, 3)[0]] += 1;
+  }
+  for (auto c : first_counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.1, 0.015);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(41);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  r.shuffle(std::span<int>(shuffled));
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng r(43);
+  const auto p = r.permutation(20);
+  std::set<std::size_t> unique(p.begin(), p.end());
+  EXPECT_EQ(unique.size(), 20u);
+  EXPECT_EQ(*unique.rbegin(), 19u);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(47);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1(53), p2(53);
+  Rng a = p1.fork(9);
+  Rng b = p2.fork(9);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+TEST(SplitMix, KnownGoodProgression) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  // Reference value of splitmix64 for the first output from state 0.
+  EXPECT_EQ(a, 0xe220a8397b1dcdafULL);
+}
+
+}  // namespace
+}  // namespace pls

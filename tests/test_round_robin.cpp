@@ -1,0 +1,340 @@
+// Behaviour tests for the Round-Robin-y strategy (§3.4, §5.4, Figs 10/11),
+// including property tests of the hole-plugging migration protocol.
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "pls/core/round_robin_y.hpp"
+#include "pls/metrics/coverage.hpp"
+#include "pls/metrics/storage.hpp"
+
+namespace pls::core {
+namespace {
+
+std::vector<Entry> iota_entries(std::size_t h) {
+  std::vector<Entry> out(h);
+  for (std::size_t i = 0; i < h; ++i) out[i] = i + 1;
+  return out;
+}
+
+RoundRobinStrategy make(std::size_t n, std::size_t y, std::uint64_t seed = 1,
+                        std::size_t budget = 0) {
+  return RoundRobinStrategy(StrategyConfig{.kind = StrategyKind::kRoundRobin,
+                                           .param = y,
+                                           .storage_budget = budget,
+                                           .seed = seed},
+                            n, net::make_failure_state(n));
+}
+
+/// Checks the full §3.4 layout invariant set:
+///  * the union of all servers equals `live`;
+///  * every live entry has exactly y copies;
+///  * each entry's holders are y consecutive servers (slot..slot+y-1 mod n)
+///    and every holder records the same slot;
+///  * per-server loads differ by at most y.
+void expect_round_robin_invariants(const RoundRobinStrategy& s,
+                                   const std::set<Entry>& live,
+                                   std::size_t n, std::size_t y) {
+  std::map<Entry, std::vector<ServerId>> holders;
+  std::map<Entry, std::set<std::uint64_t>> slots;
+  std::size_t min_load = SIZE_MAX, max_load = 0;
+  for (ServerId id = 0; id < n; ++id) {
+    const auto& server =
+        static_cast<const RoundRobinServer&>(s.network().server(id));
+    min_load = std::min(min_load, server.store().size());
+    max_load = std::max(max_load, server.store().size());
+    for (Entry v : server.store().entries()) {
+      holders[v].push_back(id);
+      const auto slot = server.slot_of(v);
+      ASSERT_TRUE(slot.has_value()) << "entry " << v << " missing slot";
+      slots[v].insert(*slot);
+    }
+  }
+
+  std::set<Entry> stored;
+  for (const auto& [v, who] : holders) stored.insert(v);
+  EXPECT_EQ(stored, live);
+
+  for (const auto& [v, who] : holders) {
+    EXPECT_EQ(who.size(), y) << "entry " << v << " copy count";
+    ASSERT_EQ(slots[v].size(), 1u) << "entry " << v << " slot disagreement";
+    const std::uint64_t slot = *slots[v].begin();
+    std::set<ServerId> expected;
+    for (std::size_t j = 0; j < y; ++j) {
+      expected.insert(static_cast<ServerId>((slot + j) % n));
+    }
+    EXPECT_EQ(std::set<ServerId>(who.begin(), who.end()), expected)
+        << "entry " << v << " holder set";
+  }
+
+  if (!live.empty()) {
+    EXPECT_LE(max_load - min_load, y);
+  }
+}
+
+TEST(RoundRobin, PlaceAssignsConsecutiveServers) {
+  auto s = make(5, 2);
+  s.place(iota_entries(10));
+  std::set<Entry> live;
+  for (Entry v = 1; v <= 10; ++v) live.insert(v);
+  expect_round_robin_invariants(s, live, 5, 2);
+  // Entry i+1 (slot i) sits on servers i and i+1 mod 5.
+  const auto& server0 =
+      static_cast<const RoundRobinServer&>(s.network().server(0));
+  EXPECT_TRUE(server0.store().contains(1));   // slot 0
+  EXPECT_TRUE(server0.store().contains(5));   // slot 4 wraps to {4, 0}
+  EXPECT_TRUE(server0.store().contains(6));   // slot 5 -> {0, 1}
+  EXPECT_FALSE(server0.store().contains(2));  // slot 1 -> {1, 2}
+}
+
+TEST(RoundRobin, StorageCostIsHTimesY) {
+  auto s = make(10, 2);
+  s.place(iota_entries(100));
+  EXPECT_EQ(s.storage_cost(), 200u);  // Table 1
+  EXPECT_EQ(metrics::max_coverage(s.placement()), 100u);  // complete, §4.3
+}
+
+TEST(RoundRobin, ServersBalancedWithinY) {
+  for (std::size_t h : {7u, 20u, 99u}) {
+    auto s = make(6, 3);
+    s.place(iota_entries(h));
+    EXPECT_LE(metrics::storage_imbalance(s.placement()), 3u) << "h=" << h;
+  }
+}
+
+TEST(RoundRobin, CountersInitialisedByPlace) {
+  auto s = make(4, 2);
+  s.place(iota_entries(9));
+  EXPECT_EQ(s.head(), 0u);
+  EXPECT_EQ(s.tail(), 9u);
+}
+
+TEST(RoundRobin, LookupCostMatchesCeilFormula) {
+  // §4.2: each server stores y*h/n = 20 entries; stride-y contacts are
+  // disjoint, so cost = ceil(t*n/(y*h)) — the Fig 4 step curve.
+  auto s = make(10, 2);
+  s.place(iota_entries(100));
+  for (std::size_t t : {10u, 20u, 21u, 40u, 41u, 60u}) {
+    const std::size_t expected = (t * 10 + 199) / 200;
+    for (int i = 0; i < 20; ++i) {
+      const auto r = s.partial_lookup(t);
+      EXPECT_TRUE(r.satisfied);
+      EXPECT_EQ(r.servers_contacted, expected) << "t=" << t;
+    }
+  }
+}
+
+TEST(RoundRobin, AddAppendsAtTail) {
+  auto s = make(5, 2);
+  s.place(iota_entries(4));
+  s.add(42);
+  EXPECT_EQ(s.tail(), 5u);
+  std::set<Entry> live{1, 2, 3, 4, 42};
+  expect_round_robin_invariants(s, live, 5, 2);
+  // Slot 4 -> servers 4 and 0.
+  EXPECT_TRUE(static_cast<const RoundRobinServer&>(s.network().server(4))
+                  .store()
+                  .contains(42));
+  EXPECT_TRUE(static_cast<const RoundRobinServer&>(s.network().server(0))
+                  .store()
+                  .contains(42));
+}
+
+TEST(RoundRobin, DuplicateAddIgnored) {
+  auto s = make(4, 2);
+  s.place(iota_entries(4));
+  s.add(2);
+  EXPECT_EQ(s.tail(), 4u);
+  EXPECT_EQ(s.storage_cost(), 8u);
+}
+
+TEST(RoundRobin, DeleteMiddleEntryPlugsHoleWithHeadEntry) {
+  // The Fig 10 example: deleting a middle entry migrates the head entry
+  // into its slot and advances head.
+  auto s = make(4, 2);
+  s.place(iota_entries(5));
+  s.erase(3);
+  EXPECT_EQ(s.head(), 1u);
+  EXPECT_EQ(s.tail(), 5u);
+  std::set<Entry> live{1, 2, 4, 5};
+  expect_round_robin_invariants(s, live, 4, 2);
+  // Entry 1 (old head, slot 0) now occupies slot 2 (servers 2, 3).
+  const auto& server2 =
+      static_cast<const RoundRobinServer&>(s.network().server(2));
+  EXPECT_TRUE(server2.store().contains(1));
+  EXPECT_EQ(server2.slot_of(1), std::uint64_t{2});
+  const auto& server0 =
+      static_cast<const RoundRobinServer&>(s.network().server(0));
+  EXPECT_FALSE(server0.store().contains(1));  // old copy purged
+}
+
+TEST(RoundRobin, DeleteHeadEntryNeedsNoMigration) {
+  auto s = make(4, 2);
+  s.place(iota_entries(5));
+  s.network().reset_stats();
+  s.erase(1);  // slot 0 == head
+  EXPECT_EQ(s.head(), 1u);
+  std::set<Entry> live{2, 3, 4, 5};
+  expect_round_robin_invariants(s, live, 4, 2);
+  EXPECT_EQ(s.network().stats().rpcs, 0u);  // no MigrateRequest traffic
+}
+
+TEST(RoundRobin, DeleteOfUnknownEntryIgnored) {
+  auto s = make(4, 2);
+  s.place(iota_entries(5));
+  s.erase(99);
+  EXPECT_EQ(s.head(), 0u);
+  EXPECT_EQ(s.tail(), 5u);
+  EXPECT_EQ(s.storage_cost(), 10u);
+}
+
+TEST(RoundRobin, DeleteLastRemainingEntry) {
+  auto s = make(3, 2);
+  s.place(iota_entries(1));
+  s.erase(1);
+  EXPECT_EQ(s.storage_cost(), 0u);
+  EXPECT_EQ(s.head(), s.tail());
+  EXPECT_FALSE(s.partial_lookup(1).satisfied);
+}
+
+TEST(RoundRobin, DeleteWhenCopiesOverlapHeadHolders) {
+  // n=4, y=2: slot 0 holders {0,1}, slot 4 holders {0,1} too. Deleting the
+  // slot-4 entry migrates the slot-0 entry onto the same servers; the
+  // old-slot purge guard must not destroy the re-homed copy.
+  auto s = make(4, 2);
+  s.place(iota_entries(5));  // slots 0..4; slot 4 = entry 5 on servers {0,1}
+  s.erase(5);
+  std::set<Entry> live{1, 2, 3, 4};
+  expect_round_robin_invariants(s, live, 4, 2);
+  const auto& server0 =
+      static_cast<const RoundRobinServer&>(s.network().server(0));
+  EXPECT_EQ(server0.slot_of(1), std::uint64_t{4});  // entry 1 re-homed
+}
+
+TEST(RoundRobin, SingleCopyConfigurationWorks) {
+  auto s = make(4, 1);
+  s.place(iota_entries(8));
+  EXPECT_EQ(s.storage_cost(), 8u);
+  s.erase(3);
+  std::set<Entry> live{1, 2, 4, 5, 6, 7, 8};
+  expect_round_robin_invariants(s, live, 4, 1);
+  s.erase(1);  // the migrated old head is deletable at its new slot
+  live.erase(1);
+  expect_round_robin_invariants(s, live, 4, 1);
+}
+
+TEST(RoundRobin, InvariantsHoldUnderRandomChurn) {
+  // Property/fuzz test: any interleaving of adds and deletes preserves the
+  // layout invariants. This is the main correctness test of the Fig 11
+  // migration protocol.
+  for (const auto& [n, y] : {std::pair<std::size_t, std::size_t>{5, 2},
+                            {4, 1},
+                            {6, 3},
+                            {3, 3},
+                            {7, 2}}) {
+    auto s = make(n, y, 31337);
+    std::set<Entry> live;
+    for (Entry v = 1; v <= 12; ++v) live.insert(v);
+    s.place(iota_entries(12));
+    Rng rng(4242 + n * 10 + y);
+    Entry next_entry = 100;
+    for (int i = 0; i < 400; ++i) {
+      if (live.size() < 2 || rng.bernoulli(0.55)) {
+        const Entry v = next_entry++;
+        s.add(v);
+        live.insert(v);
+      } else {
+        // Delete a random live entry (not necessarily the head).
+        auto it = live.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(
+                             rng.uniform(live.size())));
+        s.erase(*it);
+        live.erase(it);
+      }
+      if (i % 40 == 0) expect_round_robin_invariants(s, live, n, y);
+    }
+    expect_round_robin_invariants(s, live, n, y);
+    EXPECT_EQ(s.tail() - s.head(), live.size());
+  }
+}
+
+TEST(RoundRobin, StrideLookupStillWorksAfterChurn) {
+  auto s = make(10, 2, 7);
+  s.place(iota_entries(100));
+  Rng rng(5);
+  Entry next_entry = 1000;
+  std::set<Entry> live;
+  for (Entry v = 1; v <= 100; ++v) live.insert(v);
+  for (int i = 0; i < 200; ++i) {
+    if (rng.bernoulli(0.5)) {
+      s.add(next_entry);
+      live.insert(next_entry++);
+    } else {
+      auto it = live.begin();
+      std::advance(it,
+                   static_cast<std::ptrdiff_t>(rng.uniform(live.size())));
+      s.erase(*it);
+      live.erase(it);
+    }
+  }
+  const std::size_t t = live.size() / 2;
+  const auto r = s.partial_lookup(t);
+  EXPECT_TRUE(r.satisfied);
+  for (Entry v : r.entries) EXPECT_TRUE(live.contains(v));
+}
+
+TEST(RoundRobin, UpdatesRouteThroughCoordinator) {
+  auto s = make(5, 2);
+  s.place(iota_entries(6));
+  s.network().reset_stats();
+  for (Entry v = 10; v < 20; ++v) s.add(v);
+  // Every add request lands on server 0 (§5.4 / §6.3's bottleneck).
+  EXPECT_GE(s.network().stats().per_server_processed[0], 10u);
+}
+
+TEST(RoundRobin, CoordinatorDownBlocksUpdates) {
+  auto s = make(4, 2);
+  s.place(iota_entries(4));
+  s.fail_server(0);
+  s.add(50);  // silently dropped: the coordinator is unreachable
+  s.recover_server(0);
+  EXPECT_EQ(s.tail(), 4u);
+  EXPECT_EQ(s.storage_cost(), 8u);
+}
+
+TEST(RoundRobin, LookupFallsBackUnderFailures) {
+  auto s = make(10, 2);
+  s.place(iota_entries(100));
+  s.fail_server(3);
+  s.fail_server(7);
+  for (int i = 0; i < 30; ++i) {
+    const auto r = s.partial_lookup(30);
+    EXPECT_TRUE(r.satisfied);  // survivors still cover >= 30 entries
+  }
+}
+
+TEST(RoundRobin, BudgetedPlacementCoversMinHBudget) {
+  // §4.3: with budget L < h, only L entries are stored (one copy each).
+  auto s = make(10, 1, 1, /*budget=*/40);
+  s.place(iota_entries(100));
+  EXPECT_EQ(s.storage_cost(), 40u);
+  EXPECT_EQ(metrics::max_coverage(s.placement()), 40u);
+  EXPECT_THROW(s.add(101), std::logic_error);  // static-only mode
+}
+
+TEST(RoundRobin, BudgetedPlacementSpreadsExtraCopies) {
+  // Budget 150 on h=100: first 50 entries get 2 copies, the rest 1.
+  auto s = make(10, 2, 1, /*budget=*/150);
+  s.place(iota_entries(100));
+  EXPECT_EQ(s.storage_cost(), 150u);
+  EXPECT_EQ(metrics::max_coverage(s.placement()), 100u);
+}
+
+TEST(RoundRobin, RejectsInvalidParameters) {
+  EXPECT_THROW(make(4, 0), std::logic_error);
+  EXPECT_THROW(make(2, 3), std::logic_error);  // y > n
+}
+
+}  // namespace
+}  // namespace pls::core

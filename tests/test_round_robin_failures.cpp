@@ -1,0 +1,129 @@
+// Round-Robin-y under server failures — the documented degradation modes
+// of the §5.4 migration protocol (the paper assumes failure-free updates;
+// we pin down exactly what our implementation does when that assumption
+// breaks, so the behaviour is a contract rather than an accident).
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "pls/core/round_robin_y.hpp"
+#include "pls/metrics/coverage.hpp"
+
+namespace pls::core {
+namespace {
+
+std::vector<Entry> iota_entries(std::size_t h) {
+  std::vector<Entry> out(h);
+  for (std::size_t i = 0; i < h; ++i) out[i] = i + 1;
+  return out;
+}
+
+RoundRobinStrategy make(std::size_t n, std::size_t y, std::uint64_t seed = 1) {
+  return RoundRobinStrategy(
+      StrategyConfig{
+          .kind = StrategyKind::kRoundRobin, .param = y, .seed = seed},
+      n, net::make_failure_state(n));
+}
+
+TEST(RoundRobinFailures, DeleteWithHeadServerDownLeavesAHoleButNoCrash) {
+  auto s = make(4, 2);
+  s.place(iota_entries(8));
+  // Advance head past slot 0 so the head-slot server is NOT the
+  // coordinator (a down coordinator blocks updates entirely).
+  s.erase(1);  // head -> slot 1, head server = 1
+  s.fail_server(1);
+  s.erase(4);  // slot 3, holders {3, 0}: both up, but migration RPCs fail
+  // The holders dropped entry 4 but could not fetch the replacement: the
+  // hole stays, coverage shrinks, and the service keeps operating.
+  const auto placement = s.placement();
+  EXPECT_EQ(metrics::max_coverage(placement), 6u);
+  EXPECT_TRUE(s.partial_lookup(3).satisfied);
+  s.recover_server(1);
+  EXPECT_TRUE(s.partial_lookup(6).satisfied);
+}
+
+TEST(RoundRobinFailures, CoordinatorDownBlocksAllUpdates) {
+  auto s = make(4, 2);
+  s.place(iota_entries(6));
+  s.fail_server(0);
+  s.add(50);
+  s.erase(3);
+  s.recover_server(0);
+  // Neither update took effect — the §6.3 bottleneck is also a single
+  // point of update failure.
+  EXPECT_EQ(s.storage_cost(), 12u);
+  EXPECT_EQ(metrics::max_coverage(s.placement()), 6u);
+  EXPECT_EQ(s.tail(), 6u);
+}
+
+TEST(RoundRobinFailures, DeleteOfEntryOnDownServerLeavesStaleCopy) {
+  auto s = make(4, 2);
+  s.place(iota_entries(8));
+  // Entry 6 (slot 5) lives on servers 1 and 2. Server 2 misses the
+  // delete broadcast, so its copy goes stale.
+  s.fail_server(2);
+  s.erase(6);
+  s.recover_server(2);
+  const auto& server2 =
+      static_cast<const RoundRobinServer&>(s.network().server(2));
+  EXPECT_TRUE(server2.store().contains(6));  // stale, as documented
+  const auto& server1 =
+      static_cast<const RoundRobinServer&>(s.network().server(1));
+  EXPECT_FALSE(server1.store().contains(6));
+  // The coordinator's live view is authoritative: a re-delete is ignored
+  // (already removed), but a fresh place() resets everything.
+  s.erase(6);
+  EXPECT_TRUE(server2.store().contains(6));
+  s.place(iota_entries(8));
+  EXPECT_EQ(metrics::max_coverage(s.placement()), 8u);
+  EXPECT_EQ(s.storage_cost(), 16u);
+}
+
+TEST(RoundRobinFailures, AddsDroppedWhileHolderDownAreNotRepaired) {
+  auto s = make(4, 2);
+  s.place(iota_entries(5));  // tail = 5: next add -> slot 5, holders {1,2}
+  s.fail_server(2);
+  s.add(50);  // server 2 misses its copy
+  s.recover_server(2);
+  std::size_t copies = 0;
+  for (const auto& server : s.placement().servers) {
+    for (Entry v : server) copies += (v == 50);
+  }
+  EXPECT_EQ(copies, 1u);  // degraded replication, still lookupable
+  EXPECT_TRUE(s.partial_lookup(6).satisfied);
+}
+
+TEST(RoundRobinFailures, PlaceResetsAnyDegradedState) {
+  auto s = make(5, 2, 3);
+  s.place(iota_entries(10));
+  s.fail_server(2);
+  s.erase(3);
+  s.erase(7);
+  s.add(100);
+  s.recover_server(2);
+  // Whatever staleness accumulated, a fresh placement restores the full
+  // §3.4 invariants.
+  s.place(iota_entries(10));
+  EXPECT_EQ(s.storage_cost(), 20u);
+  EXPECT_EQ(metrics::max_coverage(s.placement()), 10u);
+  EXPECT_EQ(s.head(), 0u);
+  EXPECT_EQ(s.tail(), 10u);
+  for (std::size_t t : {2u, 6u, 10u}) {
+    EXPECT_TRUE(s.partial_lookup(t).satisfied) << t;
+  }
+}
+
+TEST(RoundRobinFailures, LookupsNeverReturnDeletedEntries) {
+  // Even with stale copies around, clients can only receive entries from
+  // servers that hold them — a stale copy is returnable (documented), but
+  // deletes processed by up servers are gone for good.
+  auto s = make(4, 2);
+  s.place(iota_entries(8));
+  s.erase(2);
+  for (int i = 0; i < 50; ++i) {
+    for (Entry v : s.partial_lookup(4).entries) EXPECT_NE(v, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace pls::core

@@ -1,0 +1,152 @@
+// Tests for the multi-key service workload generator and replayer.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "pls/workload/service_workload.hpp"
+
+namespace pls::workload {
+namespace {
+
+ServiceWorkloadConfig small_config() {
+  ServiceWorkloadConfig cfg;
+  cfg.num_keys = 10;
+  cfg.zipf_alpha = 1.0;
+  cfg.entries_per_key = 12;
+  cfg.lookup_interarrival = 1.0;
+  cfg.update_interarrival = 5.0;
+  cfg.num_events = 2000;
+  cfg.target_answer_size = 3;
+  cfg.seed = 7;
+  return cfg;
+}
+
+core::PartialLookupService make_service(std::size_t n = 8) {
+  core::ServiceConfig cfg;
+  cfg.num_servers = n;
+  cfg.default_strategy =
+      core::StrategyConfig{.kind = core::StrategyKind::kHash, .param = 2};
+  cfg.seed = 3;
+  return core::PartialLookupService(cfg);
+}
+
+TEST(ServiceWorkload, GeneratesRequestedShape) {
+  const auto wl = generate_service_workload(small_config());
+  EXPECT_EQ(wl.keys.size(), 10u);
+  EXPECT_EQ(wl.initial_entries.size(), 10u);
+  for (const auto& entries : wl.initial_entries) {
+    EXPECT_EQ(entries.size(), 12u);
+  }
+  EXPECT_EQ(wl.events.size(), 2000u);
+  EXPECT_TRUE(std::is_sorted(
+      wl.events.begin(), wl.events.end(),
+      [](const auto& a, const auto& b) { return a.time < b.time; }));
+}
+
+TEST(ServiceWorkload, EntryIdsAreGloballyUnique) {
+  const auto wl = generate_service_workload(small_config());
+  std::set<Entry> seen;
+  for (const auto& entries : wl.initial_entries) {
+    for (Entry v : entries) EXPECT_TRUE(seen.insert(v).second);
+  }
+  for (const auto& ev : wl.events) {
+    if (ev.kind == ServiceEventKind::kAdd) {
+      EXPECT_TRUE(seen.insert(ev.entry).second);
+    }
+  }
+}
+
+TEST(ServiceWorkload, EventMixMatchesArrivalRates) {
+  const auto wl = generate_service_workload(small_config());
+  std::size_t lookups = 0, updates = 0;
+  for (const auto& ev : wl.events) {
+    (ev.kind == ServiceEventKind::kLookup ? lookups : updates) += 1;
+  }
+  // Rates 1:5 -> lookups should be ~5x updates.
+  EXPECT_NEAR(static_cast<double>(lookups) / static_cast<double>(updates),
+              5.0, 0.7);
+}
+
+TEST(ServiceWorkload, LookupsFollowZipfPopularity) {
+  auto cfg = small_config();
+  cfg.num_events = 20000;
+  const auto wl = generate_service_workload(cfg);
+  std::vector<std::size_t> hits(cfg.num_keys, 0);
+  std::size_t lookups = 0;
+  for (const auto& ev : wl.events) {
+    if (ev.kind == ServiceEventKind::kLookup) {
+      ++hits[ev.key_index];
+      ++lookups;
+    }
+  }
+  // Rank 0 should receive roughly twice the lookups of rank 1.
+  EXPECT_GT(hits[0], hits[1]);
+  EXPECT_NEAR(static_cast<double>(hits[0]) / static_cast<double>(hits[1]),
+              2.0, 0.4);
+  EXPECT_GT(hits[0], hits[9] * 5);
+}
+
+TEST(ServiceWorkload, KeyIndicesAreInRange) {
+  const auto wl = generate_service_workload(small_config());
+  for (const auto& ev : wl.events) EXPECT_LT(ev.key_index, 10u);
+}
+
+TEST(ServiceWorkload, DeterministicPerSeed) {
+  const auto a = generate_service_workload(small_config());
+  const auto b = generate_service_workload(small_config());
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].time, b.events[i].time);
+    EXPECT_EQ(a.events[i].key_index, b.events[i].key_index);
+  }
+}
+
+TEST(ServiceWorkload, RejectsDegenerateConfigs) {
+  auto cfg = small_config();
+  cfg.num_keys = 0;
+  EXPECT_THROW(generate_service_workload(cfg), std::logic_error);
+  cfg = small_config();
+  cfg.entries_per_key = 0;
+  EXPECT_THROW(generate_service_workload(cfg), std::logic_error);
+  cfg = small_config();
+  cfg.lookup_interarrival = 0.0;
+  EXPECT_THROW(generate_service_workload(cfg), std::logic_error);
+}
+
+TEST(ServiceReplay, CountsEveryEventAndSatisfiesLookups) {
+  const auto wl = generate_service_workload(small_config());
+  auto service = make_service();
+  const auto stats = replay_service(service, wl);
+  EXPECT_EQ(stats.lookups + stats.adds + stats.deletes, wl.events.size());
+  EXPECT_GT(stats.lookups, 0u);
+  // Hash-2 with ~12 live entries per key: t = 3 almost always satisfiable.
+  EXPECT_GT(stats.satisfaction_rate(), 0.95);
+  EXPECT_GE(stats.mean_servers_contacted, 1.0);
+  EXPECT_GT(stats.messages_processed, 0u);
+}
+
+TEST(ServiceReplay, MessageCountExcludesPlacement) {
+  auto cfg = small_config();
+  cfg.num_events = 10;  // almost no traffic after placement
+  const auto wl = generate_service_workload(cfg);
+  auto service = make_service();
+  const auto stats = replay_service(service, wl);
+  // 10 events cannot cost anywhere near the 120-entry placement traffic.
+  EXPECT_LT(stats.messages_processed, 100u);
+}
+
+TEST(ServiceReplay, SatisfactionDegradesGracefullyUnderFailures) {
+  const auto wl = generate_service_workload(small_config());
+  auto healthy = make_service();
+  auto degraded = make_service();
+  degraded.fail_server(0);
+  degraded.fail_server(1);
+  degraded.fail_server(2);
+  const auto a = replay_service(healthy, wl);
+  const auto b = replay_service(degraded, wl);
+  EXPECT_GE(a.satisfaction_rate(), b.satisfaction_rate());
+  EXPECT_GT(b.satisfaction_rate(), 0.5);  // y=2 copies keep most keys alive
+}
+
+}  // namespace
+}  // namespace pls::workload

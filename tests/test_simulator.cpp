@@ -1,0 +1,113 @@
+// Unit tests for the Simulator clock/run loop.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pls/sim/simulator.hpp"
+
+namespace pls::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZeroIdle) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, StepAdvancesClockToEventTime) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(2.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule_after(3.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run_all();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 2.0);
+  EXPECT_DOUBLE_EQ(times[1], 5.0);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(10.0, [] {});
+  sim.step();
+  EXPECT_THROW(sim.schedule_at(9.0, [] {}), std::logic_error);
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), std::logic_error);
+}
+
+TEST(Simulator, RunUntilExecutesDueEventsAndAdvancesClock) {
+  Simulator sim;
+  int count = 0;
+  for (double t : {1.0, 2.0, 3.0, 8.0}) {
+    sim.schedule_at(t, [&] { ++count; });
+  }
+  EXPECT_EQ(sim.run_until(3.0), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.run_until(10.0), 1u);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);  // advances even past the last event
+}
+
+TEST(Simulator, RunUntilWithNoEventsStillAdvances) {
+  Simulator sim;
+  EXPECT_EQ(sim.run_until(42.0), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+TEST(Simulator, RunUntilPastDeadlineThrows) {
+  Simulator sim;
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.run_until(4.0), std::logic_error);
+}
+
+TEST(Simulator, RunAllDrainsEverything) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] {
+    ++count;
+    sim.schedule_after(1.0, [&] { ++count; });
+  });
+  EXPECT_EQ(sim.run_all(), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulator, RunAllGuardsAgainstRunawayLoops) {
+  Simulator sim;
+  std::function<void()> rearm = [&] { sim.schedule_after(1.0, rearm); };
+  sim.schedule_at(0.0, rearm);
+  EXPECT_THROW(sim.run_all(100), std::logic_error);
+}
+
+TEST(Simulator, CancelledEventsDoNotRun) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, SameTimeEventsRunInScheduleOrderAcrossNesting) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(0);
+    sim.schedule_at(1.0, [&] { order.push_back(2); });  // same instant
+  });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace pls::sim

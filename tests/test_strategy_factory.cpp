@@ -1,0 +1,85 @@
+// Tests for strategy construction and name parsing.
+#include <gtest/gtest.h>
+
+#include "pls/core/strategy_factory.hpp"
+
+namespace pls::core {
+namespace {
+
+TEST(StrategyFactory, BuildsEveryKind) {
+  for (StrategyKind kind :
+       {StrategyKind::kFullReplication, StrategyKind::kFixed,
+        StrategyKind::kRandomServer, StrategyKind::kRoundRobin,
+        StrategyKind::kHash}) {
+    const auto s = make_strategy(
+        StrategyConfig{.kind = kind, .param = 2, .seed = 1}, 5);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind(), kind);
+    EXPECT_EQ(s->num_servers(), 5u);
+  }
+}
+
+TEST(StrategyFactory, PrivateFailureStateByDefault) {
+  const auto a = make_strategy(
+      StrategyConfig{.kind = StrategyKind::kFixed, .param = 2, .seed = 1}, 3);
+  const auto b = make_strategy(
+      StrategyConfig{.kind = StrategyKind::kFixed, .param = 2, .seed = 1}, 3);
+  a->fail_server(0);
+  EXPECT_FALSE(a->network().is_up(0));
+  EXPECT_TRUE(b->network().is_up(0));
+}
+
+TEST(StrategyFactory, SharedFailureStateCorrelatesStrategies) {
+  auto failures = net::make_failure_state(4);
+  const auto a = make_strategy(
+      StrategyConfig{.kind = StrategyKind::kFixed, .param = 2, .seed = 1}, 4,
+      failures);
+  const auto b = make_strategy(
+      StrategyConfig{.kind = StrategyKind::kHash, .param = 2, .seed = 2}, 4,
+      failures);
+  a->fail_server(2);
+  EXPECT_FALSE(b->network().is_up(2));
+}
+
+TEST(StrategyFactory, MismatchedFailureStateSizeRejected) {
+  auto failures = net::make_failure_state(3);
+  EXPECT_THROW(
+      make_strategy(
+          StrategyConfig{.kind = StrategyKind::kFixed, .param = 1, .seed = 1},
+          4, failures),
+      std::logic_error);
+}
+
+TEST(ParseStrategyKind, AcceptsPaperNames) {
+  EXPECT_EQ(parse_strategy_kind("full"), StrategyKind::kFullReplication);
+  EXPECT_EQ(parse_strategy_kind("FullReplication"),
+            StrategyKind::kFullReplication);
+  EXPECT_EQ(parse_strategy_kind("fixed"), StrategyKind::kFixed);
+  EXPECT_EQ(parse_strategy_kind("Fixed-x"), StrategyKind::kFixed);
+  EXPECT_EQ(parse_strategy_kind("randomserver"), StrategyKind::kRandomServer);
+  EXPECT_EQ(parse_strategy_kind("RandomServer-x"),
+            StrategyKind::kRandomServer);
+  EXPECT_EQ(parse_strategy_kind("round"), StrategyKind::kRoundRobin);
+  EXPECT_EQ(parse_strategy_kind("Round-Robin"), StrategyKind::kRoundRobin);
+  EXPECT_EQ(parse_strategy_kind("hash"), StrategyKind::kHash);
+  EXPECT_EQ(parse_strategy_kind("Hash-y"), StrategyKind::kHash);
+}
+
+TEST(ParseStrategyKind, RejectsUnknownNames) {
+  EXPECT_FALSE(parse_strategy_kind("chord").has_value());
+  EXPECT_FALSE(parse_strategy_kind("").has_value());
+}
+
+TEST(StrategyKindNames, RoundTripThroughToString) {
+  for (StrategyKind kind :
+       {StrategyKind::kFullReplication, StrategyKind::kFixed,
+        StrategyKind::kRandomServer, StrategyKind::kRoundRobin,
+        StrategyKind::kHash}) {
+    const auto parsed = parse_strategy_kind(std::string(to_string(kind)));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+}  // namespace
+}  // namespace pls::core

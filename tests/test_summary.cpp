@@ -1,0 +1,102 @@
+// Tests for the measured Table 2 star summary.
+#include <gtest/gtest.h>
+
+#include "pls/analysis/summary.hpp"
+
+namespace pls::analysis {
+namespace {
+
+SummaryConfig tiny_config() {
+  SummaryConfig cfg;
+  cfg.num_servers = 10;
+  cfg.entries = 100;
+  cfg.storage_budget = 200;
+  cfg.lookups_per_instance = 300;
+  cfg.instances = 3;
+  cfg.updates = 400;
+  cfg.seed = 7;
+  return cfg;
+}
+
+class SummaryFixture : public ::testing::Test {
+ protected:
+  // The battery is moderately expensive; run it once for all assertions.
+  static const StarTable& table() {
+    static const StarTable t = measured_star_table(tiny_config());
+    return t;
+  }
+};
+
+TEST_F(SummaryFixture, HasFourSchemesInPaperOrder) {
+  ASSERT_EQ(table().rows.size(), 4u);
+  EXPECT_EQ(table().rows[0].kind, core::StrategyKind::kFixed);
+  EXPECT_EQ(table().rows[1].kind, core::StrategyKind::kRandomServer);
+  EXPECT_EQ(table().rows[2].kind, core::StrategyKind::kRoundRobin);
+  EXPECT_EQ(table().rows[3].kind, core::StrategyKind::kHash);
+}
+
+TEST_F(SummaryFixture, StarsWithinRangeAndEachColumnHasAWinner) {
+  for (std::size_t c = 0; c < kSummaryColumns; ++c) {
+    int best = 0;
+    for (const auto& row : table().rows) {
+      EXPECT_GE(row.stars[c], 1);
+      EXPECT_LE(row.stars[c], 4);
+      best = std::max(best, row.stars[c]);
+    }
+    EXPECT_EQ(best, 4) << "column " << kSummaryColumnNames[c];
+  }
+}
+
+TEST_F(SummaryFixture, QualitativeOrderingsMatchThePaper) {
+  const auto& fixed = table().rows[0];
+  const auto& random_server = table().rows[1];
+  const auto& round = table().rows[2];
+  const auto& hash = table().rows[3];
+
+  // Storage: per-server schemes win with many entries, per-entry schemes
+  // with few (Table 1's growth directions).
+  EXPECT_LT(round.values[0], fixed.values[0]);
+  EXPECT_LT(fixed.values[1], round.values[1]);
+
+  // Coverage: Round/Hash complete, RandomServer close, Fixed worst (§4.3).
+  EXPECT_LT(fixed.values[2], random_server.values[2]);
+  EXPECT_GE(round.values[2], 99.0);
+  EXPECT_GE(hash.values[2], 99.0);
+
+  // Fairness, static: Fixed is by far the worst (§4.5).
+  EXPECT_GT(fixed.values[4], 2.0 * random_server.values[4]);
+  EXPECT_LT(round.values[4], 0.2);
+
+  // Fairness under churn: Round-Robin stays fair; RandomServer degrades
+  // but remains better than Fixed (§6.3).
+  EXPECT_LT(round.values[5], random_server.values[5]);
+  EXPECT_LT(random_server.values[5], fixed.values[5]);
+
+  // Update overhead, small targets: Fixed's selective broadcast beats
+  // RandomServer's always-broadcast (§6.3: "five times more broadcasts").
+  EXPECT_LT(fixed.values[7], random_server.values[7]);
+
+  // Update overhead, large targets: Hash beats Fixed (§6.4 crossover).
+  EXPECT_LT(hash.values[8], fixed.values[8]);
+}
+
+TEST_F(SummaryFixture, FormattingShowsAllRowsAndColumns) {
+  const std::string text = format_star_table(table());
+  EXPECT_NE(text.find("Fixed"), std::string::npos);
+  EXPECT_NE(text.find("RandomServer"), std::string::npos);
+  EXPECT_NE(text.find("RoundRobin"), std::string::npos);
+  EXPECT_NE(text.find("Hash"), std::string::npos);
+  for (const char* col : kSummaryColumnNames) {
+    EXPECT_NE(text.find(col), std::string::npos) << col;
+  }
+  EXPECT_NE(text.find("****"), std::string::npos);
+}
+
+TEST(SummaryConfigValidation, RejectsTinyEntryCounts) {
+  SummaryConfig cfg;
+  cfg.entries = 5;
+  EXPECT_THROW(measured_star_table(cfg), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pls::analysis

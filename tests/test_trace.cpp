@@ -1,0 +1,77 @@
+// Unit tests for the simulation trace recorder.
+#include <gtest/gtest.h>
+
+#include "pls/sim/trace.hpp"
+
+namespace pls::sim {
+namespace {
+
+TEST(Trace, DisabledByDefault) {
+  Trace t;
+  EXPECT_FALSE(t.enabled());
+  t.record(1.0, TraceKind::kAdd, "ignored");
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Trace, RecordsWhenEnabled) {
+  Trace t;
+  t.enable();
+  t.record(1.0, TraceKind::kAdd, "add v1");
+  t.record(2.0, TraceKind::kDelete, "del v1");
+  ASSERT_EQ(t.records().size(), 2u);
+  EXPECT_DOUBLE_EQ(t.records()[0].time, 1.0);
+  EXPECT_EQ(t.records()[1].kind, TraceKind::kDelete);
+  EXPECT_EQ(t.records()[1].detail, "del v1");
+}
+
+TEST(Trace, CountFiltersByKind) {
+  Trace t;
+  t.enable();
+  t.record(1.0, TraceKind::kMessage, "m1");
+  t.record(2.0, TraceKind::kMessage, "m2");
+  t.record(3.0, TraceKind::kFailure, "f");
+  EXPECT_EQ(t.count(TraceKind::kMessage), 2u);
+  EXPECT_EQ(t.count(TraceKind::kFailure), 1u);
+  EXPECT_EQ(t.count(TraceKind::kLookup), 0u);
+}
+
+TEST(Trace, ClearEmptiesRecords) {
+  Trace t;
+  t.enable();
+  t.record(1.0, TraceKind::kNote, "x");
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Trace, TextRenderingContainsKindAndDetail) {
+  Trace t;
+  t.enable();
+  t.record(1.5, TraceKind::kLookup, "t=3");
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("lookup"), std::string::npos);
+  EXPECT_NE(text.find("t=3"), std::string::npos);
+  EXPECT_NE(text.find("1.5"), std::string::npos);
+}
+
+TEST(Trace, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(TraceKind::kAdd), "add");
+  EXPECT_STREQ(to_string(TraceKind::kDelete), "delete");
+  EXPECT_STREQ(to_string(TraceKind::kPlace), "place");
+  EXPECT_STREQ(to_string(TraceKind::kLookup), "lookup");
+  EXPECT_STREQ(to_string(TraceKind::kMessage), "message");
+  EXPECT_STREQ(to_string(TraceKind::kFailure), "failure");
+  EXPECT_STREQ(to_string(TraceKind::kRecovery), "recovery");
+  EXPECT_STREQ(to_string(TraceKind::kNote), "note");
+}
+
+TEST(Trace, DisableStopsRecording) {
+  Trace t;
+  t.enable();
+  t.record(1.0, TraceKind::kNote, "kept");
+  t.enable(false);
+  t.record(2.0, TraceKind::kNote, "dropped");
+  EXPECT_EQ(t.records().size(), 1u);
+}
+
+}  // namespace
+}  // namespace pls::sim

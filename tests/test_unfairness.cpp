@@ -1,0 +1,148 @@
+// Tests for the §4.5 unfairness metric (eq. (1)) against the paper's
+// worked examples and closed forms.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "pls/analysis/models.hpp"
+#include "pls/common/stats.hpp"
+#include "pls/core/strategy_factory.hpp"
+#include "pls/metrics/unfairness.hpp"
+
+namespace pls::metrics {
+namespace {
+
+std::vector<Entry> iota_entries(std::size_t h) {
+  std::vector<Entry> out(h);
+  for (std::size_t i = 0; i < h; ++i) out[i] = i + 1;
+  return out;
+}
+
+TEST(UnfairnessFormula, PaperExampleFixed1TwoEntries) {
+  // §4.5: 2 entries, Fixed-1, t=1 -> p = {1, 0}, ideal 1/2, U = 1.
+  const std::vector<double> p{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(unfairness_from_probabilities(p, 0.5), 1.0);
+}
+
+TEST(UnfairnessFormula, PerfectFairnessIsZero) {
+  const std::vector<double> p{0.35, 0.35, 0.35, 0.35};
+  EXPECT_DOUBLE_EQ(unfairness_from_probabilities(p, 0.35), 0.0);
+}
+
+TEST(UnfairnessFormula, FixedXClosedForm) {
+  // Fixed-x returns the first x of h with p=t/x: U = sqrt(h/x - 1),
+  // independent of t. Check h=100, x=20 -> U=2 (the §6.3 value).
+  const std::size_t h = 100, x = 20, t = 10;
+  std::vector<double> p(h, 0.0);
+  for (std::size_t j = 0; j < x; ++j) {
+    p[j] = static_cast<double>(t) / static_cast<double>(x);
+  }
+  const double ideal = static_cast<double>(t) / static_cast<double>(h);
+  EXPECT_NEAR(unfairness_from_probabilities(p, ideal), 2.0, 1e-12);
+  EXPECT_NEAR(analysis::unfairness_fixed(h, x), 2.0, 1e-12);
+}
+
+TEST(UnfairnessFormula, RejectsDegenerateInput) {
+  EXPECT_THROW(unfairness_from_probabilities({}, 0.5), std::logic_error);
+  EXPECT_THROW(unfairness_from_probabilities({{0.5}}, 0.0),
+               std::logic_error);
+}
+
+TEST(UnfairnessMeasured, FullReplicationIsFair) {
+  const auto s = core::make_strategy(
+      core::StrategyConfig{.kind = core::StrategyKind::kFullReplication,
+                           .seed = 5},
+      10);
+  const auto universe = iota_entries(50);
+  s->place(universe);
+  const double u = instance_unfairness(*s, universe, 10, 20000);
+  EXPECT_LT(u, 0.1);  // sampling noise only
+}
+
+TEST(UnfairnessMeasured, RoundRobinIsFair) {
+  const auto s = core::make_strategy(
+      core::StrategyConfig{
+          .kind = core::StrategyKind::kRoundRobin, .param = 2, .seed = 5},
+      10);
+  const auto universe = iota_entries(100);
+  s->place(universe);
+  const double u = instance_unfairness(*s, universe, 20, 20000);
+  EXPECT_LT(u, 0.12);
+}
+
+TEST(UnfairnessMeasured, FixedMatchesClosedForm) {
+  const auto s = core::make_strategy(
+      core::StrategyConfig{
+          .kind = core::StrategyKind::kFixed, .param = 20, .seed = 5},
+      10);
+  const auto universe = iota_entries(100);
+  s->place(universe);
+  const double u = instance_unfairness(*s, universe, 10, 20000);
+  EXPECT_NEAR(u, 2.0, 0.05);
+}
+
+TEST(UnfairnessMeasured, RandomServer1On2x2AveragesOneHalf) {
+  // The paper's Fig 8 example: RandomServer-1 with 2 entries on 2 servers
+  // has four equiprobable instances with U in {1, 0, 0, 1}: mean 1/2.
+  RunningStats stats;
+  for (int i = 0; i < 4000; ++i) {
+    const auto s = core::make_strategy(
+        core::StrategyConfig{.kind = core::StrategyKind::kRandomServer,
+                             .param = 1,
+                             .seed = 10000 + static_cast<std::uint64_t>(i)},
+        2);
+    const std::vector<Entry> universe{1, 2};
+    s->place(universe);
+    stats.add(instance_unfairness(*s, universe, 1, 600));
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.05);
+}
+
+TEST(UnfairnessMeasured, RandomServerFarFairerThanFixedStatically) {
+  // §4.5/Fig 9: RandomServer-x is an order of magnitude fairer than
+  // Fixed-x in the static case (same x).
+  RunningStats rs;
+  for (int i = 0; i < 10; ++i) {
+    const auto s = core::make_strategy(
+        core::StrategyConfig{.kind = core::StrategyKind::kRandomServer,
+                             .param = 20,
+                             .seed = 500 + static_cast<std::uint64_t>(i)},
+        10);
+    const auto universe = iota_entries(100);
+    s->place(universe);
+    rs.add(instance_unfairness(*s, universe, 35, 5000));
+  }
+  // The coverage floor (~11 entries unplaced -> U >= sqrt(11/100) ~ 0.33)
+  // plus sampling noise keeps this around 0.6 — still >3x fairer than
+  // Fixed's 2.0 at the same storage.
+  EXPECT_LT(rs.mean(), 1.0);
+  EXPECT_GT(rs.mean(), 0.3);
+}
+
+TEST(UnfairnessMeasured, EntriesOutsideUniverseAreIgnored) {
+  const auto s = core::make_strategy(
+      core::StrategyConfig{.kind = core::StrategyKind::kFullReplication,
+                           .seed = 5},
+      4);
+  s->place(iota_entries(10));
+  // Universe deliberately smaller than what is stored: the metric is
+  // defined over the caller's universe only.
+  const std::vector<Entry> universe{1, 2, 3, 4, 5};
+  const double u = instance_unfairness(*s, universe, 2, 5000);
+  EXPECT_GE(u, 0.0);
+}
+
+TEST(UnfairnessMeasured, RejectsBadArguments) {
+  const auto s = core::make_strategy(
+      core::StrategyConfig{.kind = core::StrategyKind::kFullReplication,
+                           .seed = 5},
+      2);
+  s->place(iota_entries(4));
+  const auto universe = iota_entries(4);
+  EXPECT_THROW(instance_unfairness(*s, {}, 2, 10), std::logic_error);
+  EXPECT_THROW(instance_unfairness(*s, universe, 0, 10), std::logic_error);
+  EXPECT_THROW(instance_unfairness(*s, universe, 2, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pls::metrics

@@ -1,0 +1,149 @@
+// Tests for the §6.1 workload generator.
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "pls/workload/update_stream.hpp"
+
+namespace pls::workload {
+namespace {
+
+WorkloadConfig small_config() {
+  WorkloadConfig cfg;
+  cfg.mean_interarrival = 10.0;
+  cfg.steady_state_entries = 100;
+  cfg.num_updates = 5000;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(Workload, EventsAreSortedByTime) {
+  const auto wl = generate_workload(small_config());
+  EXPECT_TRUE(std::is_sorted(
+      wl.events.begin(), wl.events.end(),
+      [](const auto& a, const auto& b) { return a.time < b.time; }));
+}
+
+TEST(Workload, ProducesExactlyRequestedEventCount) {
+  const auto wl = generate_workload(small_config());
+  EXPECT_EQ(wl.events.size(), 5000u);
+}
+
+TEST(Workload, InitialPopulationMatchesSteadyState) {
+  const auto wl = generate_workload(small_config());
+  EXPECT_EQ(wl.initial.size(), 100u);
+  std::set<Entry> unique(wl.initial.begin(), wl.initial.end());
+  EXPECT_EQ(unique.size(), 100u);
+}
+
+TEST(Workload, EntryIdsAreUniqueAcrossStream) {
+  const auto wl = generate_workload(small_config());
+  std::set<Entry> added(wl.initial.begin(), wl.initial.end());
+  for (const auto& ev : wl.events) {
+    if (ev.kind == UpdateKind::kAdd) {
+      EXPECT_TRUE(added.insert(ev.entry).second)
+          << "entry " << ev.entry << " added twice";
+    }
+  }
+}
+
+TEST(Workload, DeletesOnlyTargetPreviouslyLiveEntries) {
+  const auto wl = generate_workload(small_config());
+  std::set<Entry> live(wl.initial.begin(), wl.initial.end());
+  for (const auto& ev : wl.events) {
+    if (ev.kind == UpdateKind::kAdd) {
+      live.insert(ev.entry);
+    } else {
+      EXPECT_TRUE(live.erase(ev.entry) == 1)
+          << "delete of unknown entry " << ev.entry;
+    }
+  }
+}
+
+TEST(Workload, PopulationHoversAroundSteadyState) {
+  auto cfg = small_config();
+  cfg.num_updates = 20000;
+  const auto wl = generate_workload(cfg);
+  std::size_t live = wl.initial.size();
+  double weighted_sum = 0.0, total_time = 0.0;
+  for (std::size_t i = 0; i + 1 < wl.events.size(); ++i) {
+    if (wl.events[i].kind == UpdateKind::kAdd) { ++live; } else { --live; }
+    const double gap = wl.events[i + 1].time - wl.events[i].time;
+    weighted_sum += static_cast<double>(live) * gap;
+    total_time += gap;
+  }
+  const double mean_population = weighted_sum / total_time;
+  EXPECT_NEAR(mean_population, 100.0, 12.0);
+}
+
+TEST(Workload, ZipfLifetimesAlsoHoldSteadyState) {
+  auto cfg = small_config();
+  cfg.lifetime = "zipf";
+  cfg.num_updates = 20000;
+  const auto wl = generate_workload(cfg);
+  std::size_t live = wl.initial.size();
+  std::size_t max_live = live, min_live = live;
+  for (const auto& ev : wl.events) {
+    if (ev.kind == UpdateKind::kAdd) { ++live; } else { --live; }
+    max_live = std::max(max_live, live);
+    min_live = std::min(min_live, live);
+  }
+  // The lifetime is scaled so its mean is lambda*h (see DESIGN.md on the
+  // paper's C = lambda*h inconsistency); the heavy tail makes the
+  // population swing wider than the exponential but it must stay bounded
+  // around h.
+  EXPECT_GT(min_live, 10u);
+  EXPECT_LT(max_live, 500u);
+}
+
+TEST(Workload, DeterministicForFixedSeed) {
+  const auto a = generate_workload(small_config());
+  const auto b = generate_workload(small_config());
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].time, b.events[i].time);
+    EXPECT_EQ(a.events[i].entry, b.events[i].entry);
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+  }
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  auto cfg_a = small_config();
+  auto cfg_b = small_config();
+  cfg_b.seed = 4;
+  const auto a = generate_workload(cfg_a);
+  const auto b = generate_workload(cfg_b);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < std::min(a.events.size(), b.events.size());
+       ++i) {
+    any_difference |= (a.events[i].time != b.events[i].time);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Workload, AddRateMatchesPoissonMean) {
+  auto cfg = small_config();
+  cfg.num_updates = 20000;
+  const auto wl = generate_workload(cfg);
+  std::size_t adds = 0;
+  for (const auto& ev : wl.events) adds += (ev.kind == UpdateKind::kAdd);
+  const double horizon = wl.events.back().time;
+  EXPECT_NEAR(horizon / static_cast<double>(adds), 10.0, 0.5);
+}
+
+TEST(Workload, RejectsDegenerateConfigs) {
+  auto cfg = small_config();
+  cfg.steady_state_entries = 0;
+  EXPECT_THROW(generate_workload(cfg), std::logic_error);
+  cfg = small_config();
+  cfg.mean_interarrival = 0.0;
+  EXPECT_THROW(generate_workload(cfg), std::logic_error);
+  cfg = small_config();
+  cfg.lifetime = "nope";
+  EXPECT_THROW(generate_workload(cfg), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pls::workload

@@ -1,0 +1,232 @@
+// pls_sim — run a configurable partial-lookup experiment from the command
+// line and print the full §4 metric panel plus dynamic statistics.
+//
+//   $ plsim --strategy round --param 2 --servers 10 --entries 100
+//           --target 15 --updates 5000 --lifetime exp --mttf 900 --mttr 100
+//   (one command line; wrapped here for width)
+//
+// Flags (all optional):
+//   --strategy NAME   full | fixed | randomserver | round | hash
+//   --param P         x or y for the chosen scheme
+//   --servers N       cluster size
+//   --entries H       steady-state entry count
+//   --target T        partial_lookup target answer size
+//   --lookups L       lookups used for the measured metrics
+//   --updates U       churn events to replay (0 = static experiment)
+//   --lifetime D      exp | zipf
+//   --mttf/--mttr M   enable stochastic failures with these means
+//   --seed S
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "pls/analysis/models.hpp"
+#include "pls/core/strategy_factory.hpp"
+#include "pls/metrics/coverage.hpp"
+#include "pls/metrics/fault_tolerance.hpp"
+#include "pls/metrics/availability.hpp"
+#include "pls/metrics/lookup_cost.hpp"
+#include "pls/metrics/storage.hpp"
+#include "pls/metrics/unfairness.hpp"
+#include "pls/net/failure_injector.hpp"
+#include "pls/workload/replay.hpp"
+
+namespace {
+
+struct Options {
+  pls::core::StrategyKind strategy = pls::core::StrategyKind::kRoundRobin;
+  std::size_t param = 2;
+  std::size_t servers = 10;
+  std::size_t entries = 100;
+  std::size_t target = 15;
+  std::size_t lookups = 5000;
+  std::size_t updates = 0;
+  std::string lifetime = "exp";
+  double mttf = 0.0;
+  double mttr = 0.0;
+  std::uint64_t seed = 42;
+};
+
+[[noreturn]] void usage(int code) {
+  std::cout << "usage: pls_sim [--strategy full|fixed|randomserver|round|"
+               "hash] [--param P]\n"
+               "               [--servers N] [--entries H] [--target T] "
+               "[--lookups L]\n"
+               "               [--updates U] [--lifetime exp|zipf] "
+               "[--mttf M --mttr M] [--seed S]\n";
+  std::exit(code);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    auto value = [&]() -> std::string_view {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        usage(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--strategy") {
+      const auto parsed =
+          pls::core::parse_strategy_kind(std::string(value()));
+      if (!parsed) {
+        std::cerr << "unknown strategy\n";
+        usage(2);
+      }
+      opt.strategy = *parsed;
+    } else if (flag == "--param") {
+      opt.param = std::strtoull(value().data(), nullptr, 10);
+    } else if (flag == "--servers") {
+      opt.servers = std::strtoull(value().data(), nullptr, 10);
+    } else if (flag == "--entries") {
+      opt.entries = std::strtoull(value().data(), nullptr, 10);
+    } else if (flag == "--target") {
+      opt.target = std::strtoull(value().data(), nullptr, 10);
+    } else if (flag == "--lookups") {
+      opt.lookups = std::strtoull(value().data(), nullptr, 10);
+    } else if (flag == "--updates") {
+      opt.updates = std::strtoull(value().data(), nullptr, 10);
+    } else if (flag == "--lifetime") {
+      opt.lifetime = std::string(value());
+    } else if (flag == "--mttf") {
+      opt.mttf = std::strtod(value().data(), nullptr);
+    } else if (flag == "--mttr") {
+      opt.mttr = std::strtod(value().data(), nullptr);
+    } else if (flag == "--seed") {
+      opt.seed = std::strtoull(value().data(), nullptr, 10);
+    } else if (flag == "--help" || flag == "-h") {
+      usage(0);
+    } else {
+      std::cerr << "unknown flag " << flag << "\n";
+      usage(2);
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pls;
+  const Options opt = parse(argc, argv);
+
+  auto failures = net::make_failure_state(opt.servers);
+  const auto strategy = core::make_strategy(
+      core::StrategyConfig{
+          .kind = opt.strategy, .param = opt.param, .seed = opt.seed},
+      opt.servers, failures);
+
+  std::cout << "strategy " << core::to_string(opt.strategy) << "-"
+            << opt.param << " on " << opt.servers << " servers, h = "
+            << opt.entries << ", t = " << opt.target << "\n\n";
+
+  // --- static placement + §4 metric panel -------------------------------
+  std::vector<Entry> entries(opt.entries);
+  for (std::size_t i = 0; i < opt.entries; ++i) entries[i] = i + 1;
+  strategy->place(entries);
+
+  const auto placement = strategy->placement();
+  std::cout << "static placement:\n";
+  std::cout << "  storage cost     " << metrics::storage_cost(placement)
+            << " entries (imbalance "
+            << metrics::storage_imbalance(placement) << ")\n";
+  std::cout << "  max coverage     " << metrics::max_coverage(placement)
+            << " / " << opt.entries << '\n';
+  std::cout << "  fault tolerance  "
+            << metrics::fault_tolerance(placement, opt.target)
+            << " worst-case failures (greedy heuristic, t = " << opt.target
+            << ")\n";
+  const auto cost =
+      metrics::measure_lookup_cost(*strategy, opt.target, opt.lookups);
+  std::cout << "  lookup cost      " << std::fixed << std::setprecision(3)
+            << cost.mean_servers << " servers (+-" << cost.ci95
+            << "), failure rate " << cost.failure_rate << '\n';
+  std::cout << "  unfairness       "
+            << metrics::instance_unfairness(*strategy, entries, opt.target,
+                                            opt.lookups)
+            << " (coefficient of variation, 0 = fair)\n";
+
+  if (opt.updates == 0) return 0;
+
+  // --- dynamic phase -----------------------------------------------------
+  std::cout << "\ndynamic phase: " << opt.updates << " updates ("
+            << opt.lifetime << " lifetimes)";
+  workload::WorkloadConfig wc;
+  wc.steady_state_entries = opt.entries;
+  wc.lifetime = opt.lifetime;
+  wc.num_updates = opt.updates;
+  wc.seed = opt.seed + 1;
+  const auto wl = workload::generate_workload(wc);
+
+  sim::Simulator failure_clock;
+  std::unique_ptr<net::FailureInjector> injector;
+  if (opt.mttf > 0.0 && opt.mttr > 0.0) {
+    injector = std::make_unique<net::FailureInjector>(
+        failures,
+        net::FailureInjector::Config{opt.mttf, opt.mttr, opt.seed + 2});
+    injector->arm(failure_clock);
+    std::cout << ", failures MTTF " << opt.mttf << " / MTTR " << opt.mttr;
+  }
+  std::cout << "\n";
+
+  strategy->network().reset_stats();
+  std::unordered_set<Entry> live(wl.initial.begin(), wl.initial.end());
+  double unavailable = 0.0, total_time = 0.0;
+  workload::Replayer replayer(*strategy, wl);
+  replayer.set_observer([&](const workload::UpdateEvent& ev, std::size_t,
+                            SimTime gap) {
+    if (injector) failure_clock.run_until(ev.time);
+    if (ev.kind == workload::UpdateKind::kAdd) {
+      live.insert(ev.entry);
+    } else {
+      live.erase(ev.entry);
+    }
+    total_time += gap;
+    if (!metrics::lookup_satisfiable(*strategy, opt.target)) {
+      unavailable += gap;
+    }
+  });
+  const auto result = replayer.run();
+
+  const auto& stats = strategy->network().stats();
+  std::cout << "  applied          " << result.adds_applied << " adds, "
+            << result.deletes_applied << " deletes over "
+            << std::setprecision(0) << result.end_time << " time units\n"
+            << std::setprecision(3);
+  std::cout << "  live entries     " << live.size() << " (stored distinct "
+            << strategy->placement().distinct_entries()
+            << (injector ? ", stale copies possible under failures)\n"
+                         : ")\n");
+  std::cout << "  messages         " << stats.processed
+            << " processed incl. initial placement ("
+            << static_cast<double>(stats.processed) /
+                   static_cast<double>(opt.updates)
+            << " per update), " << stats.broadcasts << " broadcasts, "
+            << stats.dropped << " dropped\n";
+  std::cout << "  hottest server   " << stats.max_per_server()
+            << " messages (mean "
+            << static_cast<double>(stats.processed) /
+                   static_cast<double>(opt.servers)
+            << ")\n";
+  std::cout << "  unavailable      "
+            << 100.0 * (total_time > 0 ? unavailable / total_time : 0.0)
+            << "% of execution time for t = " << opt.target << '\n';
+  if (injector) {
+    std::cout << "  failures         " << injector->failures_injected()
+              << " crashes, " << injector->recoveries_injected()
+              << " repairs\n";
+  }
+  if (!live.empty()) {
+    std::vector<Entry> universe(live.begin(), live.end());
+    std::cout << "  final unfairness "
+              << metrics::instance_unfairness(*strategy, universe,
+                                              opt.target, opt.lookups)
+              << '\n';
+  }
+  return 0;
+}
