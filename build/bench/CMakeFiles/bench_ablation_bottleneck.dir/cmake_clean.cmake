@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bottleneck.dir/bench_ablation_bottleneck.cpp.o"
+  "CMakeFiles/bench_ablation_bottleneck.dir/bench_ablation_bottleneck.cpp.o.d"
+  "bench_ablation_bottleneck"
+  "bench_ablation_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hotspot.dir/bench_ablation_hotspot.cpp.o"
+  "CMakeFiles/bench_ablation_hotspot.dir/bench_ablation_hotspot.cpp.o.d"
+  "bench_ablation_hotspot"
+  "bench_ablation_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_preferences.dir/bench_ext_preferences.cpp.o"
+  "CMakeFiles/bench_ext_preferences.dir/bench_ext_preferences.cpp.o.d"
+  "bench_ext_preferences"
+  "bench_ext_preferences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_preferences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

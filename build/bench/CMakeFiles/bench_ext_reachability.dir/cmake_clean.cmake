@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_reachability.dir/bench_ext_reachability.cpp.o"
+  "CMakeFiles/bench_ext_reachability.dir/bench_ext_reachability.cpp.o.d"
+  "bench_ext_reachability"
+  "bench_ext_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_cushion.dir/bench_fig12_cushion.cpp.o"
+  "CMakeFiles/bench_fig12_cushion.dir/bench_fig12_cushion.cpp.o.d"
+  "bench_fig12_cushion"
+  "bench_fig12_cushion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cushion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

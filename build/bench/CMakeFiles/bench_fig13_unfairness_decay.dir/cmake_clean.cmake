@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_unfairness_decay.dir/bench_fig13_unfairness_decay.cpp.o"
+  "CMakeFiles/bench_fig13_unfairness_decay.dir/bench_fig13_unfairness_decay.cpp.o.d"
+  "bench_fig13_unfairness_decay"
+  "bench_fig13_unfairness_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_unfairness_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_service_mix.dir/bench_service_mix.cpp.o"
+  "CMakeFiles/bench_service_mix.dir/bench_service_mix.cpp.o.d"
+  "bench_service_mix"
+  "bench_service_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_service_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

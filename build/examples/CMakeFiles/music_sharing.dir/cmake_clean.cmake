@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/music_sharing.dir/music_sharing.cpp.o"
+  "CMakeFiles/music_sharing.dir/music_sharing.cpp.o.d"
+  "music_sharing"
+  "music_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/music_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

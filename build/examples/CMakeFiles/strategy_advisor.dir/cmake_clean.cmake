@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_advisor.dir/strategy_advisor.cpp.o"
+  "CMakeFiles/strategy_advisor.dir/strategy_advisor.cpp.o.d"
+  "strategy_advisor"
+  "strategy_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yellow_pages.dir/yellow_pages.cpp.o"
+  "CMakeFiles/yellow_pages.dir/yellow_pages.cpp.o.d"
+  "yellow_pages"
+  "yellow_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yellow_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pls_analysis.dir/advisor.cpp.o"
+  "CMakeFiles/pls_analysis.dir/advisor.cpp.o.d"
+  "CMakeFiles/pls_analysis.dir/models.cpp.o"
+  "CMakeFiles/pls_analysis.dir/models.cpp.o.d"
+  "CMakeFiles/pls_analysis.dir/summary.cpp.o"
+  "CMakeFiles/pls_analysis.dir/summary.cpp.o.d"
+  "libpls_analysis.a"
+  "libpls_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pls_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

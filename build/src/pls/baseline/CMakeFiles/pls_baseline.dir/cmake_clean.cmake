@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pls_baseline.dir/directory.cpp.o"
+  "CMakeFiles/pls_baseline.dir/directory.cpp.o.d"
+  "libpls_baseline.a"
+  "libpls_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pls_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

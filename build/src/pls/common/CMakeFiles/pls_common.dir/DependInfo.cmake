@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pls/common/distributions.cpp" "src/pls/common/CMakeFiles/pls_common.dir/distributions.cpp.o" "gcc" "src/pls/common/CMakeFiles/pls_common.dir/distributions.cpp.o.d"
+  "/root/repo/src/pls/common/hashing.cpp" "src/pls/common/CMakeFiles/pls_common.dir/hashing.cpp.o" "gcc" "src/pls/common/CMakeFiles/pls_common.dir/hashing.cpp.o.d"
+  "/root/repo/src/pls/common/rng.cpp" "src/pls/common/CMakeFiles/pls_common.dir/rng.cpp.o" "gcc" "src/pls/common/CMakeFiles/pls_common.dir/rng.cpp.o.d"
+  "/root/repo/src/pls/common/stats.cpp" "src/pls/common/CMakeFiles/pls_common.dir/stats.cpp.o" "gcc" "src/pls/common/CMakeFiles/pls_common.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

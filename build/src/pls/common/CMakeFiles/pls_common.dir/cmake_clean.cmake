@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pls_common.dir/distributions.cpp.o"
+  "CMakeFiles/pls_common.dir/distributions.cpp.o.d"
+  "CMakeFiles/pls_common.dir/hashing.cpp.o"
+  "CMakeFiles/pls_common.dir/hashing.cpp.o.d"
+  "CMakeFiles/pls_common.dir/rng.cpp.o"
+  "CMakeFiles/pls_common.dir/rng.cpp.o.d"
+  "CMakeFiles/pls_common.dir/stats.cpp.o"
+  "CMakeFiles/pls_common.dir/stats.cpp.o.d"
+  "libpls_common.a"
+  "libpls_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pls_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pls/core/entry_store.cpp" "src/pls/core/CMakeFiles/pls_core.dir/entry_store.cpp.o" "gcc" "src/pls/core/CMakeFiles/pls_core.dir/entry_store.cpp.o.d"
+  "/root/repo/src/pls/core/fixed_x.cpp" "src/pls/core/CMakeFiles/pls_core.dir/fixed_x.cpp.o" "gcc" "src/pls/core/CMakeFiles/pls_core.dir/fixed_x.cpp.o.d"
+  "/root/repo/src/pls/core/full_replication.cpp" "src/pls/core/CMakeFiles/pls_core.dir/full_replication.cpp.o" "gcc" "src/pls/core/CMakeFiles/pls_core.dir/full_replication.cpp.o.d"
+  "/root/repo/src/pls/core/hash_y.cpp" "src/pls/core/CMakeFiles/pls_core.dir/hash_y.cpp.o" "gcc" "src/pls/core/CMakeFiles/pls_core.dir/hash_y.cpp.o.d"
+  "/root/repo/src/pls/core/lookup.cpp" "src/pls/core/CMakeFiles/pls_core.dir/lookup.cpp.o" "gcc" "src/pls/core/CMakeFiles/pls_core.dir/lookup.cpp.o.d"
+  "/root/repo/src/pls/core/preferences.cpp" "src/pls/core/CMakeFiles/pls_core.dir/preferences.cpp.o" "gcc" "src/pls/core/CMakeFiles/pls_core.dir/preferences.cpp.o.d"
+  "/root/repo/src/pls/core/random_server_x.cpp" "src/pls/core/CMakeFiles/pls_core.dir/random_server_x.cpp.o" "gcc" "src/pls/core/CMakeFiles/pls_core.dir/random_server_x.cpp.o.d"
+  "/root/repo/src/pls/core/round_robin_y.cpp" "src/pls/core/CMakeFiles/pls_core.dir/round_robin_y.cpp.o" "gcc" "src/pls/core/CMakeFiles/pls_core.dir/round_robin_y.cpp.o.d"
+  "/root/repo/src/pls/core/service.cpp" "src/pls/core/CMakeFiles/pls_core.dir/service.cpp.o" "gcc" "src/pls/core/CMakeFiles/pls_core.dir/service.cpp.o.d"
+  "/root/repo/src/pls/core/strategy.cpp" "src/pls/core/CMakeFiles/pls_core.dir/strategy.cpp.o" "gcc" "src/pls/core/CMakeFiles/pls_core.dir/strategy.cpp.o.d"
+  "/root/repo/src/pls/core/strategy_factory.cpp" "src/pls/core/CMakeFiles/pls_core.dir/strategy_factory.cpp.o" "gcc" "src/pls/core/CMakeFiles/pls_core.dir/strategy_factory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pls/common/CMakeFiles/pls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/net/CMakeFiles/pls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/sim/CMakeFiles/pls_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

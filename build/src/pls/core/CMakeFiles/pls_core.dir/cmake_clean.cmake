@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pls_core.dir/entry_store.cpp.o"
+  "CMakeFiles/pls_core.dir/entry_store.cpp.o.d"
+  "CMakeFiles/pls_core.dir/fixed_x.cpp.o"
+  "CMakeFiles/pls_core.dir/fixed_x.cpp.o.d"
+  "CMakeFiles/pls_core.dir/full_replication.cpp.o"
+  "CMakeFiles/pls_core.dir/full_replication.cpp.o.d"
+  "CMakeFiles/pls_core.dir/hash_y.cpp.o"
+  "CMakeFiles/pls_core.dir/hash_y.cpp.o.d"
+  "CMakeFiles/pls_core.dir/lookup.cpp.o"
+  "CMakeFiles/pls_core.dir/lookup.cpp.o.d"
+  "CMakeFiles/pls_core.dir/preferences.cpp.o"
+  "CMakeFiles/pls_core.dir/preferences.cpp.o.d"
+  "CMakeFiles/pls_core.dir/random_server_x.cpp.o"
+  "CMakeFiles/pls_core.dir/random_server_x.cpp.o.d"
+  "CMakeFiles/pls_core.dir/round_robin_y.cpp.o"
+  "CMakeFiles/pls_core.dir/round_robin_y.cpp.o.d"
+  "CMakeFiles/pls_core.dir/service.cpp.o"
+  "CMakeFiles/pls_core.dir/service.cpp.o.d"
+  "CMakeFiles/pls_core.dir/strategy.cpp.o"
+  "CMakeFiles/pls_core.dir/strategy.cpp.o.d"
+  "CMakeFiles/pls_core.dir/strategy_factory.cpp.o"
+  "CMakeFiles/pls_core.dir/strategy_factory.cpp.o.d"
+  "libpls_core.a"
+  "libpls_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

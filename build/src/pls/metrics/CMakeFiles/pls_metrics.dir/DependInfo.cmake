@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pls/metrics/availability.cpp" "src/pls/metrics/CMakeFiles/pls_metrics.dir/availability.cpp.o" "gcc" "src/pls/metrics/CMakeFiles/pls_metrics.dir/availability.cpp.o.d"
+  "/root/repo/src/pls/metrics/coverage.cpp" "src/pls/metrics/CMakeFiles/pls_metrics.dir/coverage.cpp.o" "gcc" "src/pls/metrics/CMakeFiles/pls_metrics.dir/coverage.cpp.o.d"
+  "/root/repo/src/pls/metrics/fault_tolerance.cpp" "src/pls/metrics/CMakeFiles/pls_metrics.dir/fault_tolerance.cpp.o" "gcc" "src/pls/metrics/CMakeFiles/pls_metrics.dir/fault_tolerance.cpp.o.d"
+  "/root/repo/src/pls/metrics/lookup_cost.cpp" "src/pls/metrics/CMakeFiles/pls_metrics.dir/lookup_cost.cpp.o" "gcc" "src/pls/metrics/CMakeFiles/pls_metrics.dir/lookup_cost.cpp.o.d"
+  "/root/repo/src/pls/metrics/storage.cpp" "src/pls/metrics/CMakeFiles/pls_metrics.dir/storage.cpp.o" "gcc" "src/pls/metrics/CMakeFiles/pls_metrics.dir/storage.cpp.o.d"
+  "/root/repo/src/pls/metrics/unfairness.cpp" "src/pls/metrics/CMakeFiles/pls_metrics.dir/unfairness.cpp.o" "gcc" "src/pls/metrics/CMakeFiles/pls_metrics.dir/unfairness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pls/common/CMakeFiles/pls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/core/CMakeFiles/pls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/net/CMakeFiles/pls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/sim/CMakeFiles/pls_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pls_metrics.dir/availability.cpp.o"
+  "CMakeFiles/pls_metrics.dir/availability.cpp.o.d"
+  "CMakeFiles/pls_metrics.dir/coverage.cpp.o"
+  "CMakeFiles/pls_metrics.dir/coverage.cpp.o.d"
+  "CMakeFiles/pls_metrics.dir/fault_tolerance.cpp.o"
+  "CMakeFiles/pls_metrics.dir/fault_tolerance.cpp.o.d"
+  "CMakeFiles/pls_metrics.dir/lookup_cost.cpp.o"
+  "CMakeFiles/pls_metrics.dir/lookup_cost.cpp.o.d"
+  "CMakeFiles/pls_metrics.dir/storage.cpp.o"
+  "CMakeFiles/pls_metrics.dir/storage.cpp.o.d"
+  "CMakeFiles/pls_metrics.dir/unfairness.cpp.o"
+  "CMakeFiles/pls_metrics.dir/unfairness.cpp.o.d"
+  "libpls_metrics.a"
+  "libpls_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pls_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pls/net/failure.cpp" "src/pls/net/CMakeFiles/pls_net.dir/failure.cpp.o" "gcc" "src/pls/net/CMakeFiles/pls_net.dir/failure.cpp.o.d"
+  "/root/repo/src/pls/net/failure_injector.cpp" "src/pls/net/CMakeFiles/pls_net.dir/failure_injector.cpp.o" "gcc" "src/pls/net/CMakeFiles/pls_net.dir/failure_injector.cpp.o.d"
+  "/root/repo/src/pls/net/network.cpp" "src/pls/net/CMakeFiles/pls_net.dir/network.cpp.o" "gcc" "src/pls/net/CMakeFiles/pls_net.dir/network.cpp.o.d"
+  "/root/repo/src/pls/net/server.cpp" "src/pls/net/CMakeFiles/pls_net.dir/server.cpp.o" "gcc" "src/pls/net/CMakeFiles/pls_net.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pls/common/CMakeFiles/pls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/sim/CMakeFiles/pls_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

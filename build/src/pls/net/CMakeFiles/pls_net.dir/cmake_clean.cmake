@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pls_net.dir/failure.cpp.o"
+  "CMakeFiles/pls_net.dir/failure.cpp.o.d"
+  "CMakeFiles/pls_net.dir/failure_injector.cpp.o"
+  "CMakeFiles/pls_net.dir/failure_injector.cpp.o.d"
+  "CMakeFiles/pls_net.dir/network.cpp.o"
+  "CMakeFiles/pls_net.dir/network.cpp.o.d"
+  "CMakeFiles/pls_net.dir/server.cpp.o"
+  "CMakeFiles/pls_net.dir/server.cpp.o.d"
+  "libpls_net.a"
+  "libpls_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pls_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

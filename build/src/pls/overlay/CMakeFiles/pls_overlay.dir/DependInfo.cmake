@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pls/overlay/reachability.cpp" "src/pls/overlay/CMakeFiles/pls_overlay.dir/reachability.cpp.o" "gcc" "src/pls/overlay/CMakeFiles/pls_overlay.dir/reachability.cpp.o.d"
+  "/root/repo/src/pls/overlay/topology.cpp" "src/pls/overlay/CMakeFiles/pls_overlay.dir/topology.cpp.o" "gcc" "src/pls/overlay/CMakeFiles/pls_overlay.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pls/common/CMakeFiles/pls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/core/CMakeFiles/pls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/net/CMakeFiles/pls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/sim/CMakeFiles/pls_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

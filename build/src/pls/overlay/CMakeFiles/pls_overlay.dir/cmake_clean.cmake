@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pls_overlay.dir/reachability.cpp.o"
+  "CMakeFiles/pls_overlay.dir/reachability.cpp.o.d"
+  "CMakeFiles/pls_overlay.dir/topology.cpp.o"
+  "CMakeFiles/pls_overlay.dir/topology.cpp.o.d"
+  "libpls_overlay.a"
+  "libpls_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pls_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pls_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/pls_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/pls_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pls_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/pls_sim.dir/trace.cpp.o"
+  "CMakeFiles/pls_sim.dir/trace.cpp.o.d"
+  "libpls_sim.a"
+  "libpls_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pls_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

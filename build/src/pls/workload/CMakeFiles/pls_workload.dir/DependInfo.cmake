@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pls/workload/popularity.cpp" "src/pls/workload/CMakeFiles/pls_workload.dir/popularity.cpp.o" "gcc" "src/pls/workload/CMakeFiles/pls_workload.dir/popularity.cpp.o.d"
+  "/root/repo/src/pls/workload/replay.cpp" "src/pls/workload/CMakeFiles/pls_workload.dir/replay.cpp.o" "gcc" "src/pls/workload/CMakeFiles/pls_workload.dir/replay.cpp.o.d"
+  "/root/repo/src/pls/workload/service_workload.cpp" "src/pls/workload/CMakeFiles/pls_workload.dir/service_workload.cpp.o" "gcc" "src/pls/workload/CMakeFiles/pls_workload.dir/service_workload.cpp.o.d"
+  "/root/repo/src/pls/workload/update_stream.cpp" "src/pls/workload/CMakeFiles/pls_workload.dir/update_stream.cpp.o" "gcc" "src/pls/workload/CMakeFiles/pls_workload.dir/update_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pls/common/CMakeFiles/pls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/sim/CMakeFiles/pls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/core/CMakeFiles/pls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/metrics/CMakeFiles/pls_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/net/CMakeFiles/pls_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

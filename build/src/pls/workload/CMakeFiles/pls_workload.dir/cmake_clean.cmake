@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pls_workload.dir/popularity.cpp.o"
+  "CMakeFiles/pls_workload.dir/popularity.cpp.o.d"
+  "CMakeFiles/pls_workload.dir/replay.cpp.o"
+  "CMakeFiles/pls_workload.dir/replay.cpp.o.d"
+  "CMakeFiles/pls_workload.dir/service_workload.cpp.o"
+  "CMakeFiles/pls_workload.dir/service_workload.cpp.o.d"
+  "CMakeFiles/pls_workload.dir/update_stream.cpp.o"
+  "CMakeFiles/pls_workload.dir/update_stream.cpp.o.d"
+  "libpls_workload.a"
+  "libpls_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pls_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_entry_store.dir/test_entry_store.cpp.o"
+  "CMakeFiles/test_entry_store.dir/test_entry_store.cpp.o.d"
+  "test_entry_store"
+  "test_entry_store.pdb"
+  "test_entry_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_entry_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_failure_injector.cpp" "tests/CMakeFiles/test_failure_injector.dir/test_failure_injector.cpp.o" "gcc" "tests/CMakeFiles/test_failure_injector.dir/test_failure_injector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pls/analysis/CMakeFiles/pls_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/workload/CMakeFiles/pls_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/metrics/CMakeFiles/pls_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/overlay/CMakeFiles/pls_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/baseline/CMakeFiles/pls_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/core/CMakeFiles/pls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/net/CMakeFiles/pls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/sim/CMakeFiles/pls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/common/CMakeFiles/pls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_injector.dir/test_failure_injector.cpp.o"
+  "CMakeFiles/test_failure_injector.dir/test_failure_injector.cpp.o.d"
+  "test_failure_injector"
+  "test_failure_injector.pdb"
+  "test_failure_injector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_injector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_full_replication.dir/test_full_replication.cpp.o"
+  "CMakeFiles/test_full_replication.dir/test_full_replication.cpp.o.d"
+  "test_full_replication"
+  "test_full_replication.pdb"
+  "test_full_replication[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_full_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

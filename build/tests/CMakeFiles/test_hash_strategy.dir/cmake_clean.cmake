@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_strategy.dir/test_hash_strategy.cpp.o"
+  "CMakeFiles/test_hash_strategy.dir/test_hash_strategy.cpp.o.d"
+  "test_hash_strategy"
+  "test_hash_strategy.pdb"
+  "test_hash_strategy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_storage_coverage.dir/test_metrics_storage_coverage.cpp.o"
+  "CMakeFiles/test_metrics_storage_coverage.dir/test_metrics_storage_coverage.cpp.o.d"
+  "test_metrics_storage_coverage"
+  "test_metrics_storage_coverage.pdb"
+  "test_metrics_storage_coverage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_storage_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_popularity.dir/test_popularity.cpp.o"
+  "CMakeFiles/test_popularity.dir/test_popularity.cpp.o.d"
+  "test_popularity"
+  "test_popularity.pdb"
+  "test_popularity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

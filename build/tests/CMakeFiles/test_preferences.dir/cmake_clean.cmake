@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preferences.dir/test_preferences.cpp.o"
+  "CMakeFiles/test_preferences.dir/test_preferences.cpp.o.d"
+  "test_preferences"
+  "test_preferences.pdb"
+  "test_preferences[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preferences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

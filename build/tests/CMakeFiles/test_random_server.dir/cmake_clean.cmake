@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_server.dir/test_random_server.cpp.o"
+  "CMakeFiles/test_random_server.dir/test_random_server.cpp.o.d"
+  "test_random_server"
+  "test_random_server.pdb"
+  "test_random_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

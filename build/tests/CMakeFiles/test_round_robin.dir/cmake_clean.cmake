@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_round_robin.dir/test_round_robin.cpp.o"
+  "CMakeFiles/test_round_robin.dir/test_round_robin.cpp.o.d"
+  "test_round_robin"
+  "test_round_robin.pdb"
+  "test_round_robin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_round_robin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

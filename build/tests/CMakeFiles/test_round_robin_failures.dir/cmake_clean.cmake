@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_round_robin_failures.dir/test_round_robin_failures.cpp.o"
+  "CMakeFiles/test_round_robin_failures.dir/test_round_robin_failures.cpp.o.d"
+  "test_round_robin_failures"
+  "test_round_robin_failures.pdb"
+  "test_round_robin_failures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_round_robin_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

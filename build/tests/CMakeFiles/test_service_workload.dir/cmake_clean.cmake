@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_workload.dir/test_service_workload.cpp.o"
+  "CMakeFiles/test_service_workload.dir/test_service_workload.cpp.o.d"
+  "test_service_workload"
+  "test_service_workload.pdb"
+  "test_service_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

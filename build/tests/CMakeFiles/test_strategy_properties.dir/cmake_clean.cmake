@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strategy_properties.dir/test_strategy_properties.cpp.o"
+  "CMakeFiles/test_strategy_properties.dir/test_strategy_properties.cpp.o.d"
+  "test_strategy_properties"
+  "test_strategy_properties.pdb"
+  "test_strategy_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strategy_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unfairness.dir/test_unfairness.cpp.o"
+  "CMakeFiles/test_unfairness.dir/test_unfairness.cpp.o.d"
+  "test_unfairness"
+  "test_unfairness.pdb"
+  "test_unfairness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unfairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

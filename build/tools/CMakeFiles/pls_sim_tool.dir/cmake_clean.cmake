@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pls_sim_tool.dir/pls_sim.cpp.o"
+  "CMakeFiles/pls_sim_tool.dir/pls_sim.cpp.o.d"
+  "plsim"
+  "plsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pls_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
