@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under ASan and UBSan (separate build
+# trees, so a plain `build/` stays usable). Any sanitizer report fails the
+# corresponding ctest run.
+#
+#   scripts/run_sanitized_tests.sh [extra ctest args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_one() {
+  local name="$1" sanitize="$2"
+  shift 2
+  local build_dir="${repo_root}/build-${name}"
+  echo "=== ${name}: configuring (${sanitize}) ==="
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DPLS_SANITIZE="${sanitize}" \
+    -DPLS_BUILD_BENCH=OFF -DPLS_BUILD_EXAMPLES=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  echo "=== ${name}: building ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== ${name}: testing ==="
+  (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}" "$@")
+}
+
+# halt_on_error makes ASan reports fail the test process; UBSan aborts via
+# -fno-sanitize-recover (set by the CMake option).
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" run_one asan address "$@"
+run_one ubsan undefined "$@"
+
+echo "=== sanitized test runs passed ==="

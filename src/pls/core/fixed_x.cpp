@@ -40,7 +40,7 @@ FixedStrategy::FixedStrategy(StrategyConfig config, std::size_t num_servers,
 
 LookupResult FixedStrategy::partial_lookup(std::size_t t) {
   // All servers are identical; contacting more than one gains nothing.
-  return single_server_lookup(network(), client_rng(), t);
+  return single_server_lookup(network(), client_rng(), t, retry_policy());
 }
 
 }  // namespace pls::core

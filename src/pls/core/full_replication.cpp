@@ -31,7 +31,7 @@ FullReplicationStrategy::FullReplicationStrategy(
 }
 
 LookupResult FullReplicationStrategy::partial_lookup(std::size_t t) {
-  return single_server_lookup(network(), client_rng(), t);
+  return single_server_lookup(network(), client_rng(), t, retry_policy());
 }
 
 }  // namespace pls::core

@@ -59,7 +59,7 @@ HashStrategy::HashStrategy(StrategyConfig config, std::size_t num_servers,
 }
 
 LookupResult HashStrategy::partial_lookup(std::size_t t) {
-  return random_order_lookup(network(), client_rng(), t);
+  return random_order_lookup(network(), client_rng(), t, retry_policy());
 }
 
 }  // namespace pls::core

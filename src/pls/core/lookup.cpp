@@ -8,54 +8,137 @@
 
 namespace pls::core {
 
+const char* to_string(LookupStatus status) noexcept {
+  switch (status) {
+    case LookupStatus::kSatisfied:
+      return "satisfied";
+    case LookupStatus::kDegraded:
+      return "degraded";
+    case LookupStatus::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+const char* to_string(LookupShortfall shortfall) noexcept {
+  switch (shortfall) {
+    case LookupShortfall::kNone:
+      return "none";
+    case LookupShortfall::kNoServers:
+      return "no-servers";
+    case LookupShortfall::kCoverage:
+      return "coverage";
+    case LookupShortfall::kUnreachable:
+      return "unreachable";
+    case LookupShortfall::kAttemptBudget:
+      return "attempt-budget";
+  }
+  return "?";
+}
+
+void LookupResult::finalize(std::size_t t, bool budget_exhausted,
+                            bool gave_up) {
+  satisfied = entries.size() >= t;
+  if (satisfied) {
+    status = LookupStatus::kSatisfied;
+    shortfall = LookupShortfall::kNone;
+    return;
+  }
+  status = entries.empty() ? LookupStatus::kFailed : LookupStatus::kDegraded;
+  if (budget_exhausted) {
+    shortfall = LookupShortfall::kAttemptBudget;
+  } else if (gave_up) {
+    shortfall = LookupShortfall::kUnreachable;
+  } else if (servers_contacted == 0) {
+    shortfall = LookupShortfall::kNoServers;
+  } else {
+    shortfall = LookupShortfall::kCoverage;
+  }
+}
+
 namespace {
 
-/// Sends a LookupRequest to `target`, merging distinct entries into `out`.
-/// Returns true if the server processed the request.
-bool query_one(net::Network& net, ServerId target, std::size_t t,
-               std::unordered_set<Entry>& seen, LookupResult& out) {
-  auto reply = net.client_rpc(
-      target, net::LookupRequest{static_cast<std::uint32_t>(t)});
-  if (!reply.has_value()) return false;
+enum class QueryState { kAnswered, kNoReply, kBudgetExhausted };
+
+/// Sends a LookupRequest to `target` under `policy` (capped by the
+/// remaining per-lookup attempt budget), merging distinct entries into
+/// `out` and charging the attempt accounting.
+QueryState query_one(net::Network& net, ServerId target, std::size_t t,
+                     const net::RetryPolicy& policy,
+                     std::uint32_t& budget_left,
+                     std::unordered_set<Entry>& seen, LookupResult& out) {
+  std::uint32_t cap = policy.max_attempts;
+  if (policy.attempt_budget > 0) {
+    if (budget_left == 0) return QueryState::kBudgetExhausted;
+    cap = std::min(cap, budget_left);
+  }
+  const auto call = net.client_call(
+      target, net::LookupRequest{static_cast<std::uint32_t>(t)}, policy, cap);
+  out.attempts += call.attempts;
+  out.retries += call.attempts > 0 ? call.attempts - 1 : 0;
+  if (policy.attempt_budget > 0) budget_left -= call.attempts;
+  if (!call.reply.has_value()) {
+    out.timeouts += call.attempts;
+    return QueryState::kNoReply;
+  }
+  out.timeouts += call.attempts - 1;
   ++out.servers_contacted;
-  const auto& payload = std::get<net::LookupReply>(*reply);
+  const auto& payload = std::get<net::LookupReply>(*call.reply);
   for (Entry v : payload.entries) {
     if (seen.insert(v).second) out.entries.push_back(v);
   }
-  return true;
+  return QueryState::kAnswered;
 }
 
 }  // namespace
 
-LookupResult single_server_lookup(net::Network& net, Rng& rng, std::size_t t) {
+LookupResult single_server_lookup(net::Network& net, Rng& rng, std::size_t t,
+                                  const net::RetryPolicy& policy) {
   LookupResult out;
   const auto up = net.failures().up_servers();
-  if (up.empty()) return out;
+  if (up.empty()) {
+    out.finalize(t, false, false);
+    return out;
+  }
   // "Select a random server; if it has failed keep selecting until an
   // operational one is found" — equivalent to uniform over the up set.
   const ServerId target = up[rng.uniform(up.size())];
   std::unordered_set<Entry> seen;
-  query_one(net, target, t, seen, out);
-  out.satisfied = out.entries.size() >= t;
+  std::uint32_t budget = policy.attempt_budget;
+  const auto state = query_one(net, target, t, policy, budget, seen, out);
+  out.finalize(t, state == QueryState::kBudgetExhausted,
+               state == QueryState::kNoReply);
   return out;
 }
 
-LookupResult random_order_lookup(net::Network& net, Rng& rng, std::size_t t) {
+LookupResult random_order_lookup(net::Network& net, Rng& rng, std::size_t t,
+                                 const net::RetryPolicy& policy) {
   LookupResult out;
   auto up = net.failures().up_servers();
-  if (up.empty()) return out;
+  if (up.empty()) {
+    out.finalize(t, false, false);
+    return out;
+  }
   rng.shuffle(std::span<ServerId>(up));
   std::unordered_set<Entry> seen;
+  std::uint32_t budget = policy.attempt_budget;
+  bool budget_out = false, gave_up = false;
   for (ServerId target : up) {
-    query_one(net, target, t, seen, out);
+    const auto state = query_one(net, target, t, policy, budget, seen, out);
+    if (state == QueryState::kBudgetExhausted) {
+      budget_out = true;
+      break;
+    }
+    if (state == QueryState::kNoReply) gave_up = true;
     if (out.entries.size() >= t) break;
   }
-  out.satisfied = out.entries.size() >= t;
+  out.finalize(t, budget_out, gave_up);
   return out;
 }
 
 LookupResult subset_lookup(net::Network& net, Rng& rng, std::size_t t,
-                           std::span<const ServerId> candidates) {
+                           std::span<const ServerId> candidates,
+                           const net::RetryPolicy& policy) {
   LookupResult out;
   std::vector<ServerId> order;
   order.reserve(candidates.size());
@@ -68,50 +151,78 @@ LookupResult subset_lookup(net::Network& net, Rng& rng, std::size_t t,
   }
   rng.shuffle(std::span<ServerId>(order));
   std::unordered_set<Entry> seen;
+  std::uint32_t budget = policy.attempt_budget;
+  bool budget_out = false, gave_up = false;
   for (ServerId target : order) {
-    query_one(net, target, t, seen, out);
+    const auto state = query_one(net, target, t, policy, budget, seen, out);
+    if (state == QueryState::kBudgetExhausted) {
+      budget_out = true;
+      break;
+    }
+    if (state == QueryState::kNoReply) gave_up = true;
     if (out.entries.size() >= t) break;
   }
-  out.satisfied = out.entries.size() >= t;
+  out.finalize(t, budget_out, gave_up);
   return out;
 }
 
-LookupResult exhaustive_lookup(net::Network& net, Rng& rng) {
+LookupResult exhaustive_lookup(net::Network& net, Rng& rng,
+                               const net::RetryPolicy& policy) {
   LookupResult out;
   auto up = net.failures().up_servers();
   rng.shuffle(std::span<ServerId>(up));
   std::unordered_set<Entry> seen;
+  std::uint32_t budget = policy.attempt_budget;
+  bool budget_out = false, gave_up = false;
   for (ServerId target : up) {
-    query_one(net, target, std::numeric_limits<std::uint32_t>::max(), seen,
-              out);
+    const auto state =
+        query_one(net, target, std::numeric_limits<std::uint32_t>::max(),
+                  policy, budget, seen, out);
+    if (state == QueryState::kBudgetExhausted) {
+      budget_out = true;
+      break;
+    }
+    if (state == QueryState::kNoReply) gave_up = true;
   }
-  out.satisfied = !out.entries.empty();
+  // Exhaustive lookups have no t; "anything at all" is the satisfaction
+  // bar, matching the §7.1 exhaustive-preference semantics.
+  out.finalize(1, budget_out, gave_up);
   return out;
 }
 
 LookupResult stride_order_lookup(net::Network& net, Rng& rng, std::size_t t,
-                                 std::size_t stride) {
+                                 std::size_t stride,
+                                 const net::RetryPolicy& policy) {
   PLS_CHECK_MSG(stride > 0, "stride must be positive");
   LookupResult out;
   const std::size_t n = net.size();
   const auto up = net.failures().up_servers();
-  if (up.empty()) return out;
+  if (up.empty()) {
+    out.finalize(t, false, false);
+    return out;
+  }
 
   std::vector<bool> asked(n, false);
   std::size_t asked_up = 0;
   std::unordered_set<Entry> seen;
+  std::uint32_t budget = policy.attempt_budget;
+  bool budget_out = false, gave_up = false;
 
   auto ask = [&](ServerId target) {
     asked[target] = true;
     if (net.is_up(target)) {
+      // Counted as asked even when it never answers: the client spent its
+      // retry allowance on it and moves on (degraded mode).
       ++asked_up;
-      query_one(net, target, t, seen, out);
+      const auto state = query_one(net, target, t, policy, budget, seen, out);
+      if (state == QueryState::kBudgetExhausted) budget_out = true;
+      if (state == QueryState::kNoReply) gave_up = true;
     }
   };
 
   const ServerId start = up[rng.uniform(up.size())];
   ServerId next = start;
-  while (out.entries.size() < t && asked_up < up.size()) {
+  while (out.entries.size() < t && asked_up < up.size() && !budget_out) {
     if (asked[next] || !net.is_up(next)) {
       // §3.4: on failures (or once the deterministic sequence wraps onto an
       // already-asked server) fall back to random operational servers.
@@ -127,8 +238,30 @@ LookupResult stride_order_lookup(net::Network& net, Rng& rng, std::size_t t,
     }
     next = static_cast<ServerId>((next + stride) % n);
   }
-  out.satisfied = out.entries.size() >= t;
+  out.finalize(t, budget_out, gave_up);
   return out;
+}
+
+LookupResult single_server_lookup(net::Network& net, Rng& rng, std::size_t t) {
+  return single_server_lookup(net, rng, t, net.retry_policy());
+}
+
+LookupResult random_order_lookup(net::Network& net, Rng& rng, std::size_t t) {
+  return random_order_lookup(net, rng, t, net.retry_policy());
+}
+
+LookupResult stride_order_lookup(net::Network& net, Rng& rng, std::size_t t,
+                                 std::size_t stride) {
+  return stride_order_lookup(net, rng, t, stride, net.retry_policy());
+}
+
+LookupResult subset_lookup(net::Network& net, Rng& rng, std::size_t t,
+                           std::span<const ServerId> candidates) {
+  return subset_lookup(net, rng, t, candidates, net.retry_policy());
+}
+
+LookupResult exhaustive_lookup(net::Network& net, Rng& rng) {
+  return exhaustive_lookup(net, rng, net.retry_policy());
 }
 
 }  // namespace pls::core

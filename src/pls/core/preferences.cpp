@@ -36,8 +36,9 @@ PreferredResult preferred_lookup(Strategy& strategy, std::size_t t,
     case PreferenceMode::kStopAtT:
       return rank_and_trim(strategy.partial_lookup(t), t, cost);
     case PreferenceMode::kExhaustive:
-      return rank_and_trim(exhaustive_lookup(strategy.network(), rng), t,
-                           cost);
+      return rank_and_trim(exhaustive_lookup(strategy.network(), rng,
+                                             strategy.retry_policy()),
+                           t, cost);
   }
   PLS_CHECK_MSG(false, "unknown preference mode");
 }

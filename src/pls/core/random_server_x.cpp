@@ -81,7 +81,7 @@ RandomServerStrategy::RandomServerStrategy(
 }
 
 LookupResult RandomServerStrategy::partial_lookup(std::size_t t) {
-  return random_order_lookup(network(), client_rng(), t);
+  return random_order_lookup(network(), client_rng(), t, retry_policy());
 }
 
 }  // namespace pls::core

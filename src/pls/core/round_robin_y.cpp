@@ -158,7 +158,7 @@ RoundRobinStrategy::RoundRobinStrategy(
 }
 
 LookupResult RoundRobinStrategy::partial_lookup(std::size_t t) {
-  return stride_order_lookup(network(), client_rng(), t, y());
+  return stride_order_lookup(network(), client_rng(), t, y(), retry_policy());
 }
 
 std::uint64_t RoundRobinStrategy::head() const {

@@ -22,6 +22,10 @@ Strategy& PartialLookupService::strategy_for(const Key& key) {
   if (config_.strategy_policy) {
     if (auto override_cfg = config_.strategy_policy(key)) cfg = *override_cfg;
   }
+  // Transport reliability is a property of the shared cluster, not of one
+  // key's placement scheme.
+  cfg.link = config_.link;
+  cfg.retry = config_.retry;
   // Give each key an independent random stream derived from the service
   // seed and the key's content, so runs replay deterministically regardless
   // of key-creation order.
@@ -91,6 +95,12 @@ net::TransportStats PartialLookupService::total_transport() const {
     total.dropped += s.dropped;
     total.broadcasts += s.broadcasts;
     total.rpcs += s.rpcs;
+    total.dropped_down += s.dropped_down;
+    total.dropped_link += s.dropped_link;
+    total.duplicated += s.duplicated;
+    total.dup_suppressed += s.dup_suppressed;
+    total.retries += s.retries;
+    total.timeouts += s.timeouts;
     for (std::size_t i = 0; i < s.per_server_processed.size(); ++i) {
       total.per_server_processed[i] += s.per_server_processed[i];
     }

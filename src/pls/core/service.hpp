@@ -27,6 +27,13 @@ struct ServiceConfig {
   /// Optional per-key override: return nullopt to use the default. Called
   /// once per key, on first touch.
   std::function<std::optional<StrategyConfig>(const Key&)> strategy_policy;
+  /// Transport reliability shared by every key's cluster: the link model
+  /// and retransmission policy are service-wide (a lossy wire is a
+  /// property of the deployment, not of one key) and override whatever a
+  /// strategy_policy override carries. Each key's link stream is reseeded
+  /// from the service seed and the key, so runs stay deterministic.
+  net::LinkModel link{};
+  net::RetryPolicy retry{};
   std::uint64_t seed = 1;
 };
 

@@ -66,6 +66,10 @@ Strategy::Strategy(StrategyConfig config, std::size_t num_servers,
   PLS_CHECK_MSG(num_servers > 0, "need at least one server");
   PLS_CHECK_MSG(failures_->size() == num_servers,
                 "FailureState size must match the cluster size");
+  net::LinkModel link = config.link;
+  if (link.seed == 0) link.seed = Rng(config.seed).fork(0x117f)();
+  net_.set_link_model(link);
+  net_.set_retry_policy(config.retry);
 }
 
 ServerId Strategy::random_up_server() {

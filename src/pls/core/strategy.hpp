@@ -47,6 +47,15 @@ struct StrategyConfig {
   /// Costlier and, per the paper, *less* fair under churn; kept as an
   /// ablation (bench_ablation_replacement re-measures the claim).
   bool rs_active_replacement = false;
+  /// Transport reliability model for this key's cluster. The default is
+  /// the paper's perfectly reliable link; set drop/duplicate
+  /// probabilities to evaluate under loss. A zero LinkModel::seed is
+  /// replaced by one derived from `seed`, keeping sibling strategies'
+  /// link randomness independent but reproducible.
+  net::LinkModel link{};
+  /// Retransmission policy used by this key's clients and servers on a
+  /// lossy link (inert on a reliable one).
+  net::RetryPolicy retry{};
   std::uint64_t seed = 1;
 };
 
@@ -114,6 +123,12 @@ class Strategy {
   std::size_t num_servers() const noexcept { return net_.size(); }
   net::Network& network() noexcept { return net_; }
   const net::Network& network() const noexcept { return net_; }
+
+  /// The active retransmission policy (config().retry, as installed on
+  /// the transport).
+  const net::RetryPolicy& retry_policy() const noexcept {
+    return net_.retry_policy();
+  }
 
   /// Snapshot of the current entry placement across servers.
   Placement placement() const;

@@ -1,0 +1,68 @@
+#include "pls/metrics/goodput.hpp"
+
+namespace pls::metrics {
+
+void LookupOutcomes::merge(const LookupOutcomes& other) noexcept {
+  lookups += other.lookups;
+  satisfied += other.satisfied;
+  degraded += other.degraded;
+  failed += other.failed;
+  shortfall_no_servers += other.shortfall_no_servers;
+  shortfall_coverage += other.shortfall_coverage;
+  shortfall_unreachable += other.shortfall_unreachable;
+  shortfall_budget += other.shortfall_budget;
+  attempts += other.attempts;
+  retries += other.retries;
+  timeouts += other.timeouts;
+  entries_returned += other.entries_returned;
+  messages_sent += other.messages_sent;
+}
+
+void LookupOutcomes::record(const core::LookupResult& r) noexcept {
+  ++lookups;
+  switch (r.status) {
+    case core::LookupStatus::kSatisfied:
+      ++satisfied;
+      break;
+    case core::LookupStatus::kDegraded:
+      ++degraded;
+      break;
+    case core::LookupStatus::kFailed:
+      ++failed;
+      break;
+  }
+  switch (r.shortfall) {
+    case core::LookupShortfall::kNone:
+      break;
+    case core::LookupShortfall::kNoServers:
+      ++shortfall_no_servers;
+      break;
+    case core::LookupShortfall::kCoverage:
+      ++shortfall_coverage;
+      break;
+    case core::LookupShortfall::kUnreachable:
+      ++shortfall_unreachable;
+      break;
+    case core::LookupShortfall::kAttemptBudget:
+      ++shortfall_budget;
+      break;
+  }
+  attempts += r.attempts;
+  retries += r.retries;
+  timeouts += r.timeouts;
+  entries_returned += r.entries.size();
+}
+
+LookupOutcomes measure_lookup_outcomes(core::Strategy& strategy,
+                                       std::size_t t,
+                                       std::size_t num_lookups) {
+  LookupOutcomes out;
+  const std::uint64_t sent_before = strategy.network().stats().sent;
+  for (std::size_t i = 0; i < num_lookups; ++i) {
+    out.record(strategy.partial_lookup(t));
+  }
+  out.messages_sent = strategy.network().stats().sent - sent_before;
+  return out;
+}
+
+}  // namespace pls::metrics

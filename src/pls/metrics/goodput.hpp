@@ -1,0 +1,69 @@
+// Lookup satisfaction and goodput under an unreliable transport.
+//
+// The §4 metrics assume a reliable wire; once messages can be lost the
+// interesting questions become "what fraction of lookups still reach t?"
+// (satisfaction), "how do the rest degrade?" (degraded vs failed, by
+// shortfall), and "how many useful entries does each wire message buy?"
+// (goodput — retransmissions and duplicates all count as cost).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pls/core/strategy.hpp"
+
+namespace pls::metrics {
+
+struct LookupOutcomes {
+  std::size_t lookups = 0;
+  std::size_t satisfied = 0;
+  std::size_t degraded = 0;  ///< returned > 0 but < t entries
+  std::size_t failed = 0;    ///< returned nothing
+
+  // Degradation causes (over unsatisfied lookups).
+  std::size_t shortfall_no_servers = 0;
+  std::size_t shortfall_coverage = 0;
+  std::size_t shortfall_unreachable = 0;
+  std::size_t shortfall_budget = 0;
+
+  // Client-side effort.
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+
+  std::uint64_t entries_returned = 0;
+  /// Wire messages the cluster spent during the measurement (lookup
+  /// requests including retransmissions; duplicates injected by the link
+  /// are included via the transport's accounting).
+  std::uint64_t messages_sent = 0;
+
+  double satisfaction_rate() const noexcept {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(satisfied) / static_cast<double>(lookups);
+  }
+
+  /// Useful entries per wire message — the loss-adjusted efficiency of
+  /// the lookup path.
+  double goodput() const noexcept {
+    return messages_sent == 0 ? 0.0
+                              : static_cast<double>(entries_returned) /
+                                    static_cast<double>(messages_sent);
+  }
+
+  /// Merges another measurement into this one.
+  void merge(const LookupOutcomes& other) noexcept;
+
+  /// Folds one lookup result into the tally (does not touch
+  /// messages_sent; measure_lookup_outcomes diffs the transport for
+  /// that).
+  void record(const core::LookupResult& r) noexcept;
+};
+
+/// Runs `num_lookups` partial_lookup(t) calls against the live strategy
+/// and tallies outcomes plus the wire messages they cost.
+LookupOutcomes measure_lookup_outcomes(core::Strategy& strategy,
+                                       std::size_t t,
+                                       std::size_t num_lookups);
+
+}  // namespace pls::metrics

@@ -1,0 +1,41 @@
+// Unreliable-link configuration for the simulated transport.
+//
+// The paper's evaluation assumes messages never get lost, delayed or
+// duplicated; a LinkModel lifts that assumption. Every message put on the
+// wire is independently lost with `drop_probability`, every delivered
+// one-way message is duplicated with `duplicate_probability`, and (in
+// deferred mode) per-message latency gets an exponential component with
+// mean `latency_mean` on top of the fixed latency configured through
+// `Network::attach_simulator`. All draws come from one pls::Rng seeded
+// from `seed`, so lossy runs replay bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace pls::net {
+
+struct LinkModel {
+  /// Per-message probability that the wire loses the message. [0, 1].
+  double drop_probability = 0.0;
+  /// Per-delivery probability that a one-way message arrives twice.
+  /// Request/reply exchanges are connection-oriented and never duplicate.
+  /// [0, 1].
+  double duplicate_probability = 0.0;
+  /// Mean of the exponential latency component added to each deferred
+  /// delivery (0 = fixed latency only). Must be >= 0.
+  double latency_mean = 0.0;
+  /// Seed for the link's private random stream. 0 lets the owning
+  /// Strategy derive one from its own seed.
+  std::uint64_t seed = 0;
+
+  /// True when the link can lose or duplicate messages; a non-lossy link
+  /// takes the exact delivery path (and message accounting) of the
+  /// original reliable transport.
+  bool lossy() const noexcept {
+    return drop_probability > 0.0 || duplicate_probability > 0.0;
+  }
+
+  friend bool operator==(const LinkModel&, const LinkModel&) = default;
+};
+
+}  // namespace pls::net

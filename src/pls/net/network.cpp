@@ -1,5 +1,6 @@
 #include "pls/net/network.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "pls/common/check.hpp"
@@ -34,7 +35,7 @@ const char* message_name(const Message& m) noexcept {
 }
 
 Network::Network(std::shared_ptr<FailureState> failures)
-    : failures_(std::move(failures)) {
+    : failures_(std::move(failures)), link_rng_(1) {
   PLS_CHECK_MSG(failures_ != nullptr, "Network needs a FailureState");
   stats_.per_server_processed.assign(failures_->size(), 0);
 }
@@ -59,7 +60,23 @@ const Server& Network::server(ServerId s) const {
   return *servers_[s];
 }
 
-void Network::deliver(ServerId to, const Message& m) {
+void Network::set_link_model(const LinkModel& model) {
+  PLS_CHECK_MSG(model.drop_probability >= 0.0 && model.drop_probability <= 1.0,
+                "drop probability must be in [0, 1]");
+  PLS_CHECK_MSG(
+      model.duplicate_probability >= 0.0 && model.duplicate_probability <= 1.0,
+      "duplicate probability must be in [0, 1]");
+  PLS_CHECK_MSG(model.latency_mean >= 0.0, "latency mean must be >= 0");
+  link_ = model;
+  link_rng_ = Rng(model.seed == 0 ? 1 : model.seed);
+}
+
+void Network::set_retry_policy(const RetryPolicy& policy) {
+  PLS_CHECK_MSG(policy.valid(), "invalid retry policy");
+  retry_ = policy;
+}
+
+void Network::deliver(ServerId to, const Message& m, SeqNo seq) {
   ++stats_.processed;
   ++stats_.per_server_processed[to];
   if (trace_ != nullptr) {
@@ -68,99 +85,164 @@ void Network::deliver(ServerId to, const Message& m) {
                    std::string(message_name(m)) + " -> server " +
                        std::to_string(to));
   }
-  servers_[to]->on_message(m, *this);
+  if (!servers_[to]->handle(m, *this, seq)) ++stats_.dup_suppressed;
 }
 
-void Network::record_drop(ServerId to, const Message& m) {
+void Network::schedule_delivery(ServerId to, const Message& m, SeqNo seq,
+                                double delay) {
+  Message copy = m;
+  sim_->schedule_after(delay, [this, to, seq, msg = std::move(copy)]() {
+    if (failures_->is_up(to)) {
+      deliver(to, msg, seq);
+    } else {
+      record_drop(to, msg, DropCause::kServerDown);
+    }
+  });
+}
+
+void Network::record_drop(ServerId to, const Message& m, DropCause cause) {
   ++stats_.dropped;
+  if (cause == DropCause::kServerDown) {
+    ++stats_.dropped_down;
+  } else {
+    ++stats_.dropped_link;
+  }
   if (trace_ != nullptr) {
     trace_->record(sim_ != nullptr ? sim_->now() : 0.0,
                    sim::TraceKind::kFailure,
                    std::string(message_name(m)) + " dropped at server " +
-                       std::to_string(to));
+                       std::to_string(to) +
+                       (cause == DropCause::kLink ? " (link loss)" : ""));
   }
+}
+
+double Network::latency_sample() {
+  double latency = latency_;
+  if (link_.latency_mean > 0.0) {
+    latency += link_rng_.exponential(link_.latency_mean);
+  }
+  return latency;
+}
+
+bool Network::transmit(ServerId to, const Message& m) {
+  if (!link_.lossy()) {
+    // Reliable link: the paper's exact transport, one attempt, no
+    // sequencing (duplicates are impossible, so the dedup window stays
+    // untouched and accounting is unchanged).
+    ++stats_.sent;
+    if (!failures_->is_up(to)) {
+      record_drop(to, m, DropCause::kServerDown);
+      return false;
+    }
+    if (sim_ != nullptr) {
+      schedule_delivery(to, m, kNoSeq, latency_sample());
+      return true;
+    }
+    deliver(to, m, kNoSeq);
+    return true;
+  }
+
+  // Lossy link: bounded retransmission. One sequence number covers all
+  // attempts of this logical message, so redundant deliveries are
+  // suppressed by the receiver. Acknowledgements are modelled as reliable:
+  // the sender stops after the first delivered attempt; duplicates come
+  // from the link itself (duplicate_probability).
+  const SeqNo seq = ++next_seq_;
+  double wait = 0.0;  // backoff time elapsed before the current attempt
+  for (std::uint32_t attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    ++stats_.sent;
+    if (attempt > 1) ++stats_.retries;
+    const bool up = failures_->is_up(to);
+    if (!up || link_rng_.bernoulli(link_.drop_probability)) {
+      record_drop(to, m, up ? DropCause::kLink : DropCause::kServerDown);
+      ++stats_.timeouts;
+      wait += retry_.timeout_for(attempt, link_rng_);
+      continue;
+    }
+    if (sim_ != nullptr) {
+      schedule_delivery(to, m, seq, wait + latency_sample());
+    } else {
+      deliver(to, m, seq);
+    }
+    if (link_rng_.bernoulli(link_.duplicate_probability)) {
+      ++stats_.duplicated;
+      if (sim_ != nullptr) {
+        schedule_delivery(to, m, seq, wait + latency_sample());
+      } else {
+        deliver(to, m, seq);
+      }
+    }
+    return true;
+  }
+  return false;
 }
 
 bool Network::client_send(ServerId to, const Message& m) {
   PLS_CHECK(to < servers_.size());
-  ++stats_.sent;
-  if (!failures_->is_up(to)) {
-    record_drop(to, m);
-    return false;
-  }
-  if (sim_ != nullptr) {
-    Message copy = m;
-    sim_->schedule_after(latency_, [this, to, msg = std::move(copy)]() {
-      if (failures_->is_up(to)) {
-        deliver(to, msg);
-      } else {
-        record_drop(to, msg);
-      }
-    });
-    return true;
-  }
-  deliver(to, m);
-  return true;
+  return transmit(to, m);
 }
 
 std::optional<Message> Network::client_rpc(ServerId to, const Message& m) {
+  return client_call(to, m, retry_, retry_.max_attempts).reply;
+}
+
+CallResult Network::client_call(ServerId to, const Message& m,
+                                const RetryPolicy& policy,
+                                std::uint32_t attempt_cap) {
   PLS_CHECK(to < servers_.size());
-  ++stats_.sent;
-  if (!failures_->is_up(to)) {
-    record_drop(to, m);
-    return std::nullopt;
+  PLS_CHECK_MSG(policy.valid(), "invalid retry policy");
+  PLS_CHECK_MSG(attempt_cap >= 1, "attempt cap must be >= 1");
+  CallResult out;
+  if (!link_.lossy()) {
+    // Reliable link: one synchronous attempt; a missing reply means the
+    // server is down, which retrying cannot fix within one lookup.
+    out.attempts = 1;
+    ++stats_.sent;
+    if (!failures_->is_up(to)) {
+      record_drop(to, m, DropCause::kServerDown);
+      return out;
+    }
+    ++stats_.processed;
+    ++stats_.per_server_processed[to];
+    ++stats_.rpcs;
+    out.reply = servers_[to]->on_rpc(m, *this);
+    return out;
   }
-  // RPCs are synchronous; the request is one processed server message, the
-  // reply back to the client is free under the paper's cost model.
-  ++stats_.processed;
-  ++stats_.per_server_processed[to];
-  ++stats_.rpcs;
-  return servers_[to]->on_rpc(m, *this);
+
+  const std::uint32_t cap = std::min(policy.max_attempts, attempt_cap);
+  for (std::uint32_t attempt = 1; attempt <= cap; ++attempt) {
+    out.attempts = attempt;
+    ++stats_.sent;
+    if (attempt > 1) ++stats_.retries;
+    const bool up = failures_->is_up(to);
+    if (!up || link_rng_.bernoulli(link_.drop_probability)) {
+      // The client cannot distinguish a lost request from a dead server;
+      // both surface as a timeout and trigger the next attempt.
+      record_drop(to, m, up ? DropCause::kLink : DropCause::kServerDown);
+      ++stats_.timeouts;
+      continue;
+    }
+    ++stats_.processed;
+    ++stats_.per_server_processed[to];
+    ++stats_.rpcs;
+    out.reply = servers_[to]->on_rpc(m, *this);
+    return out;
+  }
+  out.timed_out = true;
+  return out;
 }
 
 void Network::send(ServerId from, ServerId to, const Message& m) {
   PLS_CHECK(from < servers_.size());
   PLS_CHECK(to < servers_.size());
-  ++stats_.sent;
-  if (!failures_->is_up(to)) {
-    record_drop(to, m);
-    return;
-  }
-  if (sim_ != nullptr) {
-    Message copy = m;
-    sim_->schedule_after(latency_, [this, to, msg = std::move(copy)]() {
-      if (failures_->is_up(to)) {
-        deliver(to, msg);
-      } else {
-        record_drop(to, msg);
-      }
-    });
-    return;
-  }
-  deliver(to, m);
+  transmit(to, m);
 }
 
 void Network::broadcast(ServerId from, const Message& m) {
   PLS_CHECK(from < servers_.size());
   ++stats_.broadcasts;
   for (ServerId to = 0; to < servers_.size(); ++to) {
-    ++stats_.sent;
-    if (!failures_->is_up(to)) {
-      record_drop(to, m);
-      continue;
-    }
-    if (sim_ != nullptr) {
-      Message copy = m;
-      sim_->schedule_after(latency_, [this, to, msg = std::move(copy)]() {
-        if (failures_->is_up(to)) {
-          deliver(to, msg);
-        } else {
-          record_drop(to, msg);
-        }
-      });
-    } else {
-      deliver(to, m);
-    }
+    transmit(to, m);
   }
 }
 
@@ -169,20 +251,36 @@ std::optional<Message> Network::rpc(ServerId from, ServerId to,
   PLS_CHECK(from < servers_.size());
   PLS_CHECK(to < servers_.size());
   PLS_CHECK_MSG(sim_ == nullptr, "RPC requires immediate delivery mode");
-  ++stats_.sent;
-  if (!failures_->is_up(to)) {
-    record_drop(to, m);
-    return std::nullopt;
+  // Request leg, retransmitted under the default policy on a lossy link.
+  bool delivered = false;
+  const std::uint32_t attempts = link_.lossy() ? retry_.max_attempts : 1;
+  for (std::uint32_t attempt = 1; attempt <= attempts; ++attempt) {
+    ++stats_.sent;
+    if (attempt > 1) ++stats_.retries;
+    const bool up = failures_->is_up(to);
+    if (!up || (link_.lossy() && link_rng_.bernoulli(link_.drop_probability))) {
+      record_drop(to, m, up ? DropCause::kLink : DropCause::kServerDown);
+      if (link_.lossy()) {
+        ++stats_.timeouts;
+        continue;
+      }
+      return std::nullopt;
+    }
+    delivered = true;
+    break;
   }
+  if (!delivered) return std::nullopt;
   ++stats_.rpcs;
   // Request processed by the callee...
   ++stats_.processed;
   ++stats_.per_server_processed[to];
   Message reply = servers_[to]->on_rpc(m, *this);
-  // ...and the reply processed by the calling *server* (unlike client RPCs).
+  // ...and the reply processed by the calling *server* (unlike client
+  // RPCs). Replies ride the established exchange and are not subject to
+  // link loss (connection-oriented model).
   ++stats_.sent;
   if (!failures_->is_up(from)) {
-    record_drop(from, reply);
+    record_drop(from, reply, DropCause::kServerDown);
     return std::nullopt;
   }
   ++stats_.processed;

@@ -1,30 +1,55 @@
 // The simulated cluster transport.
 //
-// Delivery model: synchronous and reliable to operational servers, exactly
-// the abstraction the paper evaluates under. Message costs are counted per
-// §6.4: a broadcast costs n processed messages, a point-to-point message 1,
-// and a server-to-server RPC 2 (request + reply both processed by servers).
-// Replies to *clients* are free because the paper counts only messages
-// "received and processed by all the servers".
+// Delivery model: synchronous to operational servers, and *reliable by
+// default* — exactly the abstraction the paper evaluates under. Message
+// costs are counted per §6.4: a broadcast costs n processed messages, a
+// point-to-point message 1, and a server-to-server RPC 2 (request + reply
+// both processed by servers). Replies to *clients* are free because the
+// paper counts only messages "received and processed by all the servers".
+//
+// A configurable LinkModel makes the wire lossy: each attempt may be
+// dropped or duplicated, and senders retransmit under the network's
+// RetryPolicy (bounded attempts, exponential backoff with jitter). All
+// link randomness comes from one seeded pls::Rng, so lossy runs replay
+// deterministically. Sequenced deliveries let servers suppress duplicates
+// (Server::handle). Retransmissions are charged like any other wire
+// message; see TransportStats for the conservation law.
 //
 // An optional deferred mode routes one-way sends through a pls::sim
-// Simulator with a fixed latency; RPCs (and hence the Round-Robin delete
-// protocol) require immediate mode.
+// Simulator; retransmissions then land after their accumulated backoff
+// timeouts, plus an optional exponential latency component. RPCs (and
+// hence the Round-Robin delete protocol) require immediate mode.
 #pragma once
 
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "pls/common/rng.hpp"
 #include "pls/common/types.hpp"
 #include "pls/net/failure.hpp"
+#include "pls/net/link_model.hpp"
 #include "pls/net/message.hpp"
+#include "pls/net/retry_policy.hpp"
 #include "pls/net/server.hpp"
 #include "pls/net/transport_stats.hpp"
 #include "pls/sim/simulator.hpp"
 #include "pls/sim/trace.hpp"
 
 namespace pls::net {
+
+/// Outcome of a client request/reply exchange under the retry policy.
+struct CallResult {
+  /// The reply, or nullopt when every attempt went unanswered.
+  std::optional<Message> reply;
+  /// Wire attempts made (1 on a reliable link).
+  std::uint32_t attempts = 0;
+  /// True when the attempt allowance ran out without a reply — the
+  /// client-visible *timeout*. (A down server on a reliable link is
+  /// reported as attempts == 1, timed_out == false: the failure is
+  /// detectable immediately in that model.)
+  bool timed_out = false;
+};
 
 class Network {
  public:
@@ -42,26 +67,48 @@ class Network {
   void fail(ServerId s) { failures_->fail(s); }
   void recover(ServerId s) { failures_->recover(s); }
 
-  /// Client -> server one-way message. Returns false (and counts a drop)
-  /// if the server is down.
+  /// Client -> server one-way message. Returns false (and counts drops)
+  /// when the message never got through: server down, or every lossy-link
+  /// attempt lost. Under a lossy link the default retry policy governs
+  /// retransmission.
   bool client_send(ServerId to, const Message& m);
 
-  /// Client -> server request/reply. Empty when the server is down. The
-  /// request is charged as one processed message; the reply is free.
+  /// Client -> server request/reply under the default retry policy. Empty
+  /// when the server is down or every attempt timed out. The request is
+  /// charged as one processed message per delivered attempt; the reply is
+  /// free.
   std::optional<Message> client_rpc(ServerId to, const Message& m);
 
-  /// Server -> server one-way message (cost 1 if delivered).
+  /// Client -> server request/reply with an explicit policy and a cap on
+  /// attempts (the lookup layer passes min(policy.max_attempts, remaining
+  /// per-lookup budget); must be >= 1).
+  CallResult client_call(ServerId to, const Message& m,
+                         const RetryPolicy& policy,
+                         std::uint32_t attempt_cap);
+
+  /// Server -> server one-way message (cost 1 per delivered attempt).
   void send(ServerId from, ServerId to, const Message& m);
 
   /// Server-initiated broadcast, delivered to every operational server
   /// including the sender (the paper's broadcasts cost n).
   void broadcast(ServerId from, const Message& m);
 
-  /// Server -> server request/reply (cost 2 if the callee is up).
+  /// Server -> server request/reply (cost 2 if the callee is up and the
+  /// request gets through within the retry allowance).
   std::optional<Message> rpc(ServerId from, ServerId to, const Message& m);
 
   const TransportStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_.reset(); }
+
+  /// Installs an unreliable-link model. Reseeds the link's private random
+  /// stream from `model.seed`, so the same model replays identically.
+  void set_link_model(const LinkModel& model);
+  const LinkModel& link_model() const noexcept { return link_; }
+
+  /// Default retransmission policy for sends/RPCs on a lossy link. Inert
+  /// on a reliable link.
+  void set_retry_policy(const RetryPolicy& policy);
+  const RetryPolicy& retry_policy() const noexcept { return retry_; }
 
   /// Switches one-way delivery to go through `sim` with a fixed latency.
   /// Pass nullptr to restore immediate mode.
@@ -73,12 +120,26 @@ class Network {
   void set_trace(sim::Trace* trace) noexcept { trace_ = trace; }
 
  private:
-  void deliver(ServerId to, const Message& m);
-  void record_drop(ServerId to, const Message& m);
+  enum class DropCause { kServerDown, kLink };
+
+  /// One-way transmission with loss, duplication and bounded
+  /// retransmission. Returns true when at least one attempt was delivered
+  /// (or scheduled for delivery, in deferred mode).
+  bool transmit(ServerId to, const Message& m);
+
+  void deliver(ServerId to, const Message& m, SeqNo seq);
+  void schedule_delivery(ServerId to, const Message& m, SeqNo seq,
+                         double delay);
+  void record_drop(ServerId to, const Message& m, DropCause cause);
+  double latency_sample();
 
   std::shared_ptr<FailureState> failures_;
   std::vector<std::unique_ptr<Server>> servers_;
   TransportStats stats_;
+  LinkModel link_;
+  RetryPolicy retry_;
+  Rng link_rng_;
+  SeqNo next_seq_ = 0;
   sim::Simulator* sim_ = nullptr;
   double latency_ = 0.0;
   sim::Trace* trace_ = nullptr;

@@ -1,0 +1,64 @@
+// Client-side resilience policy for an unreliable transport.
+//
+// A sender that gets no reply (or, for one-way messages, no acknowledgement)
+// within the attempt's timeout retransmits, up to `max_attempts` wire
+// attempts per message, with exponential backoff and jitter between
+// attempts. Lookups additionally honour `attempt_budget`, a cap on the
+// total wire attempts one partial_lookup may spend across all servers —
+// exceeding it yields a *degraded* result rather than an unbounded retry
+// storm.
+//
+// On a reliable link (LinkModel::lossy() == false) the transport delivers
+// on the first attempt and the policy is inert, preserving the paper's
+// exact message accounting.
+#pragma once
+
+#include <cstdint>
+
+#include "pls/common/rng.hpp"
+
+namespace pls::net {
+
+struct RetryPolicy {
+  /// Wire attempts per message (1 = no retries). Must be >= 1.
+  std::uint32_t max_attempts = 4;
+  /// Timeout before the first retransmission, in simulated time units.
+  /// Must be > 0.
+  double base_timeout = 1.0;
+  /// Multiplier applied to the timeout after each failed attempt.
+  /// Must be >= 1.
+  double backoff_factor = 2.0;
+  /// Each timeout is scaled by a uniform factor in [1-jitter, 1+jitter]
+  /// to decorrelate retransmissions. Must be in [0, 1).
+  double jitter = 0.2;
+  /// Cap on total wire attempts per lookup, across servers (0 =
+  /// unlimited). Enforced by the pls::core lookup behaviours.
+  std::uint32_t attempt_budget = 0;
+
+  /// Policy that never retransmits — the pre-resilience client behaviour.
+  static RetryPolicy none() noexcept {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+
+  bool valid() const noexcept {
+    return max_attempts >= 1 && base_timeout > 0.0 && backoff_factor >= 1.0 &&
+           jitter >= 0.0 && jitter < 1.0;
+  }
+
+  /// Jittered timeout for the given 1-based attempt:
+  /// base * backoff^(attempt-1) * U[1-jitter, 1+jitter].
+  double timeout_for(std::uint32_t attempt, Rng& rng) const noexcept {
+    double timeout = base_timeout;
+    for (std::uint32_t i = 1; i < attempt; ++i) timeout *= backoff_factor;
+    if (jitter > 0.0) {
+      timeout *= 1.0 + jitter * (2.0 * rng.uniform_real() - 1.0);
+    }
+    return timeout;
+  }
+
+  friend bool operator==(const RetryPolicy&, const RetryPolicy&) = default;
+};
+
+}  // namespace pls::net

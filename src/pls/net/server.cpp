@@ -1,9 +1,21 @@
-// Server is header-only apart from anchoring the vtable here.
 #include "pls/net/server.hpp"
 
 namespace pls::net {
 
-// Key function anchor: keeps one vtable/RTTI copy for the hierarchy.
-static_assert(sizeof(Server) > 0);
+bool Server::handle(const Message& m, Network& net, SeqNo seq) {
+  if (seq != kNoSeq) {
+    if (!seen_.insert(seq).second) {
+      ++duplicates_discarded_;
+      return false;
+    }
+    seen_order_.push_back(seq);
+    if (seen_order_.size() > kDedupWindow) {
+      seen_.erase(seen_order_.front());
+      seen_order_.pop_front();
+    }
+  }
+  on_message(m, net);
+  return true;
+}
 
 }  // namespace pls::net

@@ -2,8 +2,14 @@
 //
 // Concrete servers (one subclass per placement strategy, in pls::core)
 // implement the message-handling logic of §3 and §5. The base class knows
-// nothing about entry storage; it is purely the transport endpoint.
+// nothing about entry storage; it is the transport endpoint, including the
+// duplicate-suppression window that makes one-way update handling
+// idempotent when the link duplicates deliveries.
 #pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
 
 #include "pls/common/types.hpp"
 #include "pls/net/message.hpp"
@@ -11,6 +17,12 @@
 namespace pls::net {
 
 class Network;
+
+/// Per-delivery sequence number assigned by the Network. Retransmissions
+/// and link duplicates of the same logical message share one SeqNo; 0 means
+/// "unsequenced" (reliable-link deliveries, where duplicates cannot occur).
+using SeqNo = std::uint64_t;
+inline constexpr SeqNo kNoSeq = 0;
 
 class Server {
  public:
@@ -22,14 +34,31 @@ class Server {
 
   ServerId id() const noexcept { return id_; }
 
+  /// Transport entry point for one-way deliveries: suppresses duplicate
+  /// sequence numbers, then dispatches to on_message. Returns false when
+  /// the delivery was a duplicate and got discarded.
+  bool handle(const Message& m, Network& net, SeqNo seq);
+
   /// Handles a one-way message. May send further messages through `net`.
   virtual void on_message(const Message& m, Network& net) = 0;
 
   /// Handles a request/reply exchange; must return the reply message.
   virtual Message on_rpc(const Message& m, Network& net) = 0;
 
+  std::uint64_t duplicates_discarded() const noexcept {
+    return duplicates_discarded_;
+  }
+
  private:
+  /// Sliding window of recently seen sequence numbers. Duplicates arrive
+  /// within one retransmission span of the original, so a bounded window
+  /// is safe; bounding it keeps long churn runs O(1) in memory.
+  static constexpr std::size_t kDedupWindow = 4096;
+
   ServerId id_;
+  std::unordered_set<SeqNo> seen_;
+  std::deque<SeqNo> seen_order_;
+  std::uint64_t duplicates_discarded_ = 0;
 };
 
 }  // namespace pls::net

@@ -3,6 +3,16 @@
 // `processed` is the paper's update-overhead metric (§6.4): the number of
 // messages received and processed by servers. Per-server counts expose the
 // Round-Robin coordinator bottleneck discussed in §6.3.
+//
+// Under an unreliable link (LinkModel) the counters split further:
+// `dropped` decomposes into drops by cause, retransmissions count as fresh
+// wire messages (and, when delivered, as processed messages — retries are
+// *charged*, per docs/PROTOCOLS.md), and duplicate deliveries are counted
+// both when the link injects them (`duplicated`) and when a server's
+// sequence-number window discards them (`dup_suppressed`, still processed:
+// the server did receive them). The conservation law, in every mode:
+//
+//   sent + duplicated == processed + dropped
 #pragma once
 
 #include <cstdint>
@@ -13,15 +23,26 @@
 namespace pls::net {
 
 struct TransportStats {
-  std::uint64_t sent = 0;        ///< messages put on the wire
+  std::uint64_t sent = 0;        ///< messages put on the wire (incl. retries)
   std::uint64_t processed = 0;   ///< messages handled by operational servers
-  std::uint64_t dropped = 0;     ///< messages addressed to failed servers
+  std::uint64_t dropped = 0;     ///< messages that never reached a server
   std::uint64_t broadcasts = 0;  ///< broadcast operations issued
   std::uint64_t rpcs = 0;        ///< request/reply exchanges
+
+  // --- unreliable-link accounting ---------------------------------------
+  std::uint64_t dropped_down = 0;    ///< drops: addressed to a failed server
+  std::uint64_t dropped_link = 0;    ///< drops: lost by the unreliable link
+  std::uint64_t duplicated = 0;      ///< extra deliveries injected by the link
+  std::uint64_t dup_suppressed = 0;  ///< duplicates discarded by seq dedup
+  std::uint64_t retries = 0;         ///< retransmission attempts (2nd and on)
+  std::uint64_t timeouts = 0;        ///< attempts that got no reply/ack
+
   std::vector<std::uint64_t> per_server_processed;
 
   void reset() noexcept {
     sent = processed = dropped = broadcasts = rpcs = 0;
+    dropped_down = dropped_link = duplicated = dup_suppressed = 0;
+    retries = timeouts = 0;
     per_server_processed.assign(per_server_processed.size(), 0);
   }
 
@@ -31,6 +52,11 @@ struct TransportStats {
     for (auto c : per_server_processed) m = c > m ? c : m;
     return m;
   }
+
+  /// Byte-identical comparison; the determinism regression tests rely on
+  /// two same-seeded runs producing equal stats.
+  friend bool operator==(const TransportStats&,
+                         const TransportStats&) = default;
 };
 
 }  // namespace pls::net

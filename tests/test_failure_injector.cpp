@@ -38,6 +38,45 @@ TEST(FailureInjector, AvailabilityMatchesMttfMttrRatio) {
   EXPECT_NEAR(up_samples / total_samples, 0.9, 0.02);
 }
 
+TEST(FailureInjector, AvailabilityConvergesAcrossConfigs) {
+  // Long-run empirical availability must track MTTF/(MTTF+MTTR) for
+  // skewed and balanced repair regimes alike.
+  struct Shape {
+    double mttf, mttr;
+  };
+  for (const auto& shape : {Shape{50.0, 50.0}, Shape{190.0, 10.0},
+                            Shape{30.0, 70.0}}) {
+    auto failures = make_failure_state(20);
+    FailureInjector injector(
+        failures, {.mttf = shape.mttf, .mttr = shape.mttr, .seed = 6});
+    const double expected = shape.mttf / (shape.mttf + shape.mttr);
+    EXPECT_DOUBLE_EQ(injector.expected_availability(), expected);
+
+    sim::Simulator sim;
+    injector.arm(sim);
+    double up_samples = 0.0, total_samples = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+      sim.run_until(sim.now() + (shape.mttf + shape.mttr) / 10.0);
+      up_samples += static_cast<double>(failures->up_count());
+      total_samples += 20.0;
+    }
+    EXPECT_NEAR(up_samples / total_samples, expected, 0.03)
+        << "MTTF " << shape.mttf << " / MTTR " << shape.mttr;
+  }
+}
+
+TEST(FailureInjector, RecoverAllRestoresEveryServerAfterAnArmedRun) {
+  auto failures = make_failure_state(8);
+  FailureInjector injector(failures, {.mttf = 10.0, .mttr = 30.0, .seed = 9});
+  sim::Simulator sim;
+  injector.arm(sim);
+  sim.run_until(500.0);
+  // With MTTR >> MTTF most servers are down mid-run.
+  EXPECT_LT(failures->up_count(), 8u);
+  failures->recover_all();
+  EXPECT_EQ(failures->up_count(), failures->size());
+}
+
 TEST(FailureInjector, DeterministicPerSeed) {
   auto run = [](std::uint64_t seed) {
     auto failures = make_failure_state(4);

@@ -15,6 +15,12 @@
 //   --updates U       churn events to replay (0 = static experiment)
 //   --lifetime D      exp | zipf
 //   --mttf/--mttr M   enable stochastic failures with these means
+//   --drop P          per-message link loss probability
+//   --dup P           per-delivery link duplication probability
+//   --max-attempts A  wire attempts per message (1 = no retries)
+//   --timeout T       base retransmission timeout
+//   --backoff B       exponential backoff factor
+//   --budget N        per-lookup attempt budget (0 = unlimited)
 //   --seed S
 #include <cstdlib>
 #include <iomanip>
@@ -28,6 +34,7 @@
 #include "pls/metrics/coverage.hpp"
 #include "pls/metrics/fault_tolerance.hpp"
 #include "pls/metrics/availability.hpp"
+#include "pls/metrics/goodput.hpp"
 #include "pls/metrics/lookup_cost.hpp"
 #include "pls/metrics/storage.hpp"
 #include "pls/metrics/unfairness.hpp"
@@ -47,6 +54,8 @@ struct Options {
   std::string lifetime = "exp";
   double mttf = 0.0;
   double mttr = 0.0;
+  pls::net::LinkModel link{};
+  pls::net::RetryPolicy retry{};
   std::uint64_t seed = 42;
 };
 
@@ -56,7 +65,10 @@ struct Options {
                "               [--servers N] [--entries H] [--target T] "
                "[--lookups L]\n"
                "               [--updates U] [--lifetime exp|zipf] "
-               "[--mttf M --mttr M] [--seed S]\n";
+               "[--mttf M --mttr M]\n"
+               "               [--drop P] [--dup P] [--max-attempts A] "
+               "[--timeout T]\n"
+               "               [--backoff B] [--budget N] [--seed S]\n";
   std::exit(code);
 }
 
@@ -97,6 +109,20 @@ Options parse(int argc, char** argv) {
       opt.mttf = std::strtod(value().data(), nullptr);
     } else if (flag == "--mttr") {
       opt.mttr = std::strtod(value().data(), nullptr);
+    } else if (flag == "--drop") {
+      opt.link.drop_probability = std::strtod(value().data(), nullptr);
+    } else if (flag == "--dup") {
+      opt.link.duplicate_probability = std::strtod(value().data(), nullptr);
+    } else if (flag == "--max-attempts") {
+      opt.retry.max_attempts = static_cast<std::uint32_t>(
+          std::strtoul(value().data(), nullptr, 10));
+    } else if (flag == "--timeout") {
+      opt.retry.base_timeout = std::strtod(value().data(), nullptr);
+    } else if (flag == "--backoff") {
+      opt.retry.backoff_factor = std::strtod(value().data(), nullptr);
+    } else if (flag == "--budget") {
+      opt.retry.attempt_budget = static_cast<std::uint32_t>(
+          std::strtoul(value().data(), nullptr, 10));
     } else if (flag == "--seed") {
       opt.seed = std::strtoull(value().data(), nullptr, 10);
     } else if (flag == "--help" || flag == "-h") {
@@ -116,14 +142,29 @@ int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
 
   auto failures = net::make_failure_state(opt.servers);
-  const auto strategy = core::make_strategy(
-      core::StrategyConfig{
-          .kind = opt.strategy, .param = opt.param, .seed = opt.seed},
-      opt.servers, failures);
+  core::StrategyConfig scfg;
+  scfg.kind = opt.strategy;
+  scfg.param = opt.param;
+  scfg.link = opt.link;
+  scfg.retry = opt.retry;
+  scfg.seed = opt.seed;
+  const auto strategy = core::make_strategy(scfg, opt.servers, failures);
 
   std::cout << "strategy " << core::to_string(opt.strategy) << "-"
             << opt.param << " on " << opt.servers << " servers, h = "
-            << opt.entries << ", t = " << opt.target << "\n\n";
+            << opt.entries << ", t = " << opt.target << "\n";
+  if (opt.link.lossy()) {
+    std::cout << "link: drop " << 100.0 * opt.link.drop_probability
+              << "%, dup " << 100.0 * opt.link.duplicate_probability
+              << "%, retry up to " << opt.retry.max_attempts
+              << " attempts (timeout " << opt.retry.base_timeout << " x"
+              << opt.retry.backoff_factor << " backoff"
+              << (opt.retry.attempt_budget > 0
+                      ? ", budget " + std::to_string(opt.retry.attempt_budget)
+                      : std::string())
+              << ")\n";
+  }
+  std::cout << "\n";
 
   // --- static placement + §4 metric panel -------------------------------
   std::vector<Entry> entries(opt.entries);
@@ -208,6 +249,13 @@ int main(int argc, char** argv) {
                    static_cast<double>(opt.updates)
             << " per update), " << stats.broadcasts << " broadcasts, "
             << stats.dropped << " dropped\n";
+  if (opt.link.lossy()) {
+    std::cout << "  link             " << stats.dropped_link
+              << " lost, " << stats.dropped_down << " to down servers, "
+              << stats.duplicated << " duplicated ("
+              << stats.dup_suppressed << " suppressed), " << stats.retries
+              << " retries, " << stats.timeouts << " timeouts\n";
+  }
   std::cout << "  hottest server   " << stats.max_per_server()
             << " messages (mean "
             << static_cast<double>(stats.processed) /
@@ -227,6 +275,17 @@ int main(int argc, char** argv) {
               << metrics::instance_unfairness(*strategy, universe,
                                               opt.target, opt.lookups)
               << '\n';
+  }
+  if (opt.link.lossy()) {
+    const auto outcomes =
+        metrics::measure_lookup_outcomes(*strategy, opt.target, opt.lookups);
+    std::cout << "  satisfaction     "
+              << 100.0 * outcomes.satisfaction_rate() << "% of "
+              << outcomes.lookups << " lookups (" << outcomes.degraded
+              << " degraded, " << outcomes.failed << " failed)\n";
+    std::cout << "  goodput          " << outcomes.goodput()
+              << " entries per wire message (" << outcomes.retries
+              << " lookup retries, " << outcomes.timeouts << " timeouts)\n";
   }
   return 0;
 }
