@@ -22,30 +22,43 @@ struct LoadProfile {
   double coordinator = 0;  // server 0's share
 };
 
-LoadProfile profile(core::StrategyKind kind, std::size_t param,
-                    std::size_t updates, std::uint64_t seed) {
-  workload::WorkloadConfig wc;
-  wc.steady_state_entries = 100;
-  wc.num_updates = updates;
-  wc.seed = seed;
-  const auto wl = workload::generate_workload(wc);
-  const auto s = core::make_strategy(
-      core::StrategyConfig{.kind = kind, .param = param, .seed = seed}, 10);
-  s->place(wl.initial);
-  s->network().reset_stats();
-  for (const auto& ev : wl.events) {
-    if (ev.kind == workload::UpdateKind::kAdd) {
-      s->add(ev.entry);
-    } else {
-      s->erase(ev.entry);
-    }
-  }
-  const auto& stats = s->network().stats();
+LoadProfile profile(bench::JsonReport& report, const sim::TrialRunner& runner,
+                    const std::string& label, core::StrategyKind kind,
+                    std::size_t param, std::size_t trials, std::size_t updates,
+                    std::uint64_t master_seed) {
+  auto& acc = report.point(label);
+  acc = metrics::run_trials(
+      runner, trials, master_seed, [&](std::size_t, std::uint64_t seed) {
+        metrics::TrialAccumulator trial;
+        workload::WorkloadConfig wc;
+        wc.steady_state_entries = 100;
+        wc.num_updates = updates;
+        wc.seed = seed + 1;
+        const auto wl = workload::generate_workload(wc);
+        const auto s = core::make_strategy(
+            core::StrategyConfig{.kind = kind, .param = param, .seed = seed},
+            10);
+        s->place(wl.initial);
+        s->network().reset_stats();
+        for (const auto& ev : wl.events) {
+          if (ev.kind == workload::UpdateKind::kAdd) {
+            s->add(ev.entry);
+          } else {
+            s->erase(ev.entry);
+          }
+        }
+        const auto& stats = s->network().stats();
+        trial.add("total", static_cast<double>(stats.processed));
+        trial.add("hottest", static_cast<double>(stats.max_per_server()));
+        trial.add("coordinator",
+                  static_cast<double>(stats.per_server_processed[0]));
+        return trial;
+      });
   LoadProfile out;
-  out.total = static_cast<double>(stats.processed);
-  out.hottest = static_cast<double>(stats.max_per_server());
+  out.total = acc.mean("total");
+  out.hottest = acc.mean("hottest");
   out.mean = out.total / 10.0;
-  out.coordinator = static_cast<double>(stats.per_server_processed[0]);
+  out.coordinator = acc.mean("coordinator");
   return out;
 }
 
@@ -53,12 +66,16 @@ LoadProfile profile(core::StrategyKind kind, std::size_t param,
 
 int main(int argc, char** argv) {
   auto args = pls::bench::Args::parse(argc, argv);
+  const std::size_t trials = args.runs ? args.runs : 8;
   const std::size_t updates = args.updates ? args.updates : 10000;
+  const auto runner = args.runner();
+  pls::bench::JsonReport report("ablation_bottleneck", args);
 
   pls::bench::print_title(
       "Ablation (§6.3): per-server update load — Round-Robin coordinator "
       "bottleneck vs Hash",
-      "h = 100, n = 10, " + std::to_string(updates) + " updates");
+      "h = 100, n = 10, " + std::to_string(trials) + " trials x " +
+          std::to_string(updates) + " updates");
   pls::bench::print_row_header({"strategy", "total msgs", "mean/server",
                                 "hottest", "server0", "hot/mean"});
 
@@ -67,7 +84,11 @@ int main(int argc, char** argv) {
         {core::StrategyKind::kHash, std::size_t{2}},
         {core::StrategyKind::kFixed, std::size_t{20}},
         {core::StrategyKind::kRandomServer, std::size_t{20}}}) {
-    const auto p = profile(kind, param, updates, args.seed);
+    const std::string label = std::string(core::to_string(kind)) + "-" +
+                              std::to_string(param);
+    const auto p =
+        profile(report, runner, label, kind, param, trials, updates,
+                args.seed);
     pls::bench::print_cell(core::to_string(kind));
     pls::bench::print_cell(p.total, 16, 0);
     pls::bench::print_cell(p.mean, 16, 0);
@@ -81,5 +102,6 @@ int main(int argc, char** argv) {
       "per-server mean (every add/delete lands there first); Hash spreads "
       "updates ~uniformly (hot/mean ~1); broadcast schemes are uniform "
       "too but with much higher totals.");
+  report.write();
   return 0;
 }

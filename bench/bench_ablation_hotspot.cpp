@@ -27,8 +27,9 @@ struct Outcome {
   double survival = 0;       ///< satisfied fraction after the hot failure
 };
 
-Outcome run(baseline::Paradigm paradigm, core::StrategyConfig partial_cfg,
-            std::size_t lookups, std::uint64_t seed) {
+metrics::TrialAccumulator one_trial(baseline::Paradigm paradigm,
+                                    core::StrategyConfig partial_cfg,
+                                    std::size_t lookups, std::uint64_t seed) {
   constexpr std::size_t kServers = 10;
   constexpr std::size_t kKeys = 100;
   constexpr std::size_t kProviders = 50;
@@ -69,10 +70,10 @@ Outcome run(baseline::Paradigm paradigm, core::StrategyConfig partial_cfg,
   }
   var /= static_cast<double>(load.size());
 
-  Outcome out;
-  out.load_cov = mean > 0 ? std::sqrt(var) / mean : 0.0;
-  out.hot_share = total > 0 ? hottest / total : 0.0;
-  out.storage = static_cast<double>(dir->storage_cost());
+  metrics::TrialAccumulator trial;
+  trial.add("load_cov", mean > 0 ? std::sqrt(var) / mean : 0.0);
+  trial.add("hot_share", total > 0 ? hottest / total : 0.0);
+  trial.add("storage", static_cast<double>(dir->storage_cost()));
 
   // Kill the busiest server and replay the same popularity mix.
   dir->fail_server(static_cast<ServerId>(hottest_server));
@@ -81,21 +82,38 @@ Outcome run(baseline::Paradigm paradigm, core::StrategyConfig partial_cfg,
     satisfied +=
         dir->partial_lookup(keys[popularity.sample(rng)], kTarget).satisfied;
   }
-  out.survival = static_cast<double>(satisfied) /
-                 static_cast<double>(lookups);
-  return out;
+  trial.add("survival", static_cast<double>(satisfied) /
+                            static_cast<double>(lookups));
+  return trial;
+}
+
+Outcome run(bench::JsonReport& report, const sim::TrialRunner& runner,
+            const std::string& label, baseline::Paradigm paradigm,
+            core::StrategyConfig partial_cfg, std::size_t trials,
+            std::size_t lookups, std::uint64_t master_seed) {
+  auto& acc = report.point(label);
+  acc = metrics::run_trials(
+      runner, trials, master_seed, [&](std::size_t, std::uint64_t seed) {
+        return one_trial(paradigm, partial_cfg, lookups, seed);
+      });
+  return Outcome{acc.mean("load_cov"), acc.mean("hot_share"),
+                 acc.mean("storage"), acc.mean("survival")};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   auto args = pls::bench::Args::parse(argc, argv);
+  const std::size_t trials = args.runs ? args.runs : 8;
   const std::size_t lookups = args.lookups ? args.lookups : 20000;
+  const auto runner = args.runner();
+  pls::bench::JsonReport report("ablation_hotspot", args);
 
   pls::bench::print_title(
       "Ablation (§1/§9): popular-key hot-spot across Figure 1's paradigms",
       "100 keys x 50 providers, Zipf(1) popularity, t = 3, " +
-          std::to_string(lookups) + " lookups, n = 10");
+          std::to_string(trials) + " trials x " + std::to_string(lookups) +
+          " lookups, n = 10");
   pls::bench::print_row_header({"paradigm", "load CoV", "hot share",
                                 "storage", "survival%"});
 
@@ -115,7 +133,8 @@ int main(int argc, char** argv) {
        "Partial/Hash-2"},
   };
   for (const auto& row : rows) {
-    const auto o = run(row.paradigm, row.cfg, lookups, args.seed);
+    const auto o = run(report, runner, row.label, row.paradigm, row.cfg,
+                       trials, lookups, args.seed);
     pls::bench::print_cell(std::string_view{row.label});
     pls::bench::print_cell(o.load_cov);
     pls::bench::print_cell(o.hot_share);
@@ -129,5 +148,6 @@ int main(int argc, char** argv) {
       "homed on the failed server; Replicated and Partial spread load "
       "(CoV ~0) and keep ~100% survival, with Partial using a fraction "
       "of Replicated's storage — the paper's §9 summary in one table.");
+  report.write();
   return 0;
 }

@@ -9,7 +9,6 @@
 
 #include <unordered_set>
 
-#include "pls/common/stats.hpp"
 #include "pls/core/strategy_factory.hpp"
 #include "pls/metrics/unfairness.hpp"
 #include "pls/workload/update_stream.hpp"
@@ -24,41 +23,48 @@ struct Outcome {
   double storage = 0;
 };
 
-Outcome run(bool active_replacement, std::size_t instances,
-            std::size_t updates, std::size_t lookups, std::uint64_t seed) {
-  RunningStats unfairness, messages, storage;
-  for (std::size_t i = 0; i < instances; ++i) {
-    workload::WorkloadConfig wc;
-    wc.steady_state_entries = 100;
-    wc.num_updates = updates;
-    wc.seed = seed + i * 7;
-    const auto wl = workload::generate_workload(wc);
-    const auto s = core::make_strategy(
-        core::StrategyConfig{.kind = core::StrategyKind::kRandomServer,
-                             .param = 20,
-                             .rs_active_replacement = active_replacement,
-                             .seed = seed + i},
-        10);
-    s->place(wl.initial);
-    std::unordered_set<Entry> live(wl.initial.begin(), wl.initial.end());
-    s->network().reset_stats();
-    for (const auto& ev : wl.events) {
-      if (ev.kind == workload::UpdateKind::kAdd) {
-        s->add(ev.entry);
-        live.insert(ev.entry);
-      } else {
-        s->erase(ev.entry);
-        live.erase(ev.entry);
-      }
-    }
-    messages.add(static_cast<double>(s->network().stats().processed));
-    storage.add(static_cast<double>(s->storage_cost()));
-    std::vector<Entry> universe(live.begin(), live.end());
-    if (!universe.empty()) {
-      unfairness.add(metrics::instance_unfairness(*s, universe, 15, lookups));
-    }
-  }
-  return {unfairness.mean(), messages.mean(), storage.mean()};
+Outcome run(bench::JsonReport& report, const sim::TrialRunner& runner,
+            const std::string& label, bool active_replacement,
+            std::size_t instances, std::size_t updates, std::size_t lookups,
+            std::uint64_t master_seed) {
+  auto& acc = report.point(label);
+  acc = metrics::run_trials(
+      runner, instances, master_seed, [&](std::size_t, std::uint64_t seed) {
+        metrics::TrialAccumulator trial;
+        workload::WorkloadConfig wc;
+        wc.steady_state_entries = 100;
+        wc.num_updates = updates;
+        wc.seed = seed + 7;
+        const auto wl = workload::generate_workload(wc);
+        const auto s = core::make_strategy(
+            core::StrategyConfig{.kind = core::StrategyKind::kRandomServer,
+                                 .param = 20,
+                                 .rs_active_replacement = active_replacement,
+                                 .seed = seed},
+            10);
+        s->place(wl.initial);
+        std::unordered_set<Entry> live(wl.initial.begin(), wl.initial.end());
+        s->network().reset_stats();
+        for (const auto& ev : wl.events) {
+          if (ev.kind == workload::UpdateKind::kAdd) {
+            s->add(ev.entry);
+            live.insert(ev.entry);
+          } else {
+            s->erase(ev.entry);
+            live.erase(ev.entry);
+          }
+        }
+        trial.add("messages",
+                  static_cast<double>(s->network().stats().processed));
+        trial.add("storage", static_cast<double>(s->storage_cost()));
+        std::vector<Entry> universe(live.begin(), live.end());
+        if (!universe.empty()) {
+          trial.add("unfairness",
+                    metrics::instance_unfairness(*s, universe, 15, lookups));
+        }
+        return trial;
+      });
+  return {acc.mean("unfairness"), acc.mean("messages"), acc.mean("storage")};
 }
 
 }  // namespace
@@ -68,6 +74,8 @@ int main(int argc, char** argv) {
   const std::size_t instances = args.runs ? args.runs : 15;
   const std::size_t updates = args.updates ? args.updates : 3000;
   const std::size_t lookups = args.lookups ? args.lookups : 2000;
+  const auto runner = args.runner();
+  pls::bench::JsonReport report("ablation_replacement", args);
 
   pls::bench::print_title(
       "Ablation (§5.3): RandomServer-20 delete handling — cushion vs "
@@ -77,8 +85,10 @@ int main(int argc, char** argv) {
   pls::bench::print_row_header(
       {"variant", "unfairness", "messages", "storage"});
 
-  const auto cushion = run(false, instances, updates, lookups, args.seed);
-  const auto replace = run(true, instances, updates, lookups, args.seed);
+  const auto cushion = run(report, runner, "cushion", false, instances,
+                           updates, lookups, args.seed);
+  const auto replace = run(report, runner, "replacement", true, instances,
+                           updates, lookups, args.seed);
   pls::bench::print_cell(std::string_view{"cushion"});
   pls::bench::print_cell(cushion.unfairness);
   pls::bench::print_cell(cushion.messages, 16, 0);
@@ -95,5 +105,6 @@ int main(int argc, char** argv) {
       "affected holder) and keeps servers fuller, yet does NOT improve "
       "fairness — it shifts the bias from new entries to old ones (§5.3, "
       "§6.3).");
+  report.write();
   return 0;
 }

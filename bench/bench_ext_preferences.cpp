@@ -9,7 +9,6 @@
 
 #include <unordered_map>
 
-#include "pls/common/stats.hpp"
 #include "pls/core/preferences.hpp"
 #include "pls/core/strategy_factory.hpp"
 
@@ -22,35 +21,44 @@ struct Cells {
   double regret_full = 0, cost_full = 0;
 };
 
-Cells measure(core::StrategyKind kind, std::size_t param,
-              std::size_t instances, std::size_t lookups,
-              std::uint64_t seed) {
+Cells measure(bench::JsonReport& report, const sim::TrialRunner& runner,
+              const std::string& label, core::StrategyKind kind,
+              std::size_t param, std::size_t instances, std::size_t lookups,
+              std::uint64_t master_seed) {
   constexpr std::size_t kTarget = 10;
-  RunningStats rc, cc, rf, cf;
   const auto universe = bench::iota_entries(100);
-  for (std::size_t i = 0; i < instances; ++i) {
-    Rng rng(seed + i * 11);
-    // A fresh client preference per instance: cost(entry) ~ U[0, 1).
-    std::unordered_map<Entry, double> costs;
-    for (Entry v : universe) costs[v] = rng.uniform_real();
-    const core::CostFn cost = [&costs](Entry v) { return costs.at(v); };
+  auto& acc = report.point(label);
+  acc = metrics::run_trials(
+      runner, instances, master_seed, [&](std::size_t, std::uint64_t seed) {
+        metrics::TrialAccumulator trial;
+        Rng rng(seed + 11);
+        // A fresh client preference per instance: cost(entry) ~ U[0, 1).
+        std::unordered_map<Entry, double> costs;
+        for (Entry v : universe) costs[v] = rng.uniform_real();
+        const core::CostFn cost = [&costs](Entry v) { return costs.at(v); };
 
-    const auto s = core::make_strategy(
-        core::StrategyConfig{.kind = kind, .param = param, .seed = seed + i},
-        10);
-    s->place(universe);
-    for (std::size_t l = 0; l < lookups; ++l) {
-      const auto cheap = core::preferred_lookup(
-          *s, kTarget, cost, core::PreferenceMode::kStopAtT, rng);
-      rc.add(core::preference_regret(cheap, universe, cost, kTarget));
-      cc.add(static_cast<double>(cheap.servers_contacted));
-      const auto full = core::preferred_lookup(
-          *s, kTarget, cost, core::PreferenceMode::kExhaustive, rng);
-      rf.add(core::preference_regret(full, universe, cost, kTarget));
-      cf.add(static_cast<double>(full.servers_contacted));
-    }
-  }
-  return {rc.mean(), cc.mean(), rf.mean(), cf.mean()};
+        const auto s = core::make_strategy(
+            core::StrategyConfig{.kind = kind, .param = param, .seed = seed},
+            10);
+        s->place(universe);
+        for (std::size_t l = 0; l < lookups; ++l) {
+          const auto cheap = core::preferred_lookup(
+              *s, kTarget, cost, core::PreferenceMode::kStopAtT, rng);
+          trial.add("regret_stop_t",
+                    core::preference_regret(cheap, universe, cost, kTarget));
+          trial.add("cost_stop_t",
+                    static_cast<double>(cheap.servers_contacted));
+          const auto full = core::preferred_lookup(
+              *s, kTarget, cost, core::PreferenceMode::kExhaustive, rng);
+          trial.add("regret_exhaust",
+                    core::preference_regret(full, universe, cost, kTarget));
+          trial.add("cost_exhaust",
+                    static_cast<double>(full.servers_contacted));
+        }
+        return trial;
+      });
+  return {acc.mean("regret_stop_t"), acc.mean("cost_stop_t"),
+          acc.mean("regret_exhaust"), acc.mean("cost_exhaust")};
 }
 
 }  // namespace
@@ -59,6 +67,8 @@ int main(int argc, char** argv) {
   auto args = pls::bench::Args::parse(argc, argv);
   const std::size_t instances = args.runs ? args.runs : 15;
   const std::size_t lookups = args.lookups ? args.lookups : 100;
+  const auto runner = args.runner();
+  pls::bench::JsonReport report("ext_preferences", args);
 
   pls::bench::print_title(
       "Extension §7.1: preference regret vs lookup cost (t = 10 best of "
@@ -76,8 +86,10 @@ int main(int argc, char** argv) {
                           {pls::core::StrategyKind::kRandomServer, 20},
                           {pls::core::StrategyKind::kRoundRobin, 2},
                           {pls::core::StrategyKind::kHash, 2}}) {
-    const auto cells =
-        measure(row.kind, row.param, instances, lookups, args.seed);
+    const std::string label = std::string(pls::core::to_string(row.kind)) +
+                              "-" + std::to_string(row.param);
+    const auto cells = measure(report, runner, label, row.kind, row.param,
+                               instances, lookups, args.seed);
     pls::bench::print_cell(pls::core::to_string(row.kind));
     pls::bench::print_cell(cells.regret_cheap);
     pls::bench::print_cell(cells.cost_cheap);
@@ -91,5 +103,6 @@ int main(int argc, char** argv) {
       "for Fixed (only 20 entries visible: ~0.2 in cost units); "
       "stop-at-t is ~10x cheaper in contacts but pays ~0.3-0.4 regret "
       "everywhere (a random t-subset instead of the best t).");
+  report.write();
   return 0;
 }

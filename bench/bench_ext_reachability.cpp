@@ -7,13 +7,22 @@
 // serves everyone — the paper's d-vs-cost trade-off, measured.
 #include "bench_util.hpp"
 
-#include "pls/common/stats.hpp"
 #include "pls/core/strategy_factory.hpp"
 #include "pls/overlay/reachability.hpp"
 
 namespace {
 
 using namespace pls;
+
+struct Row {
+  core::StrategyKind kind;
+  std::size_t param;
+};
+
+std::string row_label(const Row& row) {
+  return std::string(core::to_string(row.kind)) + "-" +
+         std::to_string(row.param);
+}
 
 }  // namespace
 
@@ -23,6 +32,8 @@ int main(int argc, char** argv) {
   constexpr std::size_t kNodes = 100;
   constexpr std::size_t kServers = 10;
   constexpr std::size_t kTarget = 20;
+  const auto runner = args.runner();
+  pls::bench::JsonReport report("ext_reachability", args);
 
   pls::bench::print_title(
       "Extension §7.2: client satisfaction vs hop limit d (t = 20, "
@@ -31,10 +42,6 @@ int main(int argc, char** argv) {
       "spaced; mean over " +
           std::to_string(instances) + " overlay+placement instances");
 
-  struct Row {
-    pls::core::StrategyKind kind;
-    std::size_t param;
-  };
   const Row rows[] = {{pls::core::StrategyKind::kFixed, 20},
                       {pls::core::StrategyKind::kRandomServer, 20},
                       {pls::core::StrategyKind::kRoundRobin, 2},
@@ -44,47 +51,59 @@ int main(int argc, char** argv) {
                                 "Round-2", "Hash-2"});
   const auto entries = pls::bench::iota_entries(100);
 
-  std::array<RunningStats, 4> min_hops;
+  // One run per (d, strategy) point; the shared master seed pairs the
+  // overlay+placement instances across strategies and hop limits.
+  auto satisfaction_at = [&](const Row& row, std::size_t d) {
+    const std::string label = "d=" + std::to_string(d) + "/" + row_label(row);
+    auto& acc = report.point(label);
+    acc = metrics::run_trials(
+        runner, instances, args.seed, [&](std::size_t, std::uint64_t seed) {
+          metrics::TrialAccumulator trial;
+          Rng rng(seed + 29);
+          const auto topo =
+              overlay::Topology::ring_with_chords(kNodes, 40, rng);
+          const auto servers = overlay::evenly_spaced_servers(topo, kServers);
+          const auto s = core::make_strategy(
+              core::StrategyConfig{.kind = row.kind,
+                                   .param = row.param,
+                                   .seed = seed},
+              kServers);
+          s->place(entries);
+          trial.add("satisfaction",
+                    overlay::client_satisfaction(*s, topo, servers, d,
+                                                 kTarget));
+          if (d == 0) {
+            const auto needed = overlay::min_hops_for_full_satisfaction(
+                *s, topo, servers, kTarget);
+            if (needed != SIZE_MAX) {
+              trial.add("min_hops", static_cast<double>(needed));
+            }
+          }
+          return trial;
+        });
+    return acc.mean("satisfaction");
+  };
+
   for (std::size_t d = 0; d <= 8; ++d) {
     pls::bench::print_cell(d);
-    for (std::size_t r = 0; r < 4; ++r) {
-      RunningStats frac;
-      for (std::size_t i = 0; i < instances; ++i) {
-        Rng rng(args.seed + i * 29);
-        const auto topo =
-            overlay::Topology::ring_with_chords(kNodes, 40, rng);
-        const auto servers = overlay::evenly_spaced_servers(topo, kServers);
-        const auto s = core::make_strategy(
-            core::StrategyConfig{.kind = rows[r].kind,
-                                 .param = rows[r].param,
-                                 .seed = args.seed + i},
-            kServers);
-        s->place(entries);
-        frac.add(overlay::client_satisfaction(*s, topo, servers, d,
-                                              kTarget));
-        if (d == 0) {
-          const auto needed = overlay::min_hops_for_full_satisfaction(
-              *s, topo, servers, kTarget);
-          if (needed != SIZE_MAX) {
-            min_hops[r].add(static_cast<double>(needed));
-          }
-        }
-      }
-      pls::bench::print_cell(frac.mean());
+    for (const auto& row : rows) {
+      pls::bench::print_cell(satisfaction_at(row, d));
     }
     pls::bench::end_row();
   }
 
   std::cout << "\n# smallest d serving every client (mean):\n";
-  for (std::size_t r = 0; r < 4; ++r) {
-    std::cout << "#   " << pls::core::to_string(rows[r].kind) << ": "
-              << std::fixed << std::setprecision(2) << min_hops[r].mean()
-              << '\n';
+  for (const auto& row : rows) {
+    const auto& acc = report.point("d=0/" + row_label(row));
+    std::cout << "#   " << pls::core::to_string(row.kind) << ": "
+              << std::fixed << std::setprecision(2)
+              << (acc.has("min_hops") ? acc.mean("min_hops") : 0.0) << '\n';
   }
   pls::bench::print_note(
       "expected: Fixed-20 saturates first (any ONE reachable server "
       "suffices, t = x); Round/Hash need a reachable server *set* covering "
       "20 distinct entries, so they trail at small d; everyone reaches "
       "1.0 once d nears the overlay's server spacing.");
+  report.write();
   return 0;
 }

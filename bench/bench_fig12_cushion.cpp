@@ -7,7 +7,6 @@
 // Zipf curve tapering at the end.
 #include "bench_util.hpp"
 
-#include "pls/common/stats.hpp"
 #include "pls/core/strategy_factory.hpp"
 #include "pls/workload/replay.hpp"
 
@@ -15,55 +14,68 @@ namespace {
 
 using namespace pls;
 
-double failure_percent(std::string_view lifetime, std::size_t cushion,
-                       std::size_t runs, std::size_t updates,
-                       std::uint64_t seed) {
+double failure_percent(bench::JsonReport& report,
+                       const sim::TrialRunner& runner,
+                       std::string_view lifetime, std::size_t cushion,
+                       std::size_t trials, std::size_t updates,
+                       std::uint64_t master_seed) {
   constexpr std::size_t kTarget = 15;
-  RunningStats stats;
-  for (std::size_t i = 0; i < runs; ++i) {
-    workload::WorkloadConfig wc;
-    wc.steady_state_entries = 100;
-    wc.lifetime = std::string(lifetime);
-    wc.num_updates = updates;
-    wc.seed = seed + i * 31 + cushion;
-    const auto wl = workload::generate_workload(wc);
-    const auto s = core::make_strategy(
-        core::StrategyConfig{.kind = core::StrategyKind::kFixed,
-                             .param = kTarget + cushion,
-                             .seed = seed + i},
-        10);
-    stats.add(100.0 * workload::unavailable_time_fraction(*s, wl, kTarget));
-  }
-  return stats.mean();
+  const std::string label =
+      "b=" + std::to_string(cushion) + "/" + std::string(lifetime);
+  auto& acc = report.point(label);
+  acc = metrics::run_trials(
+      runner, trials, master_seed + cushion,
+      [&](std::size_t, std::uint64_t seed) {
+        metrics::TrialAccumulator trial;
+        workload::WorkloadConfig wc;
+        wc.steady_state_entries = 100;
+        wc.lifetime = std::string(lifetime);
+        wc.num_updates = updates;
+        wc.seed = seed + 1;
+        const auto wl = workload::generate_workload(wc);
+        const auto s = core::make_strategy(
+            core::StrategyConfig{.kind = core::StrategyKind::kFixed,
+                                 .param = kTarget + cushion,
+                                 .seed = seed},
+            10);
+        trial.add("unavailable_percent",
+                  100.0 *
+                      workload::unavailable_time_fraction(*s, wl, kTarget));
+        return trial;
+      });
+  return acc.mean("unavailable_percent");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   auto args = pls::bench::Args::parse(argc, argv);
-  const std::size_t runs = args.runs ? args.runs : 40;
+  const std::size_t trials = args.runs ? args.runs : 40;
   const std::size_t updates = args.updates ? args.updates : 5000;
+  const auto runner = args.runner();
+  pls::bench::JsonReport report("fig12_cushion", args);
 
   pls::bench::print_title(
       "Fig 12: Fixed-x lookup failure time vs cushion (t = 15, h = 100)",
-      std::to_string(runs) + " runs x " + std::to_string(updates) +
+      std::to_string(trials) + " trials x " + std::to_string(updates) +
           " updates (paper: 5000 x 20000); values in % of execution time");
   pls::bench::print_row_header({"cushion", "exp %", "zipf %"});
 
   for (std::size_t b = 0; b <= 7; ++b) {
     pls::bench::print_cell(b);
-    pls::bench::print_cell(failure_percent("exp", b, runs, updates,
-                                           args.seed),
+    pls::bench::print_cell(failure_percent(report, runner, "exp", b, trials,
+                                           updates, args.seed),
                            16, 4);
-    pls::bench::print_cell(failure_percent("zipf", b, runs, updates,
-                                           args.seed + 9999),
+    pls::bench::print_cell(failure_percent(report, runner, "zipf", b, trials,
+                                           updates, args.seed + 9999),
                            16, 4);
     pls::bench::end_row();
   }
   pls::bench::print_note(
       "expected shape: >10% at b=0, roughly exponential decay with b "
       "(x10 per ~2 cushion entries); the Zipf-like curve tapers at large "
-      "b. Tail points below ~0.01% need paper-scale --runs/--updates to "
+      "b. Tail points below ~0.01% need paper-scale --trials/--updates to "
       "resolve.");
+  report.write();
   return 0;
 }

@@ -9,7 +9,6 @@
 #include <unordered_set>
 
 #include "pls/analysis/models.hpp"
-#include "pls/common/stats.hpp"
 #include "pls/core/strategy_factory.hpp"
 #include "pls/metrics/unfairness.hpp"
 #include "pls/workload/update_stream.hpp"
@@ -21,52 +20,52 @@ using namespace pls;
 constexpr std::size_t kCheckpointStep = 500;
 constexpr std::size_t kMaxUpdates = 4000;
 
-std::vector<double> unfairness_trajectory(std::size_t instances,
-                                          std::size_t lookups,
-                                          std::size_t target,
-                                          std::uint64_t seed) {
-  const std::size_t checkpoints = kMaxUpdates / kCheckpointStep + 1;
-  std::vector<RunningStats> stats(checkpoints);
-  for (std::size_t i = 0; i < instances; ++i) {
-    workload::WorkloadConfig wc;
-    wc.steady_state_entries = 100;
-    wc.num_updates = kMaxUpdates;
-    wc.seed = seed + i * 71;
-    const auto wl = workload::generate_workload(wc);
-    const auto s = core::make_strategy(
-        core::StrategyConfig{.kind = core::StrategyKind::kRandomServer,
-                             .param = 20,
-                             .seed = seed + i},
-        10);
-    s->place(wl.initial);
-    std::unordered_set<Entry> live(wl.initial.begin(), wl.initial.end());
+std::string checkpoint_label(std::size_t index) {
+  return "updates=" + std::to_string(index * kCheckpointStep);
+}
 
-    std::size_t applied = 0;
-    auto checkpoint = [&](std::size_t index) {
-      std::vector<Entry> universe(live.begin(), live.end());
-      if (universe.empty()) return;
-      stats[index].add(
-          metrics::instance_unfairness(*s, universe, target, lookups));
-    };
-    checkpoint(0);
-    for (const auto& ev : wl.events) {
-      if (ev.kind == workload::UpdateKind::kAdd) {
-        s->add(ev.entry);
-        live.insert(ev.entry);
-      } else {
-        s->erase(ev.entry);
-        live.erase(ev.entry);
-      }
-      ++applied;
-      if (applied % kCheckpointStep == 0) {
-        checkpoint(applied / kCheckpointStep);
-      }
+/// One instance: replay kMaxUpdates churn events, recording the live-set
+/// unfairness at every checkpoint as its own metric. The cross-instance
+/// mean per checkpoint is the figure's trajectory.
+metrics::TrialAccumulator one_instance(std::uint64_t seed,
+                                       std::size_t lookups,
+                                       std::size_t target) {
+  metrics::TrialAccumulator trial;
+  workload::WorkloadConfig wc;
+  wc.steady_state_entries = 100;
+  wc.num_updates = kMaxUpdates;
+  wc.seed = seed + 1;
+  const auto wl = workload::generate_workload(wc);
+  const auto s = core::make_strategy(
+      core::StrategyConfig{.kind = core::StrategyKind::kRandomServer,
+                           .param = 20,
+                           .seed = seed},
+      10);
+  s->place(wl.initial);
+  std::unordered_set<Entry> live(wl.initial.begin(), wl.initial.end());
+
+  std::size_t applied = 0;
+  auto checkpoint = [&](std::size_t index) {
+    std::vector<Entry> universe(live.begin(), live.end());
+    if (universe.empty()) return;
+    trial.add(checkpoint_label(index),
+              metrics::instance_unfairness(*s, universe, target, lookups));
+  };
+  checkpoint(0);
+  for (const auto& ev : wl.events) {
+    if (ev.kind == workload::UpdateKind::kAdd) {
+      s->add(ev.entry);
+      live.insert(ev.entry);
+    } else {
+      s->erase(ev.entry);
+      live.erase(ev.entry);
+    }
+    ++applied;
+    if (applied % kCheckpointStep == 0) {
+      checkpoint(applied / kCheckpointStep);
     }
   }
-  std::vector<double> out;
-  out.reserve(checkpoints);
-  for (const auto& st : stats) out.push_back(st.mean());
-  return out;
+  return trial;
 }
 
 }  // namespace
@@ -76,6 +75,8 @@ int main(int argc, char** argv) {
   const std::size_t instances = args.runs ? args.runs : 20;
   const std::size_t lookups = args.lookups ? args.lookups : 2000;
   constexpr std::size_t kTarget = 15;
+  const auto runner = args.runner();
+  pls::bench::JsonReport report("fig13_unfairness_decay", args);
 
   pls::bench::print_title(
       "Fig 13: RandomServer-20 unfairness vs number of updates",
@@ -83,12 +84,19 @@ int main(int argc, char** argv) {
           " instances x " + std::to_string(lookups) + " lookups/checkpoint");
   pls::bench::print_row_header({"updates", "RandomServer-20", "Fixed-x(ref)"});
 
-  const auto trajectory =
-      unfairness_trajectory(instances, lookups, kTarget, args.seed);
+  auto& acc = report.point("trajectory");
+  acc = pls::metrics::run_trials(
+      runner, instances, args.seed, [&](std::size_t, std::uint64_t seed) {
+        return one_instance(seed, lookups, kTarget);
+      });
+
   const double fixed_ref = pls::analysis::unfairness_fixed(100, 20);
-  for (std::size_t c = 0; c < trajectory.size(); ++c) {
+  const std::size_t checkpoints = kMaxUpdates / kCheckpointStep + 1;
+  for (std::size_t c = 0; c < checkpoints; ++c) {
     pls::bench::print_cell(c * kCheckpointStep);
-    pls::bench::print_cell(trajectory[c]);
+    pls::bench::print_cell(acc.has(checkpoint_label(c))
+                               ? acc.mean(checkpoint_label(c))
+                               : 0.0);
     pls::bench::print_cell(fixed_ref);
     pls::bench::end_row();
   }
@@ -96,5 +104,6 @@ int main(int argc, char** argv) {
       "expected shape: rapid deterioration from the static value, then a "
       "plateau well below Fixed-x's U = 2 (§6.3: 'only a factor of 2 "
       "better').");
+  report.write();
   return 0;
 }

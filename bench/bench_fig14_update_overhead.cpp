@@ -9,7 +9,6 @@
 #include "bench_util.hpp"
 
 #include "pls/analysis/models.hpp"
-#include "pls/common/stats.hpp"
 #include "pls/core/strategy_factory.hpp"
 #include "pls/workload/replay.hpp"
 
@@ -17,46 +16,54 @@ namespace {
 
 using namespace pls;
 
-double measured_overhead(core::StrategyKind kind, std::size_t param,
-                         std::size_t h, std::size_t runs,
-                         std::size_t updates, std::uint64_t seed) {
-  RunningStats stats;
-  for (std::size_t i = 0; i < runs; ++i) {
-    workload::WorkloadConfig wc;
-    wc.steady_state_entries = h;
-    wc.num_updates = updates;
-    wc.seed = seed + i * 37;
-    const auto wl = workload::generate_workload(wc);
-    const auto s = core::make_strategy(
-        core::StrategyConfig{
-            .kind = kind, .param = param, .seed = seed + i},
-        10);
-    s->place(wl.initial);
-    s->network().reset_stats();
-    for (const auto& ev : wl.events) {
-      if (ev.kind == workload::UpdateKind::kAdd) {
-        s->add(ev.entry);
-      } else {
-        s->erase(ev.entry);
-      }
-    }
-    stats.add(static_cast<double>(s->network().stats().processed));
-  }
-  return stats.mean();
+double measured_overhead(bench::JsonReport& report,
+                         const sim::TrialRunner& runner,
+                         const std::string& label, core::StrategyKind kind,
+                         std::size_t param, std::size_t h,
+                         std::size_t trials, std::size_t updates,
+                         std::uint64_t master_seed) {
+  auto& acc = report.point(label);
+  acc = metrics::run_trials(
+      runner, trials, master_seed, [&](std::size_t, std::uint64_t seed) {
+        metrics::TrialAccumulator trial;
+        workload::WorkloadConfig wc;
+        wc.steady_state_entries = h;
+        wc.num_updates = updates;
+        wc.seed = seed + 1;
+        const auto wl = workload::generate_workload(wc);
+        const auto s = core::make_strategy(
+            core::StrategyConfig{.kind = kind, .param = param, .seed = seed},
+            10);
+        s->place(wl.initial);
+        s->network().reset_stats();
+        for (const auto& ev : wl.events) {
+          if (ev.kind == workload::UpdateKind::kAdd) {
+            s->add(ev.entry);
+          } else {
+            s->erase(ev.entry);
+          }
+        }
+        trial.add("processed",
+                  static_cast<double>(s->network().stats().processed));
+        return trial;
+      });
+  return acc.mean("processed");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   auto args = pls::bench::Args::parse(argc, argv);
-  const std::size_t runs = args.runs ? args.runs : 8;
+  const std::size_t trials = args.runs ? args.runs : 8;
   const std::size_t updates = args.updates ? args.updates : 10000;
   constexpr std::size_t kTarget = 40;
   constexpr std::size_t kX = 50;  // t + cushion 10, as in §6.4
+  const auto runner = args.runner();
+  pls::bench::JsonReport report("fig14_update_overhead", args);
 
   pls::bench::print_title(
       "Fig 14: total update overhead, Fixed-50 vs Hash-y* (t = 40, n = 10)",
-      std::to_string(runs) + " runs x " + std::to_string(updates) +
+      std::to_string(trials) + " trials x " + std::to_string(updates) +
           " updates per point (paper: 5000 runs x 10000 updates)");
   pls::bench::print_row_header({"h", "y*", "Fixed-50", "Hash-y*",
                                 "Fixed(model)", "Hash(model)", "cheaper"});
@@ -65,10 +72,14 @@ int main(int argc, char** argv) {
   for (std::size_t h : {100u, 120u, 133u, 150u, 175u, 199u, 200u, 250u,
                         300u, 350u, 399u, 400u}) {
     const std::size_t y = pls::analysis::optimal_hash_y(kTarget, h, 10);
-    const double fixed = measured_overhead(StrategyKind::kFixed, kX, h, runs,
-                                           updates, args.seed);
-    const double hash = measured_overhead(StrategyKind::kHash, y, h, runs,
-                                          updates, args.seed + 999);
+    const std::string at = "h=" + std::to_string(h) + "/";
+    const double fixed =
+        measured_overhead(report, runner, at + "Fixed-50",
+                          StrategyKind::kFixed, kX, h, trials, updates,
+                          args.seed);
+    const double hash =
+        measured_overhead(report, runner, at + "Hash-y*", StrategyKind::kHash,
+                          y, h, trials, updates, args.seed + 999);
     pls::bench::print_cell(h);
     pls::bench::print_cell(y);
     pls::bench::print_cell(fixed, 16, 0);
@@ -86,5 +97,6 @@ int main(int argc, char** argv) {
       "~ (1 + y) stepping down at h = 134, 200, 400; crossovers where "
       "x*n/h = y (Fixed wins near the left edge of each Hash step, Hash "
       "wins near the right edge).");
+  report.write();
   return 0;
 }

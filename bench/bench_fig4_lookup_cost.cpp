@@ -9,7 +9,6 @@
 #include "bench_util.hpp"
 
 #include "pls/analysis/models.hpp"
-#include "pls/common/stats.hpp"
 #include "pls/core/strategy_factory.hpp"
 #include "pls/metrics/lookup_cost.hpp"
 
@@ -17,50 +16,77 @@ namespace {
 
 using namespace pls;
 
-double mean_cost(core::StrategyKind kind, std::size_t param, std::size_t t,
-                 std::size_t runs, std::size_t lookups, std::uint64_t seed) {
-  RunningStats stats;
-  const auto entries = bench::iota_entries(100);
-  for (std::size_t i = 0; i < runs; ++i) {
-    const auto s = core::make_strategy(
-        core::StrategyConfig{
-            .kind = kind, .param = param, .seed = seed + i * 101},
-        10);
-    s->place(entries);
-    stats.add(metrics::measure_lookup_cost(*s, t, lookups).mean_servers);
-  }
-  return stats.mean();
+/// One data point: `trials` independent seeded instances fanned across the
+/// runner, reduced in trial order. Returns the point's accumulator (also
+/// recorded in the JSON report).
+const metrics::TrialAccumulator& measure(bench::JsonReport& report,
+                                         const sim::TrialRunner& runner,
+                                         const std::string& label,
+                                         core::StrategyKind kind,
+                                         std::size_t param, std::size_t t,
+                                         std::size_t trials,
+                                         std::size_t lookups,
+                                         std::uint64_t master_seed) {
+  auto& acc = report.point(label);
+  acc = metrics::run_trials(
+      runner, trials, master_seed,
+      [&](std::size_t, std::uint64_t seed) {
+        metrics::TrialAccumulator trial;
+        const auto entries = bench::iota_entries(100);
+        const auto s = core::make_strategy(
+            core::StrategyConfig{.kind = kind, .param = param, .seed = seed},
+            10);
+        s->place(entries);
+        const auto cost = metrics::measure_lookup_cost(*s, t, lookups);
+        trial.add("lookup_cost", cost.mean_servers);
+        trial.add("failure_rate", cost.failure_rate);
+        return trial;
+      });
+  return acc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   auto args = pls::bench::Args::parse(argc, argv);
-  const std::size_t runs = args.runs ? args.runs : 60;
+  const std::size_t trials = args.runs ? args.runs : 60;
   const std::size_t lookups = args.lookups ? args.lookups : 300;
+  const auto runner = args.runner();
+  pls::bench::JsonReport report("fig4_lookup_cost", args);
 
   pls::bench::print_title(
       "Fig 4: lookup cost vs target answer size (fixed storage cost 200)",
-      "h = 100, n = 10; " + std::to_string(runs) + " runs x " +
+      "h = 100, n = 10; " + std::to_string(trials) + " trials x " +
           std::to_string(lookups) + " lookups per point (paper: 5000x5000)");
   pls::bench::print_row_header({"t", "Round-2", "RandomServer-20", "Hash-2",
                                 "Fixed-20", "Round-2(model)",
                                 "RandSrv(model)"});
 
   using pls::core::StrategyKind;
+  struct Series {
+    StrategyKind kind;
+    std::size_t param;
+    const char* label;
+  };
+  const Series series[] = {{StrategyKind::kRoundRobin, 2, "Round-2"},
+                           {StrategyKind::kRandomServer, 20,
+                            "RandomServer-20"},
+                           {StrategyKind::kHash, 2, "Hash-2"},
+                           {StrategyKind::kFixed, 20, "Fixed-20"}};
+
   for (std::size_t t = 10; t <= 50; t += 5) {
     pls::bench::print_cell(t);
-    pls::bench::print_cell(mean_cost(StrategyKind::kRoundRobin, 2, t, runs,
-                                     lookups, args.seed));
-    pls::bench::print_cell(mean_cost(StrategyKind::kRandomServer, 20, t,
-                                     runs, lookups, args.seed));
-    pls::bench::print_cell(
-        mean_cost(StrategyKind::kHash, 2, t, runs, lookups, args.seed));
-    if (t <= 20) {
-      pls::bench::print_cell(mean_cost(StrategyKind::kFixed, 20, t, runs,
-                                       lookups, args.seed));
-    } else {
-      pls::bench::print_cell(std::string_view{"n/a(t>x)"});
+    for (const auto& s : series) {
+      if (s.kind == StrategyKind::kFixed && t > 20) {
+        pls::bench::print_cell(std::string_view{"n/a(t>x)"});
+        continue;
+      }
+      // The same master seed at every point pairs the trials across
+      // strategies and t, as the sequential bench did.
+      const auto& acc =
+          measure(report, runner, "t=" + std::to_string(t) + "/" + s.label,
+                  s.kind, s.param, t, trials, lookups, args.seed);
+      pls::bench::print_cell(acc.mean("lookup_cost"));
     }
     pls::bench::print_cell(static_cast<std::size_t>(
         pls::analysis::lookup_cost_round_robin(t, 100, 10, 2)));
@@ -73,5 +99,6 @@ int main(int argc, char** argv) {
       "Round-2 with peaks just past multiples of 20; Hash-2 > 1 even at "
       "t<=15 but smallest penalty past the steps (paper reports 1.124 at "
       "t=15).");
+  report.write();
   return 0;
 }

@@ -6,7 +6,6 @@
 #include "bench_util.hpp"
 
 #include "pls/analysis/models.hpp"
-#include "pls/common/stats.hpp"
 #include "pls/core/strategy_factory.hpp"
 #include "pls/metrics/coverage.hpp"
 
@@ -14,29 +13,38 @@ namespace {
 
 using namespace pls;
 
-double mean_coverage(core::StrategyConfig cfg, std::size_t runs,
-                     std::uint64_t seed) {
-  RunningStats stats;
-  const auto entries = bench::iota_entries(100);
-  for (std::size_t i = 0; i < runs; ++i) {
-    cfg.seed = seed + i * 7;
-    const auto s = core::make_strategy(cfg, 10);
-    s->place(entries);
-    stats.add(static_cast<double>(metrics::max_coverage(s->placement())));
-  }
-  return stats.mean();
+double mean_coverage(bench::JsonReport& report,
+                     const sim::TrialRunner& runner,
+                     const std::string& label, core::StrategyConfig cfg,
+                     std::size_t trials, std::uint64_t master_seed) {
+  auto& acc = report.point(label);
+  acc = metrics::run_trials(
+      runner, trials, master_seed, [&](std::size_t, std::uint64_t seed) {
+        metrics::TrialAccumulator trial;
+        const auto entries = bench::iota_entries(100);
+        auto trial_cfg = cfg;
+        trial_cfg.seed = seed;
+        const auto s = core::make_strategy(trial_cfg, 10);
+        s->place(entries);
+        trial.add("coverage",
+                  static_cast<double>(metrics::max_coverage(s->placement())));
+        return trial;
+      });
+  return acc.mean("coverage");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   auto args = pls::bench::Args::parse(argc, argv);
-  const std::size_t runs = args.runs ? args.runs : 100;
+  const std::size_t trials = args.runs ? args.runs : 100;
   constexpr std::size_t kEntries = 100;
+  const auto runner = args.runner();
+  pls::bench::JsonReport report("fig6_coverage", args);
 
   pls::bench::print_title(
       "Fig 6: coverage vs total storage (h = 100, n = 10)",
-      "budget L = 10..200; mean over " + std::to_string(runs) +
+      "budget L = 10..200; mean over " + std::to_string(trials) +
           " instances for RandomServer/Hash");
   pls::bench::print_row_header({"storage", "Round", "Hash", "Fixed",
                                 "RandomServer", "RandSrv(model)"});
@@ -46,25 +54,28 @@ int main(int argc, char** argv) {
   for (std::size_t budget = 10; budget <= 200; budget += 10) {
     const std::size_t x = budget / 10;            // per-server quota
     const std::size_t y_needed = (budget + kEntries - 1) / kEntries;
+    const std::string at = "L=" + std::to_string(budget) + "/";
     pls::bench::print_cell(budget);
-    pls::bench::print_cell(
-        mean_coverage(StrategyConfig{.kind = StrategyKind::kRoundRobin,
-                                     .param = std::max<std::size_t>(
-                                         1, y_needed),
-                                     .storage_budget = budget},
-                      1, args.seed));
-    pls::bench::print_cell(
-        mean_coverage(StrategyConfig{.kind = StrategyKind::kHash,
-                                     .param = std::max<std::size_t>(
-                                         1, y_needed),
-                                     .storage_budget = budget},
-                      runs, args.seed));
     pls::bench::print_cell(mean_coverage(
+        report, runner, at + "Round",
+        StrategyConfig{.kind = StrategyKind::kRoundRobin,
+                       .param = std::max<std::size_t>(1, y_needed),
+                       .storage_budget = budget},
+        1, args.seed));
+    pls::bench::print_cell(mean_coverage(
+        report, runner, at + "Hash",
+        StrategyConfig{.kind = StrategyKind::kHash,
+                       .param = std::max<std::size_t>(1, y_needed),
+                       .storage_budget = budget},
+        trials, args.seed));
+    pls::bench::print_cell(mean_coverage(
+        report, runner, at + "Fixed",
         StrategyConfig{.kind = StrategyKind::kFixed, .param = x}, 1,
         args.seed));
     pls::bench::print_cell(mean_coverage(
+        report, runner, at + "RandomServer",
         StrategyConfig{.kind = StrategyKind::kRandomServer, .param = x},
-        runs, args.seed));
+        trials, args.seed));
     pls::bench::print_cell(
         pls::analysis::coverage_random_server(kEntries, 10, x));
     pls::bench::end_row();
@@ -73,5 +84,6 @@ int main(int argc, char** argv) {
       "expected shape: Round/Hash = min(100, L) — complete coverage from "
       "L=100; Fixed = L/10; RandomServer = 100*(1-(1-x/100)^10), ~89 at "
       "L=200.");
+  report.write();
   return 0;
 }

@@ -7,7 +7,6 @@
 #include "bench_util.hpp"
 
 #include "pls/analysis/models.hpp"
-#include "pls/common/stats.hpp"
 #include "pls/core/strategy_factory.hpp"
 #include "pls/metrics/fault_tolerance.hpp"
 
@@ -15,47 +14,61 @@ namespace {
 
 using namespace pls;
 
-double mean_tolerance(core::StrategyKind kind, std::size_t param,
-                      std::size_t t, std::size_t runs, std::uint64_t seed) {
-  RunningStats stats;
-  const auto entries = bench::iota_entries(100);
-  for (std::size_t i = 0; i < runs; ++i) {
-    const auto s = core::make_strategy(
-        core::StrategyConfig{
-            .kind = kind, .param = param, .seed = seed + i * 13},
-        10);
-    s->place(entries);
-    stats.add(
-        static_cast<double>(metrics::fault_tolerance(s->placement(), t)));
-  }
-  return stats.mean();
+double mean_tolerance(bench::JsonReport& report,
+                      const sim::TrialRunner& runner,
+                      const std::string& label, core::StrategyKind kind,
+                      std::size_t param, std::size_t t, std::size_t trials,
+                      std::uint64_t master_seed) {
+  auto& acc = report.point(label);
+  acc = metrics::run_trials(
+      runner, trials, master_seed, [&](std::size_t, std::uint64_t seed) {
+        metrics::TrialAccumulator trial;
+        const auto entries = bench::iota_entries(100);
+        const auto s = core::make_strategy(
+            core::StrategyConfig{.kind = kind, .param = param, .seed = seed},
+            10);
+        s->place(entries);
+        trial.add("fault_tolerance",
+                  static_cast<double>(
+                      metrics::fault_tolerance(s->placement(), t)));
+        return trial;
+      });
+  return acc.mean("fault_tolerance");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   auto args = pls::bench::Args::parse(argc, argv);
-  const std::size_t runs = args.runs ? args.runs : 100;
+  const std::size_t trials = args.runs ? args.runs : 100;
+  const auto runner = args.runner();
+  pls::bench::JsonReport report("fig7_fault_tolerance", args);
 
   pls::bench::print_title(
       "Fig 7: fault tolerance vs target answer size (storage 200)",
       "h = 100, n = 10; Appendix A greedy adversary; mean over " +
-          std::to_string(runs) + " instances (paper: 5000)");
+          std::to_string(trials) + " instances (paper: 5000)");
   pls::bench::print_row_header({"t", "RandomServer-20", "Hash-2", "Round-2",
                                 "Fixed-20", "Round-2(model)"});
 
   using pls::core::StrategyKind;
   for (std::size_t t = 10; t <= 50; t += 5) {
+    const std::string at = "t=" + std::to_string(t) + "/";
     pls::bench::print_cell(t);
-    pls::bench::print_cell(mean_tolerance(StrategyKind::kRandomServer, 20, t,
-                                          runs, args.seed));
-    pls::bench::print_cell(
-        mean_tolerance(StrategyKind::kHash, 2, t, runs, args.seed));
-    pls::bench::print_cell(
-        mean_tolerance(StrategyKind::kRoundRobin, 2, t, 1, args.seed));
+    pls::bench::print_cell(mean_tolerance(report, runner,
+                                          at + "RandomServer-20",
+                                          StrategyKind::kRandomServer, 20, t,
+                                          trials, args.seed));
+    pls::bench::print_cell(mean_tolerance(report, runner, at + "Hash-2",
+                                          StrategyKind::kHash, 2, t, trials,
+                                          args.seed));
+    pls::bench::print_cell(mean_tolerance(report, runner, at + "Round-2",
+                                          StrategyKind::kRoundRobin, 2, t, 1,
+                                          args.seed));
     if (t <= 20) {
-      pls::bench::print_cell(
-          mean_tolerance(StrategyKind::kFixed, 20, t, 1, args.seed));
+      pls::bench::print_cell(mean_tolerance(report, runner, at + "Fixed-20",
+                                            StrategyKind::kFixed, 20, t, 1,
+                                            args.seed));
     } else {
       pls::bench::print_cell(std::string_view{"n/a(t>x)"});
     }
@@ -68,5 +81,6 @@ int main(int argc, char** argv) {
       "Round-2 steps down ~1 per +10 in t; RandomServer-20 >= Round-2 "
       "(gap largest just past the steps); Hash-2 lowest with an S-shaped "
       "decline.");
+  report.write();
   return 0;
 }

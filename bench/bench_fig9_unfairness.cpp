@@ -13,7 +13,6 @@
 // in the paper's figure; the two-phase shape is what reproduces.
 #include "bench_util.hpp"
 
-#include "pls/common/stats.hpp"
 #include "pls/core/strategy_factory.hpp"
 #include "pls/metrics/unfairness.hpp"
 
@@ -21,20 +20,26 @@ namespace {
 
 using namespace pls;
 
-double mean_unfairness(core::StrategyKind kind, std::size_t param,
-                       std::size_t t, std::size_t instances,
-                       std::size_t lookups, std::uint64_t seed) {
-  RunningStats stats;
-  const auto universe = bench::iota_entries(100);
-  for (std::size_t i = 0; i < instances; ++i) {
-    const auto s = core::make_strategy(
-        core::StrategyConfig{
-            .kind = kind, .param = param, .seed = seed + i * 17},
-        10);
-    s->place(universe);
-    stats.add(metrics::instance_unfairness(*s, universe, t, lookups));
-  }
-  return stats.mean();
+double mean_unfairness(bench::JsonReport& report,
+                       const sim::TrialRunner& runner,
+                       const std::string& label, core::StrategyKind kind,
+                       std::size_t param, std::size_t t,
+                       std::size_t instances, std::size_t lookups,
+                       std::uint64_t master_seed) {
+  auto& acc = report.point(label);
+  acc = metrics::run_trials(
+      runner, instances, master_seed, [&](std::size_t, std::uint64_t seed) {
+        metrics::TrialAccumulator trial;
+        const auto universe = bench::iota_entries(100);
+        const auto s = core::make_strategy(
+            core::StrategyConfig{.kind = kind, .param = param, .seed = seed},
+            10);
+        s->place(universe);
+        trial.add("unfairness",
+                  metrics::instance_unfairness(*s, universe, t, lookups));
+        return trial;
+      });
+  return acc.mean("unfairness");
 }
 
 }  // namespace
@@ -44,6 +49,8 @@ int main(int argc, char** argv) {
   const std::size_t instances = args.runs ? args.runs : 25;
   const std::size_t lookups = args.lookups ? args.lookups : 3000;
   constexpr std::size_t kTarget = 35;
+  const auto runner = args.runner();
+  pls::bench::JsonReport report("fig9_unfairness", args);
 
   pls::bench::print_title(
       "Fig 9: unfairness vs total storage (h = 100, n = 10, t = 35)",
@@ -55,18 +62,20 @@ int main(int argc, char** argv) {
   for (std::size_t budget = 100; budget <= 1000; budget += 100) {
     const std::size_t x = budget / 10;
     const std::size_t y = budget / 100;
+    const std::string at = "L=" + std::to_string(budget) + "/";
     pls::bench::print_cell(budget);
-    pls::bench::print_cell(mean_unfairness(StrategyKind::kRandomServer, x,
-                                           kTarget, instances, lookups,
-                                           args.seed));
-    pls::bench::print_cell(mean_unfairness(StrategyKind::kHash, y, kTarget,
-                                           instances, lookups,
-                                           args.seed + 5000));
+    pls::bench::print_cell(mean_unfairness(
+        report, runner, at + "RandomServer-x", StrategyKind::kRandomServer,
+        x, kTarget, instances, lookups, args.seed));
+    pls::bench::print_cell(mean_unfairness(
+        report, runner, at + "Hash-y", StrategyKind::kHash, y, kTarget,
+        instances, lookups, args.seed + 5000));
     pls::bench::end_row();
   }
   pls::bench::print_note(
       "expected shape: RandomServer decays fast (coverage phase) then "
       "slowly and linearly to ~0 at storage 1000; Hash rises from its "
       "masked low point and then declines only slightly.");
+  report.write();
   return 0;
 }

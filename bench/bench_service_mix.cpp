@@ -21,8 +21,9 @@ struct Outcome {
   double messages = 0;
 };
 
-Outcome run(core::StrategyConfig per_key, bool with_failures,
-            std::size_t events, std::uint64_t seed) {
+metrics::TrialAccumulator one_trial(core::StrategyConfig per_key,
+                                    bool with_failures, std::size_t events,
+                                    std::uint64_t seed) {
   workload::ServiceWorkloadConfig wc;
   wc.num_keys = 50;
   wc.entries_per_key = 30;
@@ -46,7 +47,6 @@ Outcome run(core::StrategyConfig per_key, bool with_failures,
   auto failures = net::make_failure_state(10);
   net::FailureInjector injector(
       failures, {.mttf = 900.0, .mttr = 100.0, .seed = seed + 1});
-  Outcome out;
   if (with_failures) {
     // Drive failures against the service's own shared state by mirroring
     // the injector's toggles onto it.
@@ -98,26 +98,46 @@ Outcome run(core::StrategyConfig per_key, bool with_failures,
       }
     }
   }
-  out.satisfaction =
-      lookups ? static_cast<double>(satisfied) / static_cast<double>(lookups)
-              : 0.0;
-  out.contacts = lookups ? contacted / static_cast<double>(lookups) : 0.0;
-  out.storage = static_cast<double>(service.total_storage());
-  out.messages =
-      static_cast<double>(service.total_transport().processed - placed);
-  return out;
+  metrics::TrialAccumulator trial;
+  trial.add("satisfaction",
+            lookups ? static_cast<double>(satisfied) /
+                          static_cast<double>(lookups)
+                    : 0.0);
+  trial.add("contacts",
+            lookups ? contacted / static_cast<double>(lookups) : 0.0);
+  trial.add("storage", static_cast<double>(service.total_storage()));
+  trial.add("messages",
+            static_cast<double>(service.total_transport().processed -
+                                placed));
+  return trial;
+}
+
+Outcome run(bench::JsonReport& report, const sim::TrialRunner& runner,
+            const std::string& label, core::StrategyConfig per_key,
+            bool with_failures, std::size_t trials, std::size_t events,
+            std::uint64_t master_seed) {
+  auto& acc = report.point(label);
+  acc = metrics::run_trials(
+      runner, trials, master_seed, [&](std::size_t, std::uint64_t seed) {
+        return one_trial(per_key, with_failures, events, seed);
+      });
+  return Outcome{acc.mean("satisfaction"), acc.mean("contacts"),
+                 acc.mean("storage"), acc.mean("messages")};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   auto args = pls::bench::Args::parse(argc, argv);
+  const std::size_t trials = args.runs ? args.runs : 4;
   const std::size_t events = args.updates ? args.updates : 20000;
+  const auto runner = args.runner();
+  pls::bench::JsonReport report("service_mix", args);
 
   pls::bench::print_title(
       "Service-level mix: 50 keys x 30 entries, Zipf(1) lookups : churn "
       "4:1, t = 3, n = 10",
-      std::to_string(events) +
+      std::to_string(trials) + " trials x " + std::to_string(events) +
           " events; failure columns use MTTF 900 / MTTR 100 (90% per-"
           "server availability)");
   pls::bench::print_row_header({"per-key scheme", "sat%", "contacts",
@@ -137,8 +157,11 @@ int main(int argc, char** argv) {
       {{.kind = pls::core::StrategyKind::kHash, .param = 2}, "Hash-2"},
   };
   for (const auto& row : rows) {
-    const auto healthy = run(row.cfg, false, events, args.seed);
-    const auto faulty = run(row.cfg, true, events, args.seed);
+    const std::string label(row.label);
+    const auto healthy = run(report, runner, label + "/healthy", row.cfg,
+                             false, trials, events, args.seed);
+    const auto faulty = run(report, runner, label + "/faulty", row.cfg,
+                            true, trials, events, args.seed);
     pls::bench::print_cell(std::string_view{row.label});
     pls::bench::print_cell(100.0 * healthy.satisfaction, 16, 2);
     pls::bench::print_cell(healthy.contacts);
@@ -153,5 +176,6 @@ int main(int argc, char** argv) {
       "Fixed-5 and Hash-2 pay roughly half the messages of the "
       "always-broadcast schemes, and every partial scheme stores ~5-6x "
       "less than Full Replication.");
+  report.write();
   return 0;
 }

@@ -2,43 +2,49 @@
 //
 // Prints the paper's formulas next to the measured storage of real
 // placements. Randomized schemes (RandomServer, Hash) report the mean over
-// --runs instances; the deterministic ones must match exactly.
+// --trials instances; the deterministic ones must match exactly.
 #include "bench_util.hpp"
 
 #include "pls/analysis/models.hpp"
-#include "pls/common/stats.hpp"
 #include "pls/core/strategy_factory.hpp"
 
 namespace {
 
 using namespace pls;
 
-double measured_storage(core::StrategyKind kind, std::size_t param,
-                        std::size_t n, std::size_t h, std::size_t runs,
-                        std::uint64_t seed) {
-  RunningStats stats;
-  const auto entries = bench::iota_entries(h);
-  for (std::size_t i = 0; i < runs; ++i) {
-    const auto s = core::make_strategy(
-        core::StrategyConfig{.kind = kind, .param = param, .seed = seed + i},
-        n);
-    s->place(entries);
-    stats.add(static_cast<double>(s->storage_cost()));
-  }
-  return stats.mean();
+const metrics::TrialAccumulator& measure_storage(
+    bench::JsonReport& report, const sim::TrialRunner& runner,
+    const std::string& label, core::StrategyKind kind, std::size_t param,
+    std::size_t n, std::size_t h, std::size_t trials,
+    std::uint64_t master_seed) {
+  auto& acc = report.point(label);
+  acc = metrics::run_trials(
+      runner, trials, master_seed, [&](std::size_t, std::uint64_t seed) {
+        metrics::TrialAccumulator trial;
+        const auto entries = bench::iota_entries(h);
+        const auto s = core::make_strategy(
+            core::StrategyConfig{.kind = kind, .param = param, .seed = seed},
+            n);
+        s->place(entries);
+        trial.add("storage", static_cast<double>(s->storage_cost()));
+        return trial;
+      });
+  return acc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   auto args = pls::bench::Args::parse(argc, argv);
-  const std::size_t runs = args.runs ? args.runs : 50;
+  const std::size_t trials = args.runs ? args.runs : 50;
   constexpr std::size_t kServers = 10;
+  const auto runner = args.runner();
+  pls::bench::JsonReport report("table1_storage", args);
 
   pls::bench::print_title(
       "Table 1: storage cost for managing h entries on n servers",
       "n = 10; x = 20 (Fixed/RandomServer), y = 2 (Round/Hash); mean over " +
-          std::to_string(runs) + " instances for randomized schemes");
+          std::to_string(trials) + " instances for randomized schemes");
   pls::bench::print_row_header(
       {"h", "strategy", "analytical", "measured", "rel.err%"});
 
@@ -76,8 +82,12 @@ int main(int argc, char** argv) {
               pls::analysis::storage_hash_expected(h, kServers, row.param);
           break;
       }
-      const double measured = measured_storage(row.kind, row.param, kServers,
-                                               h, runs, args.seed);
+      const std::string label = "h=" + std::to_string(h) + "/" +
+                                std::string(pls::core::to_string(row.kind));
+      const double measured =
+          measure_storage(report, runner, label, row.kind, row.param,
+                          kServers, h, trials, args.seed)
+              .mean("storage");
       pls::bench::print_cell(h);
       pls::bench::print_cell(pls::core::to_string(row.kind));
       pls::bench::print_cell(analytical);
@@ -93,5 +103,6 @@ int main(int argc, char** argv) {
   pls::bench::print_note(
       "expected: FullRep h*n | Fixed/RandomServer x*n (capped at h*n) | "
       "Round h*y | Hash h*n*(1-(1-1/n)^y)");
+  report.write();
   return 0;
 }

@@ -10,12 +10,14 @@
 
 int main(int argc, char** argv) {
   auto args = pls::bench::Args::parse(argc, argv);
+  pls::bench::JsonReport report("table2_summary", args);
 
   pls::analysis::SummaryConfig cfg;
   cfg.instances = args.runs ? args.runs : 10;
   cfg.lookups_per_instance = args.lookups ? args.lookups : 2000;
   cfg.updates = args.updates ? args.updates : 2000;
   cfg.seed = args.seed;
+  cfg.jobs = args.jobs;
 
   pls::bench::print_title(
       "Table 2: strategy summary (stars from measured rankings; 4 = best)",
@@ -34,11 +36,19 @@ int main(int argc, char** argv) {
     std::cout << std::setw(12) << pls::core::to_string(row.kind);
     for (double v : row.values) pls::bench::print_cell(v, 12, 2);
     pls::bench::end_row();
+
+    auto& acc = report.point(std::string(pls::core::to_string(row.kind)));
+    for (std::size_t c = 0; c < pls::analysis::kSummaryColumns; ++c) {
+      acc.add(pls::analysis::kSummaryColumnNames[c], row.values[c]);
+      acc.add(std::string(pls::analysis::kSummaryColumnNames[c]) + "/stars",
+              row.stars[c]);
+    }
   }
   pls::bench::print_note(
       "paper qualitative claims to check: no strategy dominates; Fixed "
       "wins fault tolerance & small-target updates; Round wins fairness & "
       "lookup cost; Hash wins large-target updates; RandomServer balances "
       "coverage and static fairness.");
+  report.write();
   return 0;
 }

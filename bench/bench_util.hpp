@@ -1,26 +1,37 @@
 // Shared support for the table/figure reproduction benches.
 //
 // Every bench binary accepts:
-//   --runs N      instances / repetitions per data point (per-bench default)
-//   --lookups N   lookups per instance where applicable
-//   --updates N   update events per run where applicable
+//   --trials N    independent seeded trials per data point (per-bench
+//                 default; --runs is an alias)
+//   --jobs J      worker threads for the trial fan-out
+//                 (default: hardware_concurrency; aggregates are
+//                 bit-identical for any J, see docs/EXPERIMENT_RUNNER.md)
+//   --lookups N   lookups per trial where applicable
+//   --updates N   update events per trial where applicable
 //   --seed S      master seed
 //   --csv         emit comma-separated rows (titles/notes stay # comments),
 //                 ready for gnuplot/pandas
-// Paper-scale fidelity (5000 runs etc.) is reachable by raising --runs;
-// the defaults keep the full suite in the minutes range on a laptop while
-// already giving ~1% noise on every reported series.
+//   --json-out F  also write every data point's aggregate metrics
+//                 (count/mean/stderr/min/max) as machine-readable JSON;
+//                 byte-stable for fixed (--trials, --seed)
+// Paper-scale fidelity (5000 trials etc.) is reachable by raising
+// --trials; the defaults keep the full suite in the minutes range on a
+// laptop while already giving ~1% noise on every reported series.
 #pragma once
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "pls/common/types.hpp"
+#include "pls/metrics/trial_accumulator.hpp"
+#include "pls/sim/trial_runner.hpp"
 
 namespace pls::bench {
 
@@ -30,35 +41,44 @@ inline bool csv_mode = false;
 inline bool csv_row_started = false;
 
 struct Args {
-  std::size_t runs = 0;     // 0 = keep the bench's default
+  std::size_t runs = 0;     // --trials/--runs; 0 = keep the bench's default
   std::size_t lookups = 0;  // 0 = keep the bench's default
   std::size_t updates = 0;  // 0 = keep the bench's default
+  std::size_t jobs = 0;     // 0 = hardware_concurrency
   std::uint64_t seed = 42;
+  std::string json_out;     // empty = no JSON report
 
   static Args parse(int argc, char** argv) {
     Args args;
     for (int i = 1; i < argc; ++i) {
       const std::string_view flag = argv[i];
-      auto next = [&]() -> std::uint64_t {
+      auto next_str = [&]() -> const char* {
         if (i + 1 >= argc) {
           std::cerr << "missing value for " << flag << '\n';
           std::exit(2);
         }
-        return std::strtoull(argv[++i], nullptr, 10);
+        return argv[++i];
       };
-      if (flag == "--runs") {
+      auto next = [&]() -> std::uint64_t {
+        return std::strtoull(next_str(), nullptr, 10);
+      };
+      if (flag == "--runs" || flag == "--trials") {
         args.runs = next();
       } else if (flag == "--lookups") {
         args.lookups = next();
       } else if (flag == "--updates") {
         args.updates = next();
+      } else if (flag == "--jobs") {
+        args.jobs = next();
       } else if (flag == "--seed") {
         args.seed = next();
+      } else if (flag == "--json-out") {
+        args.json_out = next_str();
       } else if (flag == "--csv") {
         csv_mode = true;
       } else if (flag == "--help" || flag == "-h") {
-        std::cout << "flags: --runs N --lookups N --updates N --seed S "
-                     "--csv\n";
+        std::cout << "flags: --trials N (alias --runs) --jobs J --lookups N "
+                     "--updates N --seed S --csv --json-out FILE\n";
         std::exit(0);
       } else {
         std::cerr << "unknown flag " << flag << '\n';
@@ -67,6 +87,58 @@ struct Args {
     }
     return args;
   }
+
+  /// The trial executor configured by --jobs.
+  sim::TrialRunner runner() const { return sim::TrialRunner({.jobs = jobs}); }
+};
+
+/// Collects one TrialAccumulator per data point and writes the bench's
+/// --json-out report. The report is byte-stable for fixed (--trials,
+/// --seed) regardless of --jobs; wall-clock timing deliberately stays out
+/// of it so reports can be diffed.
+class JsonReport {
+ public:
+  JsonReport(std::string_view bench, const Args& args)
+      : bench_(bench), args_(args) {}
+
+  /// The accumulator for `label`, created on first use (insertion order
+  /// is preserved in the output). Labels must be stable run-to-run.
+  metrics::TrialAccumulator& point(const std::string& label) {
+    for (auto& [existing, acc] : points_) {
+      if (existing == label) return acc;
+    }
+    points_.emplace_back(label, metrics::TrialAccumulator{});
+    return points_.back().second;
+  }
+
+  /// Writes the report when --json-out was given; exits with an error on
+  /// I/O failure so CI never silently loses a bench artifact.
+  void write() const {
+    if (args_.json_out.empty()) return;
+    std::ofstream out(args_.json_out);
+    if (!out) {
+      std::cerr << "cannot open " << args_.json_out << " for writing\n";
+      std::exit(1);
+    }
+    out << "{\n  \"bench\": \"" << metrics::json_escape(bench_) << "\",\n"
+        << "  \"seed\": " << args_.seed << ",\n"
+        << "  \"points\": {";
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      out << (i ? ",\n" : "\n") << "    \""
+          << metrics::json_escape(points_[i].first)
+          << "\": " << points_[i].second.to_json(4);
+    }
+    out << (points_.empty() ? "}" : "\n  }") << "\n}\n";
+    if (!out.good()) {
+      std::cerr << "error writing " << args_.json_out << '\n';
+      std::exit(1);
+    }
+  }
+
+ private:
+  std::string bench_;
+  Args args_;
+  std::vector<std::pair<std::string, metrics::TrialAccumulator>> points_;
 };
 
 inline std::vector<Entry> iota_entries(std::size_t h) {

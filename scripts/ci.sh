@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# The full CI gate: configure + build, the tier1 (seed-protecting) test
+# suite, then the sanitizer matrix over everything.
+#
+#   scripts/ci.sh            # tier1 + ASan/UBSan/TSan
+#   scripts/ci.sh --fast     # tier1 only (skip the sanitizer builds)
+#
+# tier2 (stress/property sweeps) runs inside the sanitizer matrix; run it
+# un-instrumented with `ctest -L tier2` when iterating locally.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+fast=0
+[[ "${1:-}" == "--fast" ]] && { fast=1; shift; }
+
+echo "=== ci: configure + build ==="
+cmake -B "${repo_root}/build" -S "${repo_root}"
+cmake --build "${repo_root}/build" -j "${jobs}"
+
+echo "=== ci: tier1 tests ==="
+(cd "${repo_root}/build" && ctest -L tier1 --output-on-failure -j "${jobs}")
+
+if [[ "${fast}" == "1" ]]; then
+  echo "=== ci passed (fast mode: sanitizers skipped) ==="
+  exit 0
+fi
+
+"${repo_root}/scripts/run_sanitized_tests.sh" "$@"
+
+echo "=== ci passed ==="

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Builds and runs the test suite under ASan and UBSan (separate build
-# trees, so a plain `build/` stays usable). Any sanitizer report fails the
-# corresponding ctest run.
+# Builds and runs the test suite under ASan, UBSan and TSan (separate
+# build trees, so a plain `build/` stays usable). Any sanitizer report
+# fails the corresponding ctest run. TSan matters since the TrialRunner
+# fan-out: test_trial_runner's stress cases race real experiment code
+# across worker threads.
 #
 #   scripts/run_sanitized_tests.sh [extra ctest args...]
 set -euo pipefail
@@ -25,8 +27,10 @@ run_one() {
 }
 
 # halt_on_error makes ASan reports fail the test process; UBSan aborts via
-# -fno-sanitize-recover (set by the CMake option).
+# -fno-sanitize-recover (set by the CMake option); TSan exits non-zero on
+# any report via exitcode.
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" run_one asan address "$@"
 run_one ubsan undefined "$@"
+TSAN_OPTIONS="halt_on_error=1:exitcode=66" run_one tsan thread "$@"
 
 echo "=== sanitized test runs passed ==="

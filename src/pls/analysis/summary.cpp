@@ -13,7 +13,9 @@
 #include "pls/metrics/fault_tolerance.hpp"
 #include "pls/metrics/lookup_cost.hpp"
 #include "pls/metrics/storage.hpp"
+#include "pls/metrics/trial_accumulator.hpp"
 #include "pls/metrics/unfairness.hpp"
+#include "pls/sim/trial_runner.hpp"
 #include "pls/workload/replay.hpp"
 
 namespace pls::analysis {
@@ -54,16 +56,21 @@ std::unique_ptr<core::Strategy> build(StrategyKind kind, std::size_t param,
 }
 
 /// Mean over `instances` freshly seeded instances of `measure(strategy)`.
+/// The fan-out runs on `runner`; per-instance seeds derive from the salted
+/// master seed, so the result is independent of the worker count.
 template <typename Fn>
-double over_instances(StrategyKind kind, std::size_t param,
-                      const SummaryConfig& cfg, std::uint64_t salt,
-                      Fn&& measure) {
-  RunningStats stats;
-  for (std::size_t i = 0; i < cfg.instances; ++i) {
-    auto strategy = build(kind, param, cfg, cfg.seed + salt * 1000 + i);
-    stats.add(measure(*strategy));
-  }
-  return stats.mean();
+double over_instances(const sim::TrialRunner& runner, StrategyKind kind,
+                      std::size_t param, const SummaryConfig& cfg,
+                      std::uint64_t salt, Fn&& measure) {
+  const auto acc = metrics::run_trials(
+      runner, cfg.instances, cfg.seed + salt * 1000,
+      [&](std::size_t, std::uint64_t seed) {
+        metrics::TrialAccumulator trial;
+        auto strategy = build(kind, param, cfg, seed);
+        trial.add("value", measure(*strategy));
+        return trial;
+      });
+  return acc.mean("value");
 }
 
 /// Ranks values into stars: best value -> 4 stars, ties share.
@@ -125,6 +132,7 @@ double measure_dynamic_unfairness(core::Strategy& strategy,
 StarTable measured_star_table(const SummaryConfig& cfg) {
   PLS_CHECK_MSG(cfg.entries >= 10, "summary scenarios assume h >= 10");
   StarTable table;
+  const sim::TrialRunner runner(sim::TrialRunnerConfig{.jobs = cfg.jobs});
   const auto base_entries = make_entries(cfg.entries);
   const auto few_entries = make_entries(cfg.entries / 2);
   const auto many_entries = make_entries(cfg.entries * 4);
@@ -138,37 +146,37 @@ StarTable measured_star_table(const SummaryConfig& cfg) {
     const std::size_t param = budget_param(kind, cfg);
 
     // Columns 0/1: storage with few vs many entries, same parameters.
-    row.values[0] = over_instances(kind, param, cfg, 1, [&](auto& s) {
+    row.values[0] = over_instances(runner, kind, param, cfg, 1, [&](auto& s) {
       s.place(few_entries);
       return static_cast<double>(s.storage_cost());
     });
-    row.values[1] = over_instances(kind, param, cfg, 2, [&](auto& s) {
+    row.values[1] = over_instances(runner, kind, param, cfg, 2, [&](auto& s) {
       s.place(many_entries);
       return static_cast<double>(s.storage_cost());
     });
 
     // Column 2: coverage at the shared budget.
-    row.values[2] = over_instances(kind, param, cfg, 3, [&](auto& s) {
+    row.values[2] = over_instances(runner, kind, param, cfg, 3, [&](auto& s) {
       s.place(base_entries);
       return static_cast<double>(metrics::max_coverage(s.placement()));
     });
 
     // Column 3: greedy worst-case fault tolerance at t_mid.
-    row.values[3] = over_instances(kind, param, cfg, 4, [&](auto& s) {
+    row.values[3] = over_instances(runner, kind, param, cfg, 4, [&](auto& s) {
       s.place(base_entries);
       return static_cast<double>(
           metrics::fault_tolerance(s.placement(), t_mid));
     });
 
     // Column 4: static unfairness at t_mid.
-    row.values[4] = over_instances(kind, param, cfg, 5, [&](auto& s) {
+    row.values[4] = over_instances(runner, kind, param, cfg, 5, [&](auto& s) {
       s.place(base_entries);
       return metrics::instance_unfairness(s, base_entries, t_mid,
                                           cfg.lookups_per_instance);
     });
 
     // Column 5: unfairness after churn.
-    row.values[5] = over_instances(kind, param, cfg, 6, [&](auto& s) {
+    row.values[5] = over_instances(runner, kind, param, cfg, 6, [&](auto& s) {
       workload::WorkloadConfig wc;
       wc.steady_state_entries = cfg.entries;
       wc.num_updates = cfg.updates;
@@ -179,7 +187,7 @@ StarTable measured_star_table(const SummaryConfig& cfg) {
     });
 
     // Column 6: lookup cost at t_mid.
-    row.values[6] = over_instances(kind, param, cfg, 7, [&](auto& s) {
+    row.values[6] = over_instances(runner, kind, param, cfg, 7, [&](auto& s) {
       s.place(base_entries);
       return metrics::measure_lookup_cost(s, t_mid,
                                           cfg.lookups_per_instance)
@@ -198,14 +206,15 @@ StarTable measured_star_table(const SummaryConfig& cfg) {
       } else if (kind == StrategyKind::kHash) {
         p = optimal_hash_y(t, cfg.entries, cfg.num_servers);
       }
-      row.values[col] = over_instances(kind, p, cfg, 8 + col, [&](auto& s) {
-        workload::WorkloadConfig wc;
-        wc.steady_state_entries = cfg.entries;
-        wc.num_updates = cfg.updates;
-        wc.seed = cfg.seed ^ (0x1111 * col);
-        const auto wl = workload::generate_workload(wc);
-        return measure_update_overhead(s, wl);
-      });
+      row.values[col] =
+          over_instances(runner, kind, p, cfg, 8 + col, [&](auto& s) {
+            workload::WorkloadConfig wc;
+            wc.steady_state_entries = cfg.entries;
+            wc.num_updates = cfg.updates;
+            wc.seed = cfg.seed ^ (0x1111 * col);
+            const auto wl = workload::generate_workload(wc);
+            return measure_update_overhead(s, wl);
+          });
     }
 
     table.rows.push_back(row);

@@ -24,6 +24,9 @@ struct SummaryConfig {
   std::size_t instances = 20;
   std::size_t updates = 2000;
   std::uint64_t seed = 42;
+  /// Worker threads for the per-scenario instance fan-out (0 =
+  /// hardware_concurrency). The table is bit-identical for any value.
+  std::size_t jobs = 0;
 };
 
 inline constexpr std::size_t kSummaryColumns = 9;

@@ -85,6 +85,11 @@ QueryState query_one(net::Network& net, ServerId target, std::size_t t,
   ++out.servers_contacted;
   const auto& payload = std::get<net::LookupReply>(*call.reply);
   for (Entry v : payload.entries) {
+    // The client wants exactly t entries; surplus from the final reply is
+    // discarded so |entries| never exceeds t (the invariant the property
+    // suite asserts). The wire cost is unchanged — the server already
+    // sent its answer.
+    if (out.entries.size() >= t) break;
     if (seen.insert(v).second) out.entries.push_back(v);
   }
   return QueryState::kAnswered;

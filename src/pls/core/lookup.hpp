@@ -49,7 +49,8 @@ const char* to_string(LookupShortfall shortfall) noexcept;
 
 /// Result of one partial_lookup(t).
 struct LookupResult {
-  /// Distinct entries retrieved, in retrieval order.
+  /// Distinct entries retrieved, in retrieval order; at most t (surplus
+  /// from the last server's reply is discarded client-side).
   std::vector<Entry> entries;
   /// Number of servers that answered a lookup request.
   std::size_t servers_contacted = 0;

@@ -1,0 +1,149 @@
+#include "pls/metrics/trial_accumulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <locale>
+#include <sstream>
+
+#include "pls/common/check.hpp"
+
+namespace pls::metrics {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  if (v == 0.0) return "0";  // normalises -0.0 too
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+RunningStats& TrialAccumulator::slot(std::string_view metric) {
+  const auto it = index_.find(std::string(metric));
+  if (it != index_.end()) return stats_[it->second];
+  order_.emplace_back(metric);
+  index_.emplace(order_.back(), stats_.size());
+  stats_.emplace_back();
+  return stats_.back();
+}
+
+void TrialAccumulator::add(std::string_view metric, double value) {
+  slot(metric).add(value);
+}
+
+void TrialAccumulator::add_outcomes(std::string_view prefix,
+                                    const LookupOutcomes& o) {
+  const std::string p(prefix);
+  add(p + "lookups", static_cast<double>(o.lookups));
+  add(p + "satisfied", static_cast<double>(o.satisfied));
+  add(p + "degraded", static_cast<double>(o.degraded));
+  add(p + "failed", static_cast<double>(o.failed));
+  add(p + "shortfall_no_servers",
+      static_cast<double>(o.shortfall_no_servers));
+  add(p + "shortfall_coverage", static_cast<double>(o.shortfall_coverage));
+  add(p + "shortfall_unreachable",
+      static_cast<double>(o.shortfall_unreachable));
+  add(p + "shortfall_budget", static_cast<double>(o.shortfall_budget));
+  add(p + "attempts", static_cast<double>(o.attempts));
+  add(p + "retries", static_cast<double>(o.retries));
+  add(p + "timeouts", static_cast<double>(o.timeouts));
+  add(p + "entries_returned", static_cast<double>(o.entries_returned));
+  add(p + "messages_sent", static_cast<double>(o.messages_sent));
+  add(p + "satisfaction_rate", o.satisfaction_rate());
+  add(p + "goodput", o.goodput());
+}
+
+void TrialAccumulator::add_transport(std::string_view prefix,
+                                     const net::TransportStats& s) {
+  const std::string p(prefix);
+  add(p + "sent", static_cast<double>(s.sent));
+  add(p + "processed", static_cast<double>(s.processed));
+  add(p + "dropped", static_cast<double>(s.dropped));
+  add(p + "broadcasts", static_cast<double>(s.broadcasts));
+  add(p + "rpcs", static_cast<double>(s.rpcs));
+  add(p + "dropped_down", static_cast<double>(s.dropped_down));
+  add(p + "dropped_link", static_cast<double>(s.dropped_link));
+  add(p + "duplicated", static_cast<double>(s.duplicated));
+  add(p + "dup_suppressed", static_cast<double>(s.dup_suppressed));
+  add(p + "retries", static_cast<double>(s.retries));
+  add(p + "timeouts", static_cast<double>(s.timeouts));
+  add(p + "max_per_server", static_cast<double>(s.max_per_server()));
+}
+
+void TrialAccumulator::merge(const TrialAccumulator& other) {
+  for (std::size_t i = 0; i < other.order_.size(); ++i) {
+    slot(other.order_[i]).merge(other.stats_[i]);
+  }
+}
+
+bool TrialAccumulator::has(std::string_view metric) const {
+  return index_.find(std::string(metric)) != index_.end();
+}
+
+TrialAccumulator::Summary TrialAccumulator::summary(
+    std::string_view metric) const {
+  const auto it = index_.find(std::string(metric));
+  PLS_CHECK_MSG(it != index_.end(),
+                "unknown metric: " + std::string(metric));
+  const RunningStats& st = stats_[it->second];
+  Summary s;
+  s.count = st.count();
+  s.mean = st.mean();
+  s.stderr_of_mean =
+      st.count() > 0 ? st.stddev() / std::sqrt(static_cast<double>(st.count()))
+                     : 0.0;
+  s.min = st.min();
+  s.max = st.max();
+  return s;
+}
+
+std::string TrialAccumulator::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(std::max(indent, 0)), ' ');
+  std::string out = "{";
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    const auto s = summary(order_[i]);
+    out += i ? ",\n" : "\n";
+    out += pad + "  \"" + json_escape(order_[i]) + "\": {\"count\": " +
+           std::to_string(s.count) + ", \"mean\": " + json_number(s.mean) +
+           ", \"stderr\": " + json_number(s.stderr_of_mean) +
+           ", \"min\": " + json_number(s.min) +
+           ", \"max\": " + json_number(s.max) + "}";
+  }
+  out += order_.empty() ? "}" : "\n" + pad + "}";
+  return out;
+}
+
+}  // namespace pls::metrics

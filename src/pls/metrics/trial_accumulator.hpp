@@ -1,0 +1,102 @@
+// Deterministic reduction of per-trial metrics.
+//
+// Each trial records its scalar metrics (and whole LookupOutcomes /
+// TransportStats panels) into its own TrialAccumulator; run_trials() then
+// folds the per-trial accumulators strictly in trial-index order, so the
+// aggregate — mean, stderr of the mean, min, max per metric — is
+// bit-identical whatever thread count or schedule produced the trials.
+// to_json() renders the aggregate with round-trippable doubles
+// (max_digits10), making the JSON itself a byte-stable artifact:
+// tests/test_trial_runner.cpp compares the jobs=1 and jobs=8 renderings
+// with string equality, and the golden-trace tests snapshot it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "pls/common/stats.hpp"
+#include "pls/metrics/goodput.hpp"
+#include "pls/net/transport_stats.hpp"
+#include "pls/sim/trial_runner.hpp"
+
+namespace pls::metrics {
+
+class TrialAccumulator {
+ public:
+  struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stderr_of_mean = 0.0;  ///< stddev / sqrt(count)
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  /// Records one sample of `metric`. First use of a name fixes its
+  /// position in metric_names() (and so in the JSON output).
+  void add(std::string_view metric, double value);
+
+  /// Records the LookupOutcomes panel under `prefix` (e.g. "lookup."):
+  /// raw counts plus the derived satisfaction rate and goodput.
+  void add_outcomes(std::string_view prefix, const LookupOutcomes& o);
+
+  /// Records the TransportStats counters under `prefix` (e.g. "net.").
+  void add_transport(std::string_view prefix, const net::TransportStats& s);
+
+  /// Folds `other` into this accumulator, metric by metric in `other`'s
+  /// declaration order. Deterministic: merging the same sequence of
+  /// accumulators in the same order always yields identical state.
+  void merge(const TrialAccumulator& other);
+
+  bool empty() const noexcept { return order_.empty(); }
+  const std::vector<std::string>& metric_names() const noexcept {
+    return order_;
+  }
+  bool has(std::string_view metric) const;
+
+  /// Precondition: has(metric).
+  Summary summary(std::string_view metric) const;
+  double mean(std::string_view metric) const {
+    return summary(metric).mean;
+  }
+
+  /// {"metric": {"count": .., "mean": .., "stderr": .., "min": ..,
+  /// "max": ..}, ...} in declaration order; `indent` spaces of leading
+  /// indentation per line for embedding in larger documents.
+  std::string to_json(int indent = 0) const;
+
+ private:
+  RunningStats& slot(std::string_view metric);
+
+  std::vector<std::string> order_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<RunningStats> stats_;
+};
+
+/// Formats `v` so that parsing the decimal string recovers the exact
+/// double (max_digits10), with a stable "-0"-free, locale-independent
+/// rendering; shared by the accumulator and the bench JSON reports.
+std::string json_number(double v);
+
+/// Escapes `s` for use inside a JSON string literal.
+std::string json_escape(std::string_view s);
+
+/// Fans `trials` seeded trials out on `runner` and reduces the per-trial
+/// accumulators in trial-index order. `per_trial(index, seed)` must derive
+/// all of its randomness from `seed` (see sim::derive_trial_seed) for the
+/// aggregate to be schedule-independent.
+template <typename Fn>
+TrialAccumulator run_trials(const sim::TrialRunner& runner,
+                            std::size_t trials, std::uint64_t master_seed,
+                            Fn&& per_trial) {
+  auto per = runner.run<TrialAccumulator>(trials, master_seed,
+                                          std::forward<Fn>(per_trial));
+  TrialAccumulator out;
+  for (const auto& acc : per) out.merge(acc);
+  return out;
+}
+
+}  // namespace pls::metrics

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "pls/common/check.hpp"
 #include "pls/common/types.hpp"
 
 namespace pls::net {
@@ -44,6 +45,42 @@ struct TransportStats {
     dropped_down = dropped_link = duplicated = dup_suppressed = 0;
     retries = timeouts = 0;
     per_server_processed.assign(per_server_processed.size(), 0);
+  }
+
+  /// The invariant documented above; every quiescent transport satisfies
+  /// it (mid-RPC snapshots may not).
+  bool conservation_holds() const noexcept {
+    return sent + duplicated == processed + dropped;
+  }
+
+  /// Folds another cluster's (or trial's) counters into this one:
+  /// counter-wise sums, per-server counts added index-wise (the shorter
+  /// vector is zero-extended). When both operands satisfied the
+  /// conservation law the merged stats are checked to still satisfy it.
+  void merge(const TransportStats& other) {
+    const bool both_held = conservation_holds() && other.conservation_holds();
+    sent += other.sent;
+    processed += other.processed;
+    dropped += other.dropped;
+    broadcasts += other.broadcasts;
+    rpcs += other.rpcs;
+    dropped_down += other.dropped_down;
+    dropped_link += other.dropped_link;
+    duplicated += other.duplicated;
+    dup_suppressed += other.dup_suppressed;
+    retries += other.retries;
+    timeouts += other.timeouts;
+    if (per_server_processed.size() < other.per_server_processed.size()) {
+      per_server_processed.resize(other.per_server_processed.size(), 0);
+    }
+    for (std::size_t s = 0; s < other.per_server_processed.size(); ++s) {
+      per_server_processed[s] += other.per_server_processed[s];
+    }
+    if (both_held) {
+      PLS_CHECK_MSG(conservation_holds(),
+                    "TransportStats::merge broke sent + duplicated == "
+                    "processed + dropped");
+    }
   }
 
   /// Largest per-server processed count (the bottleneck server's load).

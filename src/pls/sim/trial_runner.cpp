@@ -1,0 +1,109 @@
+#include "pls/sim/trial_runner.hpp"
+
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "pls/common/check.hpp"
+#include "pls/common/rng.hpp"
+
+namespace pls::sim {
+
+std::uint64_t derive_trial_seed(std::uint64_t master_seed,
+                                std::uint64_t trial_index) noexcept {
+  std::uint64_t state = master_seed;
+  const std::uint64_t mixed_master = splitmix64(state);
+  state = mixed_master + 0x9e3779b97f4a7c15ULL * (trial_index + 1);
+  return splitmix64(state);
+}
+
+TrialRunner::TrialRunner(TrialRunnerConfig cfg) : jobs_(cfg.jobs) {
+  if (jobs_ == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs_ = hw > 0 ? hw : 1;
+  }
+}
+
+namespace {
+
+/// One worker's trial queue. A plain mutex per deque is plenty: trials are
+/// whole simulated experiments, so queue operations are vanishingly rare
+/// compared to trial bodies.
+struct WorkQueue {
+  std::mutex mu;
+  std::deque<std::size_t> trials;
+
+  bool pop_front(std::size_t& out) {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (trials.empty()) return false;
+    out = trials.front();
+    trials.pop_front();
+    return true;
+  }
+
+  bool steal_back(std::size_t& out) {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (trials.empty()) return false;
+    out = trials.back();
+    trials.pop_back();
+    return true;
+  }
+};
+
+}  // namespace
+
+void TrialRunner::run_indexed(
+    std::size_t trials, std::uint64_t master_seed,
+    const std::function<void(std::size_t, std::uint64_t)>& body) const {
+  PLS_CHECK_MSG(static_cast<bool>(body), "TrialRunner needs a trial body");
+  if (trials == 0) return;
+
+  const std::size_t workers = std::min(jobs_, trials);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < trials; ++i) {
+      body(i, derive_trial_seed(master_seed, i));
+    }
+    return;
+  }
+
+  // Contiguous blocks per worker keep early trials early under any
+  // schedule; stealing from the victim's back takes the work its owner
+  // would reach last.
+  std::vector<WorkQueue> queues(workers);
+  for (std::size_t i = 0; i < trials; ++i) {
+    queues[i * workers / trials].trials.push_back(i);
+  }
+
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto worker = [&](std::size_t self) {
+    std::size_t index = 0;
+    while (!failed.load(std::memory_order_relaxed)) {
+      bool got = queues[self].pop_front(index);
+      for (std::size_t off = 1; !got && off < workers; ++off) {
+        got = queues[(self + off) % workers].steal_back(index);
+      }
+      if (!got) return;
+      try {
+        body(index, derive_trial_seed(master_seed, index));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker, w);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace pls::sim

@@ -1,0 +1,77 @@
+// Trial-parallel experiment execution.
+//
+// Every figure in the paper is an average over many independent seeded
+// trials. TrialRunner fans those trials across hardware threads with a
+// work-stealing scheduler while keeping the experiment bit-identical to a
+// sequential run:
+//
+//   * each trial's randomness comes from its own Rng stream, derived from
+//     the master seed and the trial *index* by a splittable seed sequence
+//     (derive_trial_seed) — never from thread identity or schedule;
+//   * per-trial results are written into a slot owned by the trial index,
+//     so the caller can reduce them in index order after the batch joins.
+//
+// The aggregate therefore depends only on (trials, master_seed), not on
+// --jobs or the OS scheduler. docs/EXPERIMENT_RUNNER.md specifies the
+// scheme; tests/test_trial_runner.cpp enforces the guarantee.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace pls::sim {
+
+/// Splittable seed sequence: an independent, reproducible seed for trial
+/// `trial_index` of a batch keyed by `master_seed`. Two splitmix64 rounds
+/// (one to decorrelate the master, one to mix the index in) keep sibling
+/// streams statistically independent even for adjacent masters/indices.
+std::uint64_t derive_trial_seed(std::uint64_t master_seed,
+                                std::uint64_t trial_index) noexcept;
+
+struct TrialRunnerConfig {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t jobs = 0;
+};
+
+/// Work-stealing executor for batches of independent seeded trials.
+///
+/// Trials are block-partitioned across per-worker deques; a worker pops
+/// its own queue from the front and, when empty, steals from siblings'
+/// backs. Threads live for one run() call (trials are coarse — whole
+/// simulated experiments — so spawn cost is noise). jobs == 1 runs inline
+/// on the calling thread with no thread machinery at all.
+class TrialRunner {
+ public:
+  explicit TrialRunner(TrialRunnerConfig cfg = {});
+
+  std::size_t jobs() const noexcept { return jobs_; }
+
+  /// Runs body(trial_index, trial_seed) for every index in [0, trials).
+  /// Blocks until the batch completes. If any trial throws, the first
+  /// exception (in completion order) is rethrown after the pool joins and
+  /// remaining unstarted trials are abandoned.
+  void run_indexed(
+      std::size_t trials, std::uint64_t master_seed,
+      const std::function<void(std::size_t, std::uint64_t)>& body) const;
+
+  /// Runs fn(trial_index, trial_seed) -> R per trial and returns the
+  /// results ordered by trial index (deterministic regardless of jobs).
+  template <typename R, typename Fn>
+  std::vector<R> run(std::size_t trials, std::uint64_t master_seed,
+                     Fn&& fn) const {
+    std::vector<R> results(trials);
+    run_indexed(trials, master_seed,
+                [&](std::size_t index, std::uint64_t seed) {
+                  results[index] = fn(index, seed);
+                });
+    return results;
+  }
+
+ private:
+  std::size_t jobs_;
+};
+
+}  // namespace pls::sim

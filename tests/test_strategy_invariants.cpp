@@ -1,0 +1,229 @@
+// Randomized property suite over all five strategies: for a random grid
+// of (n, h, param, seed) shapes, the per-server storage bounds, the
+// partial_lookup answer contract (distinct entries, never more than t),
+// and delete-after-add orphan-freedom must hold — statically and under
+// churn. Complements test_strategy_properties.cpp's fixed grid; runs as
+// tier2 (see tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "pls/core/strategy_factory.hpp"
+
+namespace pls::core {
+namespace {
+
+struct Shape {
+  StrategyKind kind;
+  std::size_t n;
+  std::size_t h;
+  std::size_t param;
+  std::uint64_t seed;
+};
+
+std::string shape_name(const ::testing::TestParamInfo<Shape>& info) {
+  const auto& s = info.param;
+  return std::string(to_string(s.kind)) + "_n" + std::to_string(s.n) + "_h" +
+         std::to_string(s.h) + "_p" + std::to_string(s.param) + "_s" +
+         std::to_string(s.seed);
+}
+
+std::vector<Entry> iota_entries(std::size_t h) {
+  std::vector<Entry> out(h);
+  for (std::size_t i = 0; i < h; ++i) out[i] = i + 1;
+  return out;
+}
+
+/// Random (n, h, param, seed) shapes, a handful per strategy. The meta
+/// seed is fixed, so the grid itself is reproducible.
+std::vector<Shape> random_shapes() {
+  Rng meta(0x5eedf00d);
+  std::vector<Shape> shapes;
+  constexpr std::size_t kPerKind = 8;
+  for (StrategyKind kind :
+       {StrategyKind::kFullReplication, StrategyKind::kFixed,
+        StrategyKind::kRandomServer, StrategyKind::kRoundRobin,
+        StrategyKind::kHash}) {
+    for (std::size_t i = 0; i < kPerKind; ++i) {
+      Shape s;
+      s.kind = kind;
+      s.n = 2 + static_cast<std::size_t>(meta.uniform(11));   // 2..12
+      s.h = 1 + static_cast<std::size_t>(meta.uniform(120));  // 1..120
+      switch (kind) {
+        case StrategyKind::kFullReplication:
+          s.param = 1;
+          break;
+        case StrategyKind::kFixed:
+        case StrategyKind::kRandomServer:
+          s.param = 1 + static_cast<std::size_t>(meta.uniform(30));
+          break;
+        case StrategyKind::kRoundRobin:
+        case StrategyKind::kHash:
+          s.param = 1 + static_cast<std::size_t>(meta.uniform(s.n));
+          break;
+      }
+      s.seed = meta.next_u64();
+      shapes.push_back(s);
+    }
+  }
+  return shapes;
+}
+
+class StrategyInvariantTest : public ::testing::TestWithParam<Shape> {
+ protected:
+  std::unique_ptr<Strategy> build() const {
+    const auto& p = GetParam();
+    return make_strategy(
+        StrategyConfig{.kind = p.kind, .param = p.param, .seed = p.seed},
+        p.n);
+  }
+
+  /// Per-server storage bound of the §3 schemes as a function of the
+  /// number of *live* entries (h may shrink or grow under churn).
+  std::size_t per_server_bound(std::size_t live) const {
+    const auto& p = GetParam();
+    switch (p.kind) {
+      case StrategyKind::kFullReplication:
+        return live;
+      case StrategyKind::kFixed:
+      case StrategyKind::kRandomServer:
+        return p.param;  // x entries per server
+      case StrategyKind::kRoundRobin:
+      case StrategyKind::kHash:
+        // y copies of each entry; no per-server balancing guarantee
+        // beyond "at most everything".
+        return live * std::min(p.param, p.n);
+    }
+    return live;
+  }
+
+  static void expect_no_duplicates_within_servers(const Placement& placement,
+                                                  const char* when) {
+    for (std::size_t s = 0; s < placement.servers.size(); ++s) {
+      const auto& server = placement.servers[s];
+      std::set<Entry> unique(server.begin(), server.end());
+      EXPECT_EQ(unique.size(), server.size())
+          << "duplicate entry on server " << s << " " << when;
+    }
+  }
+
+  void expect_lookup_contract(Strategy& s, std::size_t t,
+                              const std::set<Entry>& universe) const {
+    const auto r = s.partial_lookup(t);
+    EXPECT_LE(r.entries.size(), t) << "t=" << t;
+    std::set<Entry> unique(r.entries.begin(), r.entries.end());
+    EXPECT_EQ(unique.size(), r.entries.size()) << "duplicate answer, t=" << t;
+    for (Entry v : r.entries) {
+      EXPECT_TRUE(universe.count(v)) << "entry " << v << " never placed";
+    }
+    if (r.satisfied) {
+      EXPECT_EQ(r.entries.size(), t);
+    } else {
+      EXPECT_LT(r.entries.size(), t);
+    }
+  }
+};
+
+TEST_P(StrategyInvariantTest, StaticPlacementObeysPerServerBounds) {
+  const auto& p = GetParam();
+  const auto s = build();
+  s->place(iota_entries(p.h));
+  const auto placement = s->placement();
+  ASSERT_EQ(placement.num_servers(), p.n);
+  expect_no_duplicates_within_servers(placement, "after place()");
+  for (std::size_t i = 0; i < p.n; ++i) {
+    EXPECT_LE(placement.servers[i].size(), per_server_bound(p.h))
+        << "server " << i;
+  }
+  if (p.kind == StrategyKind::kFullReplication) {
+    for (const auto& server : placement.servers) {
+      EXPECT_EQ(server.size(), p.h);
+    }
+  }
+}
+
+TEST_P(StrategyInvariantTest, LookupNeverReturnsDuplicatesOrMoreThanT) {
+  const auto& p = GetParam();
+  const auto s = build();
+  s->place(iota_entries(p.h));
+  const auto entries = iota_entries(p.h);
+  const std::set<Entry> universe(entries.begin(), entries.end());
+  Rng t_rng(p.seed ^ 0x70707070);
+  for (int i = 0; i < 6; ++i) {
+    // Random t, deliberately allowed to exceed h to probe shortfalls.
+    const auto t = 1 + static_cast<std::size_t>(t_rng.uniform(p.h + 3));
+    expect_lookup_contract(*s, t, universe);
+  }
+}
+
+TEST_P(StrategyInvariantTest, LookupContractHoldsUnderChurn) {
+  const auto& p = GetParam();
+  const auto s = build();
+  s->place(iota_entries(p.h));
+  std::set<Entry> live;
+  for (Entry v : iota_entries(p.h)) live.insert(v);
+
+  Rng churn(p.seed ^ 0xc4u);
+  Entry next_fresh = 100000;
+  for (int step = 0; step < 40; ++step) {
+    if (!live.empty() && churn.uniform(2) == 0) {
+      // Delete a random live entry.
+      auto it = live.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           churn.uniform(live.size())));
+      s->erase(*it);
+      live.erase(it);
+    } else {
+      const Entry v = next_fresh++;
+      s->add(v);
+      live.insert(v);
+    }
+    if (step % 10 == 9) {
+      const auto t = 1 + static_cast<std::size_t>(
+                             churn.uniform(live.size() + 2));
+      expect_lookup_contract(*s, t, live);
+      expect_no_duplicates_within_servers(s->placement(), "under churn");
+    }
+  }
+}
+
+TEST_P(StrategyInvariantTest, DeleteAfterAddLeavesNoOrphans) {
+  const auto& p = GetParam();
+  const auto s = build();
+  s->place(iota_entries(p.h));
+
+  // Add a batch of fresh entries, then delete them all again; no server
+  // may keep a copy of a deleted entry.
+  std::vector<Entry> fresh;
+  for (Entry v = 200000; v < 200000 + 12; ++v) fresh.push_back(v);
+  for (Entry v : fresh) s->add(v);
+  for (Entry v : fresh) s->erase(v);
+
+  const auto placement = s->placement();
+  for (std::size_t i = 0; i < placement.servers.size(); ++i) {
+    for (Entry v : placement.servers[i]) {
+      EXPECT_FALSE(std::find(fresh.begin(), fresh.end(), v) != fresh.end())
+          << "orphaned entry " << v << " on server " << i;
+    }
+  }
+  expect_no_duplicates_within_servers(placement, "after delete-after-add");
+}
+
+TEST_P(StrategyInvariantTest, EraseEverythingEmptiesEveryServer) {
+  const auto& p = GetParam();
+  const auto s = build();
+  s->place(iota_entries(p.h));
+  for (Entry v : iota_entries(p.h)) s->erase(v);
+  for (const auto& server : s->placement().servers) {
+    EXPECT_TRUE(server.empty());
+  }
+  EXPECT_EQ(s->storage_cost(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGrid, StrategyInvariantTest,
+                         ::testing::ValuesIn(random_shapes()), shape_name);
+
+}  // namespace
+}  // namespace pls::core

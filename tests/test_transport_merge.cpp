@@ -1,0 +1,125 @@
+// TransportStats::merge — counter sums, per-server zero-extension, and
+// the conservation law sent + duplicated == processed + dropped surviving
+// every merge, including merges of real (lossy) transport runs.
+#include <gtest/gtest.h>
+
+#include "pls/core/strategy_factory.hpp"
+#include "pls/net/transport_stats.hpp"
+
+namespace pls::net {
+namespace {
+
+TransportStats lawful(std::uint64_t sent, std::uint64_t duplicated,
+                      std::uint64_t processed) {
+  TransportStats s;
+  s.sent = sent;
+  s.duplicated = duplicated;
+  s.processed = processed;
+  s.dropped = sent + duplicated - processed;
+  return s;
+}
+
+TEST(TransportMerge, SumsEveryCounter) {
+  TransportStats a = lawful(100, 5, 90);
+  a.broadcasts = 3;
+  a.rpcs = 7;
+  a.dropped_down = 4;
+  a.dropped_link = 11;
+  a.dup_suppressed = 2;
+  a.retries = 6;
+  a.timeouts = 5;
+  TransportStats b = lawful(40, 1, 41);
+  b.broadcasts = 1;
+  b.rpcs = 2;
+  b.dropped_down = 0;
+  b.dropped_link = 0;
+  b.dup_suppressed = 1;
+  b.retries = 3;
+  b.timeouts = 2;
+
+  a.merge(b);
+  EXPECT_EQ(a.sent, 140u);
+  EXPECT_EQ(a.duplicated, 6u);
+  EXPECT_EQ(a.processed, 131u);
+  EXPECT_EQ(a.dropped, 15u);
+  EXPECT_EQ(a.broadcasts, 4u);
+  EXPECT_EQ(a.rpcs, 9u);
+  EXPECT_EQ(a.dropped_down, 4u);
+  EXPECT_EQ(a.dropped_link, 11u);
+  EXPECT_EQ(a.dup_suppressed, 3u);
+  EXPECT_EQ(a.retries, 9u);
+  EXPECT_EQ(a.timeouts, 7u);
+  EXPECT_TRUE(a.conservation_holds());
+}
+
+TEST(TransportMerge, ZeroExtendsPerServerCounts) {
+  TransportStats a;
+  a.per_server_processed = {1, 2};
+  TransportStats b;
+  b.per_server_processed = {10, 20, 30, 40};
+  a.merge(b);
+  EXPECT_EQ(a.per_server_processed,
+            (std::vector<std::uint64_t>{11, 22, 30, 40}));
+  EXPECT_EQ(a.max_per_server(), 40u);
+
+  // Merging the shorter one the other way round must agree.
+  TransportStats c;
+  c.per_server_processed = {10, 20, 30, 40};
+  TransportStats d;
+  d.per_server_processed = {1, 2};
+  c.merge(d);
+  EXPECT_EQ(c.per_server_processed, a.per_server_processed);
+}
+
+TEST(TransportMerge, MergeIntoEmptyEqualsCopy) {
+  TransportStats a;
+  const TransportStats b = lawful(17, 2, 12);
+  a.merge(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TransportMerge, ConservationLawPreservedAcrossRealLossyRuns) {
+  // Two genuinely different transports — reliable and lossy-with-retries —
+  // produced by real traffic; their merge must still satisfy the law.
+  TransportStats merged;
+  for (double drop : {0.0, 0.3}) {
+    core::StrategyConfig cfg;
+    cfg.kind = core::StrategyKind::kRandomServer;
+    cfg.param = 10;
+    cfg.link.drop_probability = drop;
+    cfg.link.duplicate_probability = drop / 3.0;
+    cfg.retry.max_attempts = 3;
+    cfg.seed = 99 + static_cast<std::uint64_t>(drop * 100);
+    const auto s = core::make_strategy(cfg, 8);
+    std::vector<Entry> entries(60);
+    for (std::size_t i = 0; i < entries.size(); ++i) entries[i] = i + 1;
+    s->place(entries);
+    for (std::size_t t = 1; t <= 20; ++t) (void)s->partial_lookup(t);
+    for (Entry v : {Entry{1000}, Entry{1001}}) {
+      s->add(v);
+      s->erase(v);
+    }
+    const auto& stats = s->network().stats();
+    ASSERT_TRUE(stats.conservation_holds())
+        << "precondition: each run is individually lawful";
+    merged.merge(stats);
+    EXPECT_TRUE(merged.conservation_holds()) << "after merging drop=" << drop;
+  }
+  EXPECT_GT(merged.sent, 0u);
+  EXPECT_GT(merged.processed, 0u);
+  EXPECT_GT(merged.dropped, 0u);  // the lossy run must have lost something
+}
+
+TEST(TransportMerge, ViolationInMergedResultIsReported) {
+  // When an operand is already unlawful (e.g. a mid-RPC snapshot), merge
+  // must not pretend the law holds — and must not throw either, since
+  // neither operand satisfied the precondition.
+  TransportStats a = lawful(10, 0, 10);
+  TransportStats broken;
+  broken.sent = 5;  // 5 sent, nothing processed or dropped: unlawful
+  a.merge(broken);
+  EXPECT_FALSE(a.conservation_holds());
+}
+
+}  // namespace
+}  // namespace pls::net

@@ -1,0 +1,161 @@
+// Concurrency stress tests for the trial-parallel experiment runner: the
+// aggregate (and its JSON rendering) must be byte-identical for any
+// worker count, trials must each run exactly once, and exceptions must
+// propagate out of the pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "pls/core/strategy_factory.hpp"
+#include "pls/metrics/lookup_cost.hpp"
+#include "pls/metrics/trial_accumulator.hpp"
+#include "pls/sim/trial_runner.hpp"
+
+namespace pls {
+namespace {
+
+TEST(DeriveTrialSeed, DistinctAcrossIndicesAndMasters) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t master : {0ull, 1ull, 42ull, ~0ull}) {
+    for (std::uint64_t index = 0; index < 64; ++index) {
+      seeds.insert(sim::derive_trial_seed(master, index));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 4u * 64u);
+}
+
+TEST(DeriveTrialSeed, PureFunctionOfMasterAndIndex) {
+  EXPECT_EQ(sim::derive_trial_seed(42, 7), sim::derive_trial_seed(42, 7));
+  EXPECT_NE(sim::derive_trial_seed(42, 7), sim::derive_trial_seed(43, 7));
+  EXPECT_NE(sim::derive_trial_seed(42, 7), sim::derive_trial_seed(42, 8));
+}
+
+TEST(TrialRunner, RunsEveryIndexExactlyOnce) {
+  for (std::size_t jobs : {1u, 2u, 8u}) {
+    const sim::TrialRunner runner({.jobs = jobs});
+    constexpr std::size_t kTrials = 100;
+    std::vector<std::atomic<int>> hits(kTrials);
+    runner.run_indexed(kTrials, 7,
+                       [&](std::size_t index, std::uint64_t seed) {
+                         EXPECT_EQ(seed, sim::derive_trial_seed(7, index));
+                         hits[index].fetch_add(1);
+                       });
+    for (std::size_t i = 0; i < kTrials; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "trial " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(TrialRunner, ZeroTrialsIsANoOp) {
+  const sim::TrialRunner runner({.jobs = 4});
+  bool called = false;
+  runner.run_indexed(0, 1, [&](std::size_t, std::uint64_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(TrialRunner, ResultsOrderedByTrialIndex) {
+  const sim::TrialRunner runner({.jobs = 8});
+  const auto out = runner.run<std::size_t>(
+      64, 3, [](std::size_t index, std::uint64_t) { return index * index; });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(TrialRunner, PropagatesTrialExceptions) {
+  for (std::size_t jobs : {1u, 2u, 8u}) {
+    const sim::TrialRunner runner({.jobs = jobs});
+    EXPECT_THROW(
+        runner.run_indexed(32, 5,
+                           [](std::size_t index, std::uint64_t) {
+                             if (index == 13) {
+                               throw std::runtime_error("trial 13 boom");
+                             }
+                           }),
+        std::runtime_error)
+        << "jobs " << jobs;
+  }
+}
+
+TEST(TrialRunner, JobsZeroMeansHardwareConcurrency) {
+  const sim::TrialRunner runner({.jobs = 0});
+  EXPECT_GE(runner.jobs(), 1u);
+}
+
+/// One real simulated experiment per trial, heavy enough that workers
+/// genuinely interleave: aggregates for jobs 1, 2, and 8 must match to
+/// the byte.
+metrics::TrialAccumulator stress_aggregate(std::size_t jobs) {
+  const sim::TrialRunner runner({.jobs = jobs});
+  return metrics::run_trials(
+      runner, 24, 4242, [](std::size_t, std::uint64_t seed) {
+        metrics::TrialAccumulator trial;
+        const auto s = core::make_strategy(
+            core::StrategyConfig{.kind = core::StrategyKind::kRandomServer,
+                                 .param = 20,
+                                 .seed = seed},
+            10);
+        std::vector<Entry> entries(100);
+        for (std::size_t i = 0; i < entries.size(); ++i) entries[i] = i + 1;
+        s->place(entries);
+        const auto cost = metrics::measure_lookup_cost(*s, 15, 200);
+        trial.add("lookup_cost", cost.mean_servers);
+        trial.add("failure_rate", cost.failure_rate);
+        trial.add_transport("net/", s->network().stats());
+        return trial;
+      });
+}
+
+TEST(TrialRunnerStress, AggregateByteIdenticalAcrossJobCounts) {
+  const auto baseline = stress_aggregate(1).to_json(2);
+  EXPECT_EQ(stress_aggregate(2).to_json(2), baseline);
+  EXPECT_EQ(stress_aggregate(8).to_json(2), baseline);
+}
+
+TEST(TrialAccumulator, SummaryStatisticsAreExact) {
+  metrics::TrialAccumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    acc.add("m", v);
+  }
+  const auto s = acc.summary("m");
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  // Sample stddev of the set is sqrt(32/7); stderr = that / sqrt(8).
+  EXPECT_NEAR(s.stderr_of_mean, std::sqrt(32.0 / 7.0) / std::sqrt(8.0),
+              1e-12);
+}
+
+TEST(TrialAccumulator, MergePreservesDeclarationOrderAndCounts) {
+  metrics::TrialAccumulator a, b;
+  a.add("x", 1.0);
+  a.add("y", 2.0);
+  b.add("y", 4.0);
+  b.add("z", 8.0);
+  a.merge(b);
+  ASSERT_EQ(a.metric_names(),
+            (std::vector<std::string>{"x", "y", "z"}));
+  EXPECT_EQ(a.summary("x").count, 1u);
+  EXPECT_EQ(a.summary("y").count, 2u);
+  EXPECT_DOUBLE_EQ(a.mean("y"), 3.0);
+  EXPECT_EQ(a.summary("z").count, 1u);
+}
+
+TEST(TrialAccumulator, JsonNumberRoundTripsAndNormalisesZero) {
+  EXPECT_EQ(metrics::json_number(0.0), "0");
+  EXPECT_EQ(metrics::json_number(-0.0), "0");
+  EXPECT_EQ(metrics::json_number(std::nan("")), "null");
+  for (double v : {1.0 / 3.0, 0.1, 123456789.123456789, -2.5e-300}) {
+    const double parsed = std::stod(metrics::json_number(v));
+    EXPECT_EQ(parsed, v);
+  }
+}
+
+}  // namespace
+}  // namespace pls

@@ -21,24 +21,35 @@
 //   --timeout T       base retransmission timeout
 //   --backoff B       exponential backoff factor
 //   --budget N        per-lookup attempt budget (0 = unlimited)
-//   --seed S
+//   --trials N        independent seeded repetitions (default 1)
+//   --jobs J          worker threads for the trial fan-out (default:
+//                     hardware concurrency; results identical for any J)
+//   --json-out PATH   write the aggregate metrics as JSON
+//   --seed S          master seed; per-trial seeds derive from it
+//
+// With --trials 1 the classic single-run panel is printed; with more
+// trials every metric is reported as mean +- stderr [min, max] over the
+// trials. Aggregates depend only on (--trials, --seed), never on --jobs.
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
 #include <string_view>
 #include <unordered_set>
 
-#include "pls/analysis/models.hpp"
 #include "pls/core/strategy_factory.hpp"
+#include "pls/metrics/availability.hpp"
 #include "pls/metrics/coverage.hpp"
 #include "pls/metrics/fault_tolerance.hpp"
-#include "pls/metrics/availability.hpp"
 #include "pls/metrics/goodput.hpp"
 #include "pls/metrics/lookup_cost.hpp"
 #include "pls/metrics/storage.hpp"
+#include "pls/metrics/trial_accumulator.hpp"
 #include "pls/metrics/unfairness.hpp"
 #include "pls/net/failure_injector.hpp"
+#include "pls/sim/trial_runner.hpp"
 #include "pls/workload/replay.hpp"
 
 namespace {
@@ -56,6 +67,9 @@ struct Options {
   double mttr = 0.0;
   pls::net::LinkModel link{};
   pls::net::RetryPolicy retry{};
+  std::size_t trials = 1;
+  std::size_t jobs = 0;
+  std::string json_out;
   std::uint64_t seed = 42;
 };
 
@@ -68,7 +82,9 @@ struct Options {
                "[--mttf M --mttr M]\n"
                "               [--drop P] [--dup P] [--max-attempts A] "
                "[--timeout T]\n"
-               "               [--backoff B] [--budget N] [--seed S]\n";
+               "               [--backoff B] [--budget N] [--trials N] "
+               "[--jobs J]\n"
+               "               [--json-out PATH] [--seed S]\n";
   std::exit(code);
 }
 
@@ -123,6 +139,12 @@ Options parse(int argc, char** argv) {
     } else if (flag == "--budget") {
       opt.retry.attempt_budget = static_cast<std::uint32_t>(
           std::strtoul(value().data(), nullptr, 10));
+    } else if (flag == "--trials") {
+      opt.trials = std::strtoull(value().data(), nullptr, 10);
+    } else if (flag == "--jobs") {
+      opt.jobs = std::strtoull(value().data(), nullptr, 10);
+    } else if (flag == "--json-out") {
+      opt.json_out = std::string(value());
     } else if (flag == "--seed") {
       opt.seed = std::strtoull(value().data(), nullptr, 10);
     } else if (flag == "--help" || flag == "-h") {
@@ -132,14 +154,19 @@ Options parse(int argc, char** argv) {
       usage(2);
     }
   }
+  if (opt.trials == 0) {
+    std::cerr << "--trials must be at least 1\n";
+    usage(2);
+  }
   return opt;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// Runs the full experiment once with `seed` and records every panel
+/// metric. Pure function of (opt, seed) — the trial fan-out relies on it.
+pls::metrics::TrialAccumulator run_one(const Options& opt,
+                                       std::uint64_t seed) {
   using namespace pls;
-  const Options opt = parse(argc, argv);
+  metrics::TrialAccumulator trial;
 
   auto failures = net::make_failure_state(opt.servers);
   core::StrategyConfig scfg;
@@ -147,24 +174,8 @@ int main(int argc, char** argv) {
   scfg.param = opt.param;
   scfg.link = opt.link;
   scfg.retry = opt.retry;
-  scfg.seed = opt.seed;
+  scfg.seed = seed;
   const auto strategy = core::make_strategy(scfg, opt.servers, failures);
-
-  std::cout << "strategy " << core::to_string(opt.strategy) << "-"
-            << opt.param << " on " << opt.servers << " servers, h = "
-            << opt.entries << ", t = " << opt.target << "\n";
-  if (opt.link.lossy()) {
-    std::cout << "link: drop " << 100.0 * opt.link.drop_probability
-              << "%, dup " << 100.0 * opt.link.duplicate_probability
-              << "%, retry up to " << opt.retry.max_attempts
-              << " attempts (timeout " << opt.retry.base_timeout << " x"
-              << opt.retry.backoff_factor << " backoff"
-              << (opt.retry.attempt_budget > 0
-                      ? ", budget " + std::to_string(opt.retry.attempt_budget)
-                      : std::string())
-              << ")\n";
-  }
-  std::cout << "\n";
 
   // --- static placement + §4 metric panel -------------------------------
   std::vector<Entry> entries(opt.entries);
@@ -172,48 +183,40 @@ int main(int argc, char** argv) {
   strategy->place(entries);
 
   const auto placement = strategy->placement();
-  std::cout << "static placement:\n";
-  std::cout << "  storage cost     " << metrics::storage_cost(placement)
-            << " entries (imbalance "
-            << metrics::storage_imbalance(placement) << ")\n";
-  std::cout << "  max coverage     " << metrics::max_coverage(placement)
-            << " / " << opt.entries << '\n';
-  std::cout << "  fault tolerance  "
-            << metrics::fault_tolerance(placement, opt.target)
-            << " worst-case failures (greedy heuristic, t = " << opt.target
-            << ")\n";
+  trial.add("static/storage",
+            static_cast<double>(metrics::storage_cost(placement)));
+  trial.add("static/storage_imbalance",
+            static_cast<double>(metrics::storage_imbalance(placement)));
+  trial.add("static/coverage",
+            static_cast<double>(metrics::max_coverage(placement)));
+  trial.add("static/fault_tolerance",
+            static_cast<double>(
+                metrics::fault_tolerance(placement, opt.target)));
   const auto cost =
       metrics::measure_lookup_cost(*strategy, opt.target, opt.lookups);
-  std::cout << "  lookup cost      " << std::fixed << std::setprecision(3)
-            << cost.mean_servers << " servers (+-" << cost.ci95
-            << "), failure rate " << cost.failure_rate << '\n';
-  std::cout << "  unfairness       "
-            << metrics::instance_unfairness(*strategy, entries, opt.target,
-                                            opt.lookups)
-            << " (coefficient of variation, 0 = fair)\n";
+  trial.add("static/lookup_cost", cost.mean_servers);
+  trial.add("static/failure_rate", cost.failure_rate);
+  trial.add("static/unfairness",
+            metrics::instance_unfairness(*strategy, entries, opt.target,
+                                         opt.lookups));
 
-  if (opt.updates == 0) return 0;
+  if (opt.updates == 0) return trial;
 
-  // --- dynamic phase -----------------------------------------------------
-  std::cout << "\ndynamic phase: " << opt.updates << " updates ("
-            << opt.lifetime << " lifetimes)";
+  // --- dynamic phase ----------------------------------------------------
   workload::WorkloadConfig wc;
   wc.steady_state_entries = opt.entries;
   wc.lifetime = opt.lifetime;
   wc.num_updates = opt.updates;
-  wc.seed = opt.seed + 1;
+  wc.seed = seed + 1;
   const auto wl = workload::generate_workload(wc);
 
   sim::Simulator failure_clock;
   std::unique_ptr<net::FailureInjector> injector;
   if (opt.mttf > 0.0 && opt.mttr > 0.0) {
     injector = std::make_unique<net::FailureInjector>(
-        failures,
-        net::FailureInjector::Config{opt.mttf, opt.mttr, opt.seed + 2});
+        failures, net::FailureInjector::Config{opt.mttf, opt.mttr, seed + 2});
     injector->arm(failure_clock);
-    std::cout << ", failures MTTF " << opt.mttf << " / MTTR " << opt.mttr;
   }
-  std::cout << "\n";
 
   strategy->network().reset_stats();
   std::unordered_set<Entry> live(wl.initial.begin(), wl.initial.end());
@@ -234,58 +237,183 @@ int main(int argc, char** argv) {
   });
   const auto result = replayer.run();
 
-  const auto& stats = strategy->network().stats();
-  std::cout << "  applied          " << result.adds_applied << " adds, "
-            << result.deletes_applied << " deletes over "
-            << std::setprecision(0) << result.end_time << " time units\n"
-            << std::setprecision(3);
-  std::cout << "  live entries     " << live.size() << " (stored distinct "
-            << strategy->placement().distinct_entries()
-            << (injector ? ", stale copies possible under failures)\n"
-                         : ")\n");
-  std::cout << "  messages         " << stats.processed
-            << " processed incl. initial placement ("
-            << static_cast<double>(stats.processed) /
-                   static_cast<double>(opt.updates)
-            << " per update), " << stats.broadcasts << " broadcasts, "
-            << stats.dropped << " dropped\n";
-  if (opt.link.lossy()) {
-    std::cout << "  link             " << stats.dropped_link
-              << " lost, " << stats.dropped_down << " to down servers, "
-              << stats.duplicated << " duplicated ("
-              << stats.dup_suppressed << " suppressed), " << stats.retries
-              << " retries, " << stats.timeouts << " timeouts\n";
-  }
-  std::cout << "  hottest server   " << stats.max_per_server()
-            << " messages (mean "
-            << static_cast<double>(stats.processed) /
-                   static_cast<double>(opt.servers)
-            << ")\n";
-  std::cout << "  unavailable      "
-            << 100.0 * (total_time > 0 ? unavailable / total_time : 0.0)
-            << "% of execution time for t = " << opt.target << '\n';
+  trial.add("dyn/adds_applied", static_cast<double>(result.adds_applied));
+  trial.add("dyn/deletes_applied",
+            static_cast<double>(result.deletes_applied));
+  trial.add("dyn/end_time", result.end_time);
+  trial.add("dyn/live_entries", static_cast<double>(live.size()));
+  trial.add("dyn/stored_distinct",
+            static_cast<double>(strategy->placement().distinct_entries()));
+  trial.add("dyn/unavailable_percent",
+            100.0 * (total_time > 0 ? unavailable / total_time : 0.0));
+  trial.add_transport("net/", strategy->network().stats());
   if (injector) {
-    std::cout << "  failures         " << injector->failures_injected()
-              << " crashes, " << injector->recoveries_injected()
-              << " repairs\n";
+    trial.add("dyn/failures_injected",
+              static_cast<double>(injector->failures_injected()));
+    trial.add("dyn/recoveries_injected",
+              static_cast<double>(injector->recoveries_injected()));
   }
   if (!live.empty()) {
     std::vector<Entry> universe(live.begin(), live.end());
-    std::cout << "  final unfairness "
-              << metrics::instance_unfairness(*strategy, universe,
-                                              opt.target, opt.lookups)
-              << '\n';
+    trial.add("dyn/final_unfairness",
+              metrics::instance_unfairness(*strategy, universe, opt.target,
+                                           opt.lookups));
   }
   if (opt.link.lossy()) {
-    const auto outcomes =
-        metrics::measure_lookup_outcomes(*strategy, opt.target, opt.lookups);
+    trial.add_outcomes("lookup/",
+                       metrics::measure_lookup_outcomes(*strategy, opt.target,
+                                                        opt.lookups));
+  }
+  return trial;
+}
+
+void print_single_run_panel(const Options& opt,
+                            const pls::metrics::TrialAccumulator& acc) {
+  using namespace pls;
+  // Count metrics are exact in a single run; print them as integers.
+  const auto count = [&acc](const char* metric) {
+    return static_cast<long long>(std::llround(acc.mean(metric)));
+  };
+  std::cout << "static placement:\n";
+  std::cout << "  storage cost     " << acc.mean("static/storage")
+            << " entries (imbalance " << std::fixed << std::setprecision(3)
+            << acc.mean("static/storage_imbalance") << ")\n"
+            << std::defaultfloat;
+  std::cout << "  max coverage     " << acc.mean("static/coverage") << " / "
+            << opt.entries << '\n';
+  std::cout << "  fault tolerance  " << acc.mean("static/fault_tolerance")
+            << " worst-case failures (greedy heuristic, t = " << opt.target
+            << ")\n";
+  std::cout << "  lookup cost      " << std::fixed << std::setprecision(3)
+            << acc.mean("static/lookup_cost") << " servers, failure rate "
+            << acc.mean("static/failure_rate") << '\n';
+  std::cout << "  unfairness       " << acc.mean("static/unfairness")
+            << " (coefficient of variation, 0 = fair)\n";
+
+  if (opt.updates == 0) return;
+
+  std::cout << "\ndynamic phase: " << opt.updates << " updates ("
+            << opt.lifetime << " lifetimes)";
+  if (acc.has("dyn/failures_injected")) {
+    std::cout << ", failures MTTF " << opt.mttf << " / MTTR " << opt.mttr;
+  }
+  std::cout << "\n";
+  std::cout << "  applied          " << count("dyn/adds_applied")
+            << " adds, " << count("dyn/deletes_applied")
+            << " deletes over " << std::setprecision(0)
+            << acc.mean("dyn/end_time") << " time units\n"
+            << std::setprecision(3);
+  std::cout << "  live entries     " << count("dyn/live_entries")
+            << " (stored distinct " << count("dyn/stored_distinct")
+            << (acc.has("dyn/failures_injected")
+                    ? ", stale copies possible under failures)\n"
+                    : ")\n");
+  std::cout << "  messages         " << count("net/processed")
+            << " processed incl. initial placement ("
+            << acc.mean("net/processed") /
+                   static_cast<double>(opt.updates)
+            << " per update), " << count("net/broadcasts")
+            << " broadcasts, " << count("net/dropped") << " dropped\n";
+  if (opt.link.lossy()) {
+    std::cout << "  link             " << count("net/dropped_link")
+              << " lost, " << count("net/dropped_down")
+              << " to down servers, " << count("net/duplicated")
+              << " duplicated (" << count("net/dup_suppressed")
+              << " suppressed), " << count("net/retries") << " retries, "
+              << count("net/timeouts") << " timeouts\n";
+  }
+  std::cout << "  hottest server   " << count("net/max_per_server")
+            << " messages (mean "
+            << acc.mean("net/processed") /
+                   static_cast<double>(opt.servers)
+            << ")\n";
+  std::cout << "  unavailable      " << acc.mean("dyn/unavailable_percent")
+            << "% of execution time for t = " << opt.target << '\n';
+  if (acc.has("dyn/failures_injected")) {
+    std::cout << "  failures         " << count("dyn/failures_injected")
+              << " crashes, " << count("dyn/recoveries_injected")
+              << " repairs\n";
+  }
+  if (acc.has("dyn/final_unfairness")) {
+    std::cout << "  final unfairness " << acc.mean("dyn/final_unfairness")
+              << '\n';
+  }
+  if (acc.has("lookup/satisfaction_rate")) {
     std::cout << "  satisfaction     "
-              << 100.0 * outcomes.satisfaction_rate() << "% of "
-              << outcomes.lookups << " lookups (" << outcomes.degraded
-              << " degraded, " << outcomes.failed << " failed)\n";
-    std::cout << "  goodput          " << outcomes.goodput()
-              << " entries per wire message (" << outcomes.retries
-              << " lookup retries, " << outcomes.timeouts << " timeouts)\n";
+              << 100.0 * acc.mean("lookup/satisfaction_rate") << "% of "
+              << count("lookup/lookups") << " lookups ("
+              << count("lookup/degraded") << " degraded, "
+              << count("lookup/failed") << " failed)\n";
+    std::cout << "  goodput          " << acc.mean("lookup/goodput")
+              << " entries per wire message ("
+              << count("lookup/retries") << " lookup retries, "
+              << count("lookup/timeouts") << " timeouts)\n";
+  }
+}
+
+void print_aggregate_panel(const pls::metrics::TrialAccumulator& acc) {
+  std::cout << std::left << std::setw(28) << "metric" << std::right
+            << std::setw(14) << "mean" << std::setw(14) << "stderr"
+            << std::setw(14) << "min" << std::setw(14) << "max" << "\n";
+  for (const auto& name : acc.metric_names()) {
+    const auto s = acc.summary(name);
+    std::cout << std::left << std::setw(28) << name << std::right
+              << std::fixed << std::setprecision(4) << std::setw(14)
+              << s.mean << std::setw(14) << s.stderr_of_mean << std::setw(14)
+              << s.min << std::setw(14) << s.max << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pls;
+  const Options opt = parse(argc, argv);
+
+  std::cout << "strategy " << core::to_string(opt.strategy) << "-"
+            << opt.param << " on " << opt.servers << " servers, h = "
+            << opt.entries << ", t = " << opt.target << "\n";
+  if (opt.link.lossy()) {
+    std::cout << "link: drop " << 100.0 * opt.link.drop_probability
+              << "%, dup " << 100.0 * opt.link.duplicate_probability
+              << "%, retry up to " << opt.retry.max_attempts
+              << " attempts (timeout " << opt.retry.base_timeout << " x"
+              << opt.retry.backoff_factor << " backoff"
+              << (opt.retry.attempt_budget > 0
+                      ? ", budget " + std::to_string(opt.retry.attempt_budget)
+                      : std::string())
+              << ")\n";
+  }
+  if (opt.trials > 1) {
+    const sim::TrialRunner probe(sim::TrialRunnerConfig{.jobs = opt.jobs});
+    std::cout << "trials: " << opt.trials << " seeded from " << opt.seed
+              << ", " << probe.jobs() << " worker thread"
+              << (probe.jobs() == 1 ? "" : "s")
+              << " (aggregates independent of --jobs)\n";
+  }
+  std::cout << "\n";
+
+  const sim::TrialRunner runner(sim::TrialRunnerConfig{.jobs = opt.jobs});
+  const auto acc = metrics::run_trials(
+      runner, opt.trials, opt.seed,
+      [&](std::size_t, std::uint64_t seed) { return run_one(opt, seed); });
+
+  if (opt.trials == 1) {
+    print_single_run_panel(opt, acc);
+  } else {
+    print_aggregate_panel(acc);
+  }
+
+  if (!opt.json_out.empty()) {
+    std::ofstream out(opt.json_out);
+    out << "{\n  \"bench\": \"plsim\",\n  \"strategy\": \""
+        << core::to_string(opt.strategy) << "-" << opt.param
+        << "\",\n  \"trials\": " << opt.trials << ",\n  \"seed\": "
+        << opt.seed << ",\n  \"metrics\": " << acc.to_json(2) << "\n}\n";
+    if (!out) {
+      std::cerr << "error: could not write " << opt.json_out << "\n";
+      return 1;
+    }
   }
   return 0;
 }
