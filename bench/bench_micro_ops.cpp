@@ -1,9 +1,23 @@
 // Microbenchmarks (google-benchmark): the hot operations under every
 // experiment — entry-store sampling, per-strategy lookups and updates,
-// event-queue throughput and workload generation.
+// broadcast fan-out, service churn, event-queue throughput and workload
+// generation.
+//
+// Besides wall-clock, every hot-path bench reports deterministic counters:
+//   allocs_per_op / bytes_per_op   heap traffic per operation, measured by
+//                                  pls::AllocStats (all zeros unless built
+//                                  with -DPLS_COUNT_ALLOCS=ON)
+//   payload_copies_per_op          SharedEntries deep copies per operation
+// Iteration counts are fixed and each bench warms up before the timed loop,
+// so the counters are exact steady-state values: scripts/perf_check.sh
+// extracts them into BENCH_micro_ops.json and diffs against the checked-in
+// baseline — wall-clock numbers are reported but never gated on.
 #include <benchmark/benchmark.h>
 
+#include "pls/common/alloc_stats.hpp"
+#include "pls/core/service.hpp"
 #include "pls/core/strategy_factory.hpp"
+#include "pls/net/shared_entries.hpp"
 #include "pls/sim/simulator.hpp"
 #include "pls/workload/update_stream.hpp"
 
@@ -17,17 +31,63 @@ std::vector<Entry> iota_entries(std::size_t h) {
   return out;
 }
 
+/// Captures AllocStats and the SharedEntries deep-copy counter around the
+/// timed loop and reports per-op averages. Construct after warm-up, call
+/// finish() after the loop.
+class CounterScope {
+ public:
+  explicit CounterScope(benchmark::State& state)
+      : state_(state),
+        alloc_before_(AllocStats::current()),
+        copies_before_(net::SharedEntries::deep_copy_count()) {}
+
+  void finish() {
+    const AllocStats delta = AllocStats::current() - alloc_before_;
+    const std::uint64_t copies =
+        net::SharedEntries::deep_copy_count() - copies_before_;
+    using benchmark::Counter;
+    state_.counters["allocs_per_op"] = Counter(
+        static_cast<double>(delta.allocations), Counter::kAvgIterations);
+    state_.counters["bytes_per_op"] =
+        Counter(static_cast<double>(delta.bytes), Counter::kAvgIterations);
+    state_.counters["payload_copies_per_op"] =
+        Counter(static_cast<double>(copies), Counter::kAvgIterations);
+  }
+
+ private:
+  benchmark::State& state_;
+  AllocStats alloc_before_;
+  std::uint64_t copies_before_;
+};
+
+std::size_t param_for(core::StrategyKind kind) {
+  return (kind == core::StrategyKind::kRoundRobin ||
+          kind == core::StrategyKind::kHash)
+             ? 2
+             : 20;
+}
+
+void for_each_strategy(benchmark::internal::Benchmark* b) {
+  b->Arg(static_cast<int>(core::StrategyKind::kFullReplication))
+      ->Arg(static_cast<int>(core::StrategyKind::kFixed))
+      ->Arg(static_cast<int>(core::StrategyKind::kRandomServer))
+      ->Arg(static_cast<int>(core::StrategyKind::kRoundRobin))
+      ->Arg(static_cast<int>(core::StrategyKind::kHash));
+}
+
 void BM_EntryStoreInsertErase(benchmark::State& state) {
   core::EntryStore store;
   for (Entry v = 0; v < 1000; ++v) store.insert(v);
   Entry next = 1000;
+  CounterScope counters(state);
   for (auto _ : state) {
     store.insert(next);
     store.erase(next - 1000);
     ++next;
   }
+  counters.finish();
 }
-BENCHMARK(BM_EntryStoreInsertErase);
+BENCHMARK(BM_EntryStoreInsertErase)->Iterations(200000);
 
 void BM_EntryStoreSample(benchmark::State& state) {
   core::EntryStore store;
@@ -40,50 +100,131 @@ void BM_EntryStoreSample(benchmark::State& state) {
 }
 BENCHMARK(BM_EntryStoreSample)->Arg(100)->Arg(1000)->Arg(10000);
 
+void BM_EntryStoreSampleInto(benchmark::State& state) {
+  // The allocation-free twin: steady state reuses one output buffer.
+  core::EntryStore store;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (Entry v = 0; v < n; ++v) store.insert(v);
+  Rng rng(1);
+  std::vector<Entry> out;
+  store.sample_into(n / 5, rng, out);  // warm-up: size the buffer
+  CounterScope counters(state);
+  for (auto _ : state) {
+    store.sample_into(n / 5, rng, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  counters.finish();
+}
+BENCHMARK(BM_EntryStoreSampleInto)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Iterations(20000);
+
 void BM_PartialLookup(benchmark::State& state) {
   const auto kind = static_cast<core::StrategyKind>(state.range(0));
-  const std::size_t param =
-      (kind == core::StrategyKind::kRoundRobin ||
-       kind == core::StrategyKind::kHash)
-          ? 2
-          : 20;
+  const auto t = static_cast<std::size_t>(state.range(1));
   const auto s = core::make_strategy(
-      core::StrategyConfig{.kind = kind, .param = param, .seed = 3}, 10);
+      core::StrategyConfig{.kind = kind, .param = param_for(kind), .seed = 3},
+      10);
   s->place(iota_entries(100));
+  for (int i = 0; i < 32; ++i) s->partial_lookup(t);  // warm pool + scratch
+  CounterScope counters(state);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(s->partial_lookup(15));
+    benchmark::DoNotOptimize(s->partial_lookup(t));
   }
+  counters.finish();
 }
 BENCHMARK(BM_PartialLookup)
-    ->Arg(static_cast<int>(core::StrategyKind::kFullReplication))
-    ->Arg(static_cast<int>(core::StrategyKind::kFixed))
-    ->Arg(static_cast<int>(core::StrategyKind::kRandomServer))
-    ->Arg(static_cast<int>(core::StrategyKind::kRoundRobin))
-    ->Arg(static_cast<int>(core::StrategyKind::kHash));
+    ->ArgNames({"strategy", "t"})
+    ->ArgsProduct({{static_cast<int>(core::StrategyKind::kFullReplication),
+                    static_cast<int>(core::StrategyKind::kFixed),
+                    static_cast<int>(core::StrategyKind::kRandomServer),
+                    static_cast<int>(core::StrategyKind::kRoundRobin),
+                    static_cast<int>(core::StrategyKind::kHash)},
+                   {5, 15, 45}})
+    ->Iterations(5000);
 
 void BM_AddDeleteChurn(benchmark::State& state) {
   const auto kind = static_cast<core::StrategyKind>(state.range(0));
-  const std::size_t param =
-      (kind == core::StrategyKind::kRoundRobin ||
-       kind == core::StrategyKind::kHash)
-          ? 2
-          : 20;
   const auto s = core::make_strategy(
-      core::StrategyConfig{.kind = kind, .param = param, .seed = 3}, 10);
+      core::StrategyConfig{.kind = kind, .param = param_for(kind), .seed = 3},
+      10);
   s->place(iota_entries(100));
   Entry next = 1000;
+  for (int i = 0; i < 32; ++i) {  // warm-up
+    s->add(next);
+    s->erase(next);
+    ++next;
+  }
+  CounterScope counters(state);
   for (auto _ : state) {
     s->add(next);
     s->erase(next);
     ++next;
   }
+  counters.finish();
 }
-BENCHMARK(BM_AddDeleteChurn)
-    ->Arg(static_cast<int>(core::StrategyKind::kFullReplication))
-    ->Arg(static_cast<int>(core::StrategyKind::kFixed))
-    ->Arg(static_cast<int>(core::StrategyKind::kRandomServer))
-    ->Arg(static_cast<int>(core::StrategyKind::kRoundRobin))
-    ->Arg(static_cast<int>(core::StrategyKind::kHash));
+BENCHMARK(BM_AddDeleteChurn)->Apply(for_each_strategy)->Iterations(20000);
+
+void BM_BroadcastFanout(benchmark::State& state) {
+  // One StoreBatch of 512 entries fanned out to n servers: O(h + n) with
+  // the shared payload, O(h * n) if a deep copy per receiver sneaks back.
+  class NullServer final : public net::Server {
+   public:
+    using Server::Server;
+    void on_message(const net::Message&, net::Network&) override {}
+    net::Message on_rpc(const net::Message&, net::Network&) override {
+      return net::Ack{};
+    }
+  };
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto failures = net::make_failure_state(n);
+  net::Network network(failures);
+  for (ServerId i = 0; i < static_cast<ServerId>(n); ++i) {
+    network.add_server(std::make_unique<NullServer>(i));
+  }
+  net::StoreBatch batch{net::SharedEntries::adopt(iota_entries(512))};
+  network.broadcast(0, batch);  // warm-up
+  CounterScope counters(state);
+  for (auto _ : state) {
+    network.broadcast(0, batch);
+  }
+  counters.finish();
+}
+BENCHMARK(BM_BroadcastFanout)
+    ->ArgName("n")
+    ->Arg(4)
+    ->Arg(25)
+    ->Arg(100)
+    ->Iterations(20000);
+
+void BM_ServiceChurn(benchmark::State& state) {
+  // End-to-end facade churn: place once, then add/erase through the
+  // multi-key service (key routing + strategy update per op).
+  const auto kind = static_cast<core::StrategyKind>(state.range(0));
+  core::ServiceConfig cfg;
+  cfg.num_servers = 10;
+  cfg.default_strategy =
+      core::StrategyConfig{.kind = kind, .param = param_for(kind)};
+  cfg.seed = 5;
+  core::PartialLookupService svc(cfg);
+  svc.place("key", iota_entries(100));
+  Entry next = 1000;
+  for (int i = 0; i < 32; ++i) {  // warm-up
+    svc.add("key", next);
+    svc.erase("key", next);
+    ++next;
+  }
+  CounterScope counters(state);
+  for (auto _ : state) {
+    svc.add("key", next);
+    svc.erase("key", next);
+    ++next;
+  }
+  counters.finish();
+}
+BENCHMARK(BM_ServiceChurn)->Apply(for_each_strategy)->Iterations(20000);
 
 void BM_EventQueueThroughput(benchmark::State& state) {
   for (auto _ : state) {

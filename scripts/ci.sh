@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # The full CI gate: configure + build, the tier1 (seed-protecting) test
-# suite, then the sanitizer matrix over everything.
+# suite, the perf-regression gate (allocation counters + determinism smoke;
+# nothing wall-clock-sensitive), then the sanitizer matrix over everything.
 #
-#   scripts/ci.sh            # tier1 + ASan/UBSan/TSan
-#   scripts/ci.sh --fast     # tier1 only (skip the sanitizer builds)
+#   scripts/ci.sh            # tier1 + perf gate + ASan/UBSan/TSan
+#   scripts/ci.sh --fast     # tier1 + perf gate (skip the sanitizer builds)
 #
 # tier2 (stress/property sweeps) runs inside the sanitizer matrix; run it
 # un-instrumented with `ctest -L tier2` when iterating locally.
@@ -20,6 +21,9 @@ cmake --build "${repo_root}/build" -j "${jobs}"
 
 echo "=== ci: tier1 tests ==="
 (cd "${repo_root}/build" && ctest -L tier1 --output-on-failure -j "${jobs}")
+
+echo "=== ci: perf-regression gate ==="
+"${repo_root}/scripts/perf_check.sh"
 
 if [[ "${fast}" == "1" ]]; then
   echo "=== ci passed (fast mode: sanitizers skipped) ==="

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Perf-regression gate: allocation counters, not wall-clock.
+#
+#   scripts/perf_check.sh             # build + alloc tests + counter diff
+#   scripts/perf_check.sh --update    # refresh the checked-in baseline
+#   scripts/perf_check.sh --skip-smoke  # skip the determinism smoke
+#
+# Builds an instrumented tree (build-perf/, -DPLS_COUNT_ALLOCS=ON), runs the
+# allocation-regression tests, then runs bench_micro_ops and extracts its
+# deterministic counters (allocs_per_op / bytes_per_op /
+# payload_copies_per_op) into BENCH_micro_ops.json. The result is diffed
+# against the checked-in baseline at the repo root; counters are exact
+# steady-state values (fixed iterations, warmed up), so the default
+# tolerance only absorbs allocator-library noise. Wall-clock numbers are
+# never compared — CI machines differ; heap traffic does not.
+#
+# Environment:
+#   PLS_PERF_TOLERANCE   relative tolerance for counter drift (default 0.10)
+#
+# Also runs a fast determinism smoke: bench_fig4 at --trials 4 must produce
+# byte-identical JSON for different --jobs values.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-perf"
+baseline="${repo_root}/BENCH_micro_ops.json"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+tolerance="${PLS_PERF_TOLERANCE:-0.10}"
+
+update=0
+smoke=1
+for arg in "$@"; do
+  case "${arg}" in
+    --update) update=1 ;;
+    --skip-smoke) smoke=0 ;;
+    *) echo "unknown flag: ${arg}" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== perf_check: build (PLS_COUNT_ALLOCS=ON) ==="
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DPLS_COUNT_ALLOCS=ON -DPLS_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "${build_dir}" -j "${jobs}" >/dev/null
+
+echo "=== perf_check: allocation-regression tests ==="
+(cd "${build_dir}" && ctest -R AllocRegression --output-on-failure)
+
+echo "=== perf_check: micro-op counters ==="
+raw="${build_dir}/bench_micro_ops_raw.json"
+"${build_dir}/bench/bench_micro_ops" --benchmark_format=json > "${raw}"
+
+candidate="${build_dir}/BENCH_micro_ops.json"
+python3 - "${raw}" "${candidate}" <<'EOF'
+import json, re, sys
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+counters = {}
+for bench in raw["benchmarks"]:
+    if "allocs_per_op" not in bench:
+        continue  # wall-clock-only benches are not gated
+    name = re.sub(r"/iterations:\d+", "", bench["name"])
+    counters[name] = {
+        "allocs_per_op": round(bench["allocs_per_op"], 3),
+        "bytes_per_op": round(bench["bytes_per_op"], 3),
+        "payload_copies_per_op": round(bench["payload_copies_per_op"], 3),
+    }
+with open(out_path, "w") as f:
+    json.dump(counters, f, indent=2, sort_keys=True)
+    f.write("\n")
+EOF
+
+if [[ "${update}" == "1" ]]; then
+  cp "${candidate}" "${baseline}"
+  echo "baseline refreshed: ${baseline}"
+else
+  python3 - "${baseline}" "${candidate}" "${tolerance}" <<'EOF'
+import json, sys
+baseline_path, candidate_path, rtol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+ATOL = 2.0  # absolute slack: tiny counters may wobble by a malloc or two
+with open(baseline_path) as f:
+    baseline = json.load(f)
+with open(candidate_path) as f:
+    candidate = json.load(f)
+failures = []
+for name in sorted(set(baseline) | set(candidate)):
+    if name not in candidate:
+        failures.append(f"{name}: benchmark disappeared")
+        continue
+    if name not in baseline:
+        failures.append(f"{name}: new benchmark not in baseline "
+                        "(run scripts/perf_check.sh --update)")
+        continue
+    for key, old in baseline[name].items():
+        new = candidate[name].get(key)
+        if new is None:
+            failures.append(f"{name}.{key}: counter disappeared")
+            continue
+        if abs(new - old) > max(ATOL, rtol * abs(old)):
+            failures.append(f"{name}.{key}: {old} -> {new} "
+                            f"(tolerance {rtol:.0%} + {ATOL:g})")
+if failures:
+    print("perf_check: counter regressions against BENCH_micro_ops.json:")
+    for line in failures:
+        print(f"  {line}")
+    print("If intentional, refresh with: scripts/perf_check.sh --update")
+    sys.exit(1)
+print(f"perf_check: {len(baseline)} benchmark counter sets within tolerance")
+EOF
+fi
+
+if [[ "${smoke}" == "1" ]]; then
+  echo "=== perf_check: determinism smoke (fig4, --trials 4) ==="
+  a="${build_dir}/fig4_jobs1.json"
+  b="${build_dir}/fig4_jobsN.json"
+  "${build_dir}/bench/bench_fig4_lookup_cost" --trials 4 --jobs 1 \
+    --json-out "${a}" >/dev/null
+  smoke_jobs=$(( jobs > 1 ? jobs : 2 ))  # >1 even on single-core boxes
+  "${build_dir}/bench/bench_fig4_lookup_cost" --trials 4 \
+    --jobs "${smoke_jobs}" --json-out "${b}" >/dev/null
+  if ! cmp -s "${a}" "${b}"; then
+    echo "perf_check: fig4 aggregates depend on --jobs (determinism broken)"
+    diff "${a}" "${b}" | head -20 || true
+    exit 1
+  fi
+  echo "fig4 aggregates bit-identical across --jobs 1 and --jobs ${smoke_jobs}"
+fi
+
+echo "=== perf_check passed ==="

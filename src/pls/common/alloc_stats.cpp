@@ -1,0 +1,106 @@
+#include "pls/common/alloc_stats.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace pls {
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_deallocations{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+}  // namespace
+
+bool AllocStats::counting_enabled() noexcept {
+#ifdef PLS_COUNT_ALLOCS
+  return true;
+#else
+  return false;
+#endif
+}
+
+AllocStats AllocStats::current() noexcept {
+  return {g_allocations.load(std::memory_order_relaxed),
+          g_deallocations.load(std::memory_order_relaxed),
+          g_bytes.load(std::memory_order_relaxed)};
+}
+
+}  // namespace pls
+
+#ifdef PLS_COUNT_ALLOCS
+
+// Global replacements. Every path funnels through these two helpers; the
+// atomics are lock-free and constant-initialized, so counting is safe from
+// static initialization onwards and from any thread.
+namespace {
+
+void* counted_alloc(std::size_t size, std::size_t alignment) {
+  if (size == 0) size = 1;
+  void* p = nullptr;
+  if (alignment > alignof(std::max_align_t)) {
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+    p = std::aligned_alloc(alignment, rounded);
+  } else {
+    p = std::malloc(size);
+  }
+  if (p == nullptr) throw std::bad_alloc{};
+  pls::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  pls::g_bytes.fetch_add(size, std::memory_order_relaxed);
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  pls::g_deallocations.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size, 0); }
+void* operator new[](std::size_t size) { return counted_alloc(size, 0); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size, 0);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size, 0);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+
+#endif  // PLS_COUNT_ALLOCS

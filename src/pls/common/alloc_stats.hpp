@@ -1,0 +1,40 @@
+// Build-optional global allocation accounting.
+//
+// Configured with -DPLS_COUNT_ALLOCS=ON, pls_common replaces the global
+// operator new/delete with counting wrappers (relaxed atomics over malloc,
+// so the TrialRunner's worker threads count correctly). The perf-regression
+// harness (scripts/perf_check.sh) and the tier-1 allocation-regression
+// tests read the counters through AllocStats; in a normal build the
+// counters compile away and current() returns zeros.
+//
+// Counting is process-wide: snapshot before and after the region of
+// interest and subtract. Bytes are counted at allocation time only (the
+// unsized operator delete cannot know the block size), so `bytes` is
+// cumulative allocated volume, not live heap.
+#pragma once
+
+#include <cstdint>
+
+namespace pls {
+
+struct AllocStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t deallocations = 0;
+  std::uint64_t bytes = 0;
+
+  /// True when the build replaces operator new/delete (PLS_COUNT_ALLOCS).
+  static bool counting_enabled() noexcept;
+
+  /// Process-wide totals since start; all-zero when counting is disabled.
+  static AllocStats current() noexcept;
+
+  /// Counter deltas, for before/after snapshots.
+  friend AllocStats operator-(const AllocStats& a, const AllocStats& b) {
+    return {a.allocations - b.allocations, a.deallocations - b.deallocations,
+            a.bytes - b.bytes};
+  }
+
+  friend bool operator==(const AllocStats&, const AllocStats&) = default;
+};
+
+}  // namespace pls

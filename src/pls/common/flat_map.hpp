@@ -1,0 +1,187 @@
+// Open-addressing hash map/set for the integer-keyed hot paths.
+//
+// EntryStore's membership index, the client-side dedup sets of the lookup
+// machinery and the Floyd-sampling scratch all key on 64-bit integers and
+// live on the critical path of every update-churn experiment. A flat
+// linear-probing table (power-of-two capacity, backward-shift deletion, the
+// hashing.hpp avalanche mix) replaces std::unordered_map's node-per-element
+// layout: no per-insert allocation, one contiguous slot array, cache-local
+// probes.
+//
+// Contract notes:
+//   * Keys must be integral (hashed through mix_hash). Values are stored
+//     in-slot and must be default-constructible and trivially cheap to move.
+//   * Iteration is intentionally NOT provided: the PLS stores keep entry
+//     order in a separate vector (EntryStore::list_), so results never
+//     depend on table layout and golden traces stay byte-identical.
+//   * Pointers returned by find() are invalidated by any mutation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "pls/common/check.hpp"
+#include "pls/common/hashing.hpp"
+
+namespace pls {
+
+template <typename Key, typename Value>
+class FlatMap {
+  static_assert(std::is_integral_v<Key>, "FlatMap keys are integers");
+
+ public:
+  FlatMap() = default;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  void clear() noexcept {
+    for (auto& s : states_) s = kEmpty;
+    size_ = 0;
+  }
+
+  /// Grows the table so `n` elements fit without a rehash.
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    // Keep the load factor below ~7/8 at n elements.
+    while (cap * 7 / 8 < n) cap <<= 1;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  bool contains(Key key) const noexcept { return find(key) != nullptr; }
+
+  const Value* find(Key key) const noexcept {
+    if (slots_.empty()) return nullptr;
+    for (std::size_t i = home(key);; i = next(i)) {
+      if (states_[i] == kEmpty) return nullptr;
+      if (slots_[i].key == key) return &slots_[i].value;
+    }
+  }
+
+  Value* find(Key key) noexcept {
+    return const_cast<Value*>(std::as_const(*this).find(key));
+  }
+
+  /// The value stored under `key`; the key must be present.
+  const Value& at(Key key) const {
+    const Value* v = find(key);
+    PLS_CHECK_MSG(v != nullptr, "FlatMap::at on a missing key");
+    return *v;
+  }
+
+  /// Inserts (key, value) unless the key is present. Returns {slot value
+  /// pointer, inserted?} like try_emplace.
+  std::pair<Value*, bool> try_emplace(Key key, Value value = Value{}) {
+    if (slots_.empty() || (size_ + 1) * 8 > slots_.size() * 7) {
+      rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    for (std::size_t i = home(key);; i = next(i)) {
+      if (states_[i] == kEmpty) {
+        states_[i] = kFull;
+        slots_[i].key = key;
+        slots_[i].value = std::move(value);
+        ++size_;
+        return {&slots_[i].value, true};
+      }
+      if (slots_[i].key == key) return {&slots_[i].value, false};
+    }
+  }
+
+  /// Inserts or overwrites.
+  Value& insert_or_assign(Key key, Value value) {
+    auto [slot, inserted] = try_emplace(key);
+    *slot = std::move(value);
+    return *slot;
+  }
+
+  /// Erases `key`; returns false when absent. Backward-shift deletion: the
+  /// probe chain after the hole is compacted, so lookups never need
+  /// tombstones and long-lived churn cannot degrade the table.
+  bool erase(Key key) noexcept {
+    if (slots_.empty()) return false;
+    std::size_t i = home(key);
+    for (;; i = next(i)) {
+      if (states_[i] == kEmpty) return false;
+      if (slots_[i].key == key) break;
+    }
+    std::size_t hole = i;
+    for (std::size_t j = next(hole);; j = next(j)) {
+      if (states_[j] == kEmpty) break;
+      // The element at j may move into the hole only when its home
+      // position does not lie in the (hole, j] probe segment — otherwise
+      // moving it would break its own chain.
+      const std::size_t h = home(slots_[j].key);
+      if (((j - h) & mask()) >= ((j - hole) & mask())) {
+        slots_[hole] = std::move(slots_[j]);
+        hole = j;
+      }
+    }
+    states_[hole] = kEmpty;
+    --size_;
+    return true;
+  }
+
+ private:
+  struct Slot {
+    Key key{};
+    Value value{};
+  };
+
+  enum : std::uint8_t { kEmpty = 0, kFull = 1 };
+  static constexpr std::size_t kMinCapacity = 16;
+
+  std::size_t mask() const noexcept { return slots_.size() - 1; }
+
+  std::size_t home(Key key) const noexcept {
+    // Fibonacci multiply with a high-bit fold: two instructions, and the
+    // multiply pushes entropy into the high bits, which the fold brings
+    // back down for the power-of-two mask. Runs once per probe (and per
+    // scanned element during backward-shift deletion), so it must inline
+    // to nothing — the full avalanche mix_hash is overkill here.
+    std::uint64_t x = static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 32;
+    return static_cast<std::size_t>(x) & mask();
+  }
+
+  std::size_t next(std::size_t i) const noexcept { return (i + 1) & mask(); }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_states = std::move(states_);
+    slots_.assign(new_capacity, Slot{});
+    states_.assign(new_capacity, kEmpty);
+    size_ = 0;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_states[i] == kFull) {
+        try_emplace(old_slots[i].key, std::move(old_slots[i].value));
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint8_t> states_;
+  std::size_t size_ = 0;
+};
+
+/// Set adapter over FlatMap (the mapped value collapses to a byte).
+template <typename Key>
+class FlatSet {
+ public:
+  std::size_t size() const noexcept { return map_.size(); }
+  bool empty() const noexcept { return map_.empty(); }
+  void clear() noexcept { map_.clear(); }
+  void reserve(std::size_t n) { map_.reserve(n); }
+  bool contains(Key key) const noexcept { return map_.contains(key); }
+
+  /// Returns true when the key was newly inserted.
+  bool insert(Key key) { return map_.try_emplace(key).second; }
+  bool erase(Key key) noexcept { return map_.erase(key); }
+
+ private:
+  FlatMap<Key, std::uint8_t> map_;
+};
+
+}  // namespace pls

@@ -7,15 +7,6 @@
 
 namespace pls {
 
-std::uint64_t mix_hash(std::uint64_t value, std::uint64_t seed) noexcept {
-  std::uint64_t x = value + 0x9e3779b97f4a7c15ULL + seed;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  x ^= seed * 0xda942042e4dd58b5ULL;
-  x = (x ^ (x >> 31)) * 0x2545f4914f6cdd1dULL;
-  return x ^ (x >> 28);
-}
-
 HashFamily::HashFamily(std::size_t y, std::size_t num_servers,
                        std::uint64_t seed)
     : num_servers_(num_servers) {

@@ -14,8 +14,17 @@
 namespace pls {
 
 /// Stateless mixing hash of a 64-bit value under a 64-bit seed
-/// (murmur-style finalizer over value ^ seed expansions).
-std::uint64_t mix_hash(std::uint64_t value, std::uint64_t seed) noexcept;
+/// (murmur-style finalizer over value ^ seed expansions). Inline: it sits
+/// on the per-probe path of FlatMap and the per-entry path of Hash-y.
+inline std::uint64_t mix_hash(std::uint64_t value,
+                              std::uint64_t seed) noexcept {
+  std::uint64_t x = value + 0x9e3779b97f4a7c15ULL + seed;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= seed * 0xda942042e4dd58b5ULL;
+  x = (x ^ (x >> 31)) * 0x2545f4914f6cdd1dULL;
+  return x ^ (x >> 28);
+}
 
 /// A family of y hash functions onto [0, num_servers).
 class HashFamily {

@@ -4,22 +4,27 @@
 
 namespace pls::core {
 
+void EntryStore::reserve(std::size_t n) {
+  list_.reserve(n);
+  index_.reserve(n);
+}
+
 bool EntryStore::insert(Entry v) {
-  if (index_.contains(v)) return false;
-  index_.emplace(v, list_.size());
+  auto [pos, inserted] = index_.try_emplace(v, list_.size());
+  if (!inserted) return false;
   list_.push_back(v);
   return true;
 }
 
 bool EntryStore::erase(Entry v) {
-  auto it = index_.find(v);
-  if (it == index_.end()) return false;
-  const std::size_t pos = it->second;
+  const std::size_t* it = index_.find(v);
+  if (it == nullptr) return false;
+  const std::size_t pos = *it;
   const Entry last = list_.back();
   list_[pos] = last;
-  index_[last] = pos;
   list_.pop_back();
-  index_.erase(it);
+  index_.erase(v);
+  if (last != v) index_.insert_or_assign(last, pos);
   return true;
 }
 
@@ -30,21 +35,46 @@ void EntryStore::clear() noexcept {
 
 void EntryStore::assign(std::span<const Entry> entries) {
   clear();
-  list_.reserve(entries.size());
+  reserve(entries.size());
   for (Entry v : entries) insert(v);
 }
 
-std::vector<Entry> EntryStore::sample(std::size_t k, Rng& rng) const {
-  if (k >= list_.size()) {
-    std::vector<Entry> all = list_;
-    rng.shuffle(std::span<Entry>(all));
-    return all;
+void EntryStore::sample_into(std::size_t k, Rng& rng,
+                             std::vector<Entry>& out) const {
+  out.clear();
+  const std::size_t n = list_.size();
+  if (k >= n) {
+    out.assign(list_.begin(), list_.end());
+    rng.shuffle(std::span<Entry>(out));
+    return;
   }
-  std::vector<Entry> out;
+  if (k == 0) return;
   out.reserve(k);
-  for (std::size_t idx : rng.sample_indices(list_.size(), k)) {
-    out.push_back(list_[idx]);
+  // Floyd's k-subset algorithm, drawing EXACTLY the uniforms that
+  // Rng::sample_indices draws (bounds n-k+1..n, then the k-element
+  // shuffle): seeded experiments must not notice which overload answered.
+  // Only the membership structure differs — a reusable flat set instead of
+  // a node-allocating unordered_set, making the steady state
+  // allocation-free. The set never feeds the Rng, so any membership
+  // implementation yields the same draws and the same output order.
+  thread_local FlatSet<std::uint64_t> chosen;
+  chosen.clear();
+  chosen.reserve(k * 2);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::size_t>(rng.uniform(j + 1));
+    if (chosen.insert(t)) {
+      out.push_back(list_[t]);
+    } else {
+      chosen.insert(j);
+      out.push_back(list_[j]);
+    }
   }
+  rng.shuffle(std::span<Entry>(out));
+}
+
+std::vector<Entry> EntryStore::sample(std::size_t k, Rng& rng) const {
+  std::vector<Entry> out;
+  sample_into(k, rng, out);
   return out;
 }
 

@@ -2,14 +2,17 @@
 //
 // The hot operations in every strategy are membership tests, single-entry
 // insert/erase, and *uniform random k-subset sampling* (every contacted
-// server "returns t randomly selected entries", §3). A vector plus an index
-// map gives O(1) for all of them (erase via swap-with-last).
+// server "returns t randomly selected entries", §3). A vector plus a flat
+// open-addressing index (pls::FlatMap) gives O(1) for all of them with no
+// per-insert allocation (erase via swap-with-last). `list_` alone defines
+// entry order; the index is pure membership/position bookkeeping, so
+// swapping its implementation can never change observable results.
 #pragma once
 
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "pls/common/flat_map.hpp"
 #include "pls/common/rng.hpp"
 #include "pls/common/types.hpp"
 
@@ -20,6 +23,10 @@ class EntryStore {
   std::size_t size() const noexcept { return list_.size(); }
   bool empty() const noexcept { return list_.empty(); }
   bool contains(Entry v) const { return index_.contains(v); }
+
+  /// Pre-sizes both the entry list and the index so `n` inserts proceed
+  /// without a regrow/rehash.
+  void reserve(std::size_t n);
 
   /// Inserts v; returns false if already present (servers store an entry at
   /// most once, §3.5).
@@ -36,8 +43,14 @@ class EntryStore {
   /// All stored entries, unordered. Stable until the next mutation.
   std::span<const Entry> entries() const noexcept { return list_; }
 
-  /// min(k, size()) distinct entries drawn uniformly, in random order —
-  /// the lookup answer of a single server.
+  /// min(k, size()) distinct entries drawn uniformly, in random order,
+  /// written into the caller's reusable buffer (cleared first) — the
+  /// lookup answer of a single server, allocation-free once `out` has
+  /// warmed up. Consumes exactly the same Rng draws as sample(), so the
+  /// two are interchangeable without disturbing any seeded run.
+  void sample_into(std::size_t k, Rng& rng, std::vector<Entry>& out) const;
+
+  /// Allocating convenience wrapper over sample_into.
   std::vector<Entry> sample(std::size_t k, Rng& rng) const;
 
   /// One entry drawn uniformly. Precondition: !empty().
@@ -45,7 +58,7 @@ class EntryStore {
 
  private:
   std::vector<Entry> list_;
-  std::unordered_map<Entry, std::size_t> index_;
+  FlatMap<Entry, std::size_t> index_;
 };
 
 }  // namespace pls::core

@@ -6,10 +6,9 @@ namespace pls::core {
 
 void FixedServer::on_message(const net::Message& m, net::Network& net) {
   if (const auto* place = std::get_if<net::PlaceRequest>(&m)) {
-    // Keep the first x of the h entries and broadcast only those (§3.2).
-    std::vector<Entry> kept = place->entries;
-    if (kept.size() > x_) kept.resize(x_);
-    net.broadcast(id(), net::StoreBatch{std::move(kept)});
+    // Keep the first x of the h entries and broadcast only those (§3.2):
+    // a zero-copy prefix view of the placed buffer.
+    net.broadcast(id(), net::StoreBatch{place->entries.prefix(x_)});
   } else if (const auto* add = std::get_if<net::AddRequest>(&m)) {
     // Selective broadcast (§5.2): only when below the x-entry quota. All
     // servers hold identical content, so the local check decides globally.

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_set>
 
 #include "pls/common/check.hpp"
+#include "pls/common/flat_map.hpp"
 
 namespace pls::core {
 
@@ -65,8 +65,8 @@ enum class QueryState { kAnswered, kNoReply, kBudgetExhausted };
 /// `out` and charging the attempt accounting.
 QueryState query_one(net::Network& net, ServerId target, std::size_t t,
                      const net::RetryPolicy& policy,
-                     std::uint32_t& budget_left,
-                     std::unordered_set<Entry>& seen, LookupResult& out) {
+                     std::uint32_t& budget_left, FlatSet<Entry>& seen,
+                     LookupResult& out) {
   std::uint32_t cap = policy.max_attempts;
   if (policy.attempt_budget > 0) {
     if (budget_left == 0) return QueryState::kBudgetExhausted;
@@ -90,7 +90,7 @@ QueryState query_one(net::Network& net, ServerId target, std::size_t t,
     // suite asserts). The wire cost is unchanged — the server already
     // sent its answer.
     if (out.entries.size() >= t) break;
-    if (seen.insert(v).second) out.entries.push_back(v);
+    if (seen.insert(v)) out.entries.push_back(v);
   }
   return QueryState::kAnswered;
 }
@@ -108,7 +108,7 @@ LookupResult single_server_lookup(net::Network& net, Rng& rng, std::size_t t,
   // "Select a random server; if it has failed keep selecting until an
   // operational one is found" — equivalent to uniform over the up set.
   const ServerId target = up[rng.uniform(up.size())];
-  std::unordered_set<Entry> seen;
+  FlatSet<Entry> seen;
   std::uint32_t budget = policy.attempt_budget;
   const auto state = query_one(net, target, t, policy, budget, seen, out);
   out.finalize(t, state == QueryState::kBudgetExhausted,
@@ -125,7 +125,7 @@ LookupResult random_order_lookup(net::Network& net, Rng& rng, std::size_t t,
     return out;
   }
   rng.shuffle(std::span<ServerId>(up));
-  std::unordered_set<Entry> seen;
+  FlatSet<Entry> seen;
   std::uint32_t budget = policy.attempt_budget;
   bool budget_out = false, gave_up = false;
   for (ServerId target : up) {
@@ -155,7 +155,7 @@ LookupResult subset_lookup(net::Network& net, Rng& rng, std::size_t t,
     }
   }
   rng.shuffle(std::span<ServerId>(order));
-  std::unordered_set<Entry> seen;
+  FlatSet<Entry> seen;
   std::uint32_t budget = policy.attempt_budget;
   bool budget_out = false, gave_up = false;
   for (ServerId target : order) {
@@ -176,7 +176,7 @@ LookupResult exhaustive_lookup(net::Network& net, Rng& rng,
   LookupResult out;
   auto up = net.failures().up_servers();
   rng.shuffle(std::span<ServerId>(up));
-  std::unordered_set<Entry> seen;
+  FlatSet<Entry> seen;
   std::uint32_t budget = policy.attempt_budget;
   bool budget_out = false, gave_up = false;
   for (ServerId target : up) {
@@ -209,7 +209,7 @@ LookupResult stride_order_lookup(net::Network& net, Rng& rng, std::size_t t,
 
   std::vector<bool> asked(n, false);
   std::size_t asked_up = 0;
-  std::unordered_set<Entry> seen;
+  FlatSet<Entry> seen;
   std::uint32_t budget = policy.attempt_budget;
   bool budget_out = false, gave_up = false;
 

@@ -14,6 +14,7 @@ void RandomServerServer::on_message(const net::Message& m, net::Network& net) {
       store().assign(batch->entries);
     } else {
       store().clear();
+      store().reserve(x_);
       for (std::size_t idx : rng().sample_indices(batch->entries.size(), x_)) {
         store().insert(batch->entries[idx]);
       }

@@ -5,25 +5,23 @@
 namespace pls::core {
 
 std::optional<std::uint64_t> RoundRobinServer::slot_of(Entry v) const {
-  auto it = slot_of_.find(v);
-  if (it == slot_of_.end()) return std::nullopt;
-  return it->second;
+  const std::uint64_t* slot = slot_of_.find(v);
+  if (slot == nullptr) return std::nullopt;
+  return *slot;
 }
 
 void RoundRobinServer::set_slot(Entry v, std::uint64_t slot) {
   store().insert(v);
-  auto it = slot_of_.find(v);
-  if (it != slot_of_.end()) entry_at_slot_.erase(it->second);
-  slot_of_[v] = slot;
-  entry_at_slot_[slot] = v;
+  if (const std::uint64_t* old = slot_of_.find(v)) entry_at_slot_.erase(*old);
+  slot_of_.insert_or_assign(v, slot);
+  entry_at_slot_.insert_or_assign(slot, v);
 }
 
 void RoundRobinServer::drop_entry(Entry v) {
   store().erase(v);
-  auto it = slot_of_.find(v);
-  if (it != slot_of_.end()) {
-    entry_at_slot_.erase(it->second);
-    slot_of_.erase(it);
+  if (const std::uint64_t* slot = slot_of_.find(v)) {
+    entry_at_slot_.erase(*slot);
+    slot_of_.erase(v);
   }
 }
 
@@ -47,7 +45,8 @@ void RoundRobinServer::handle_place(const net::PlaceRequest& place,
   head_ = 0;
   tail_ = h;
   live_.clear();
-  live_.insert(place.entries.begin(), place.entries.end());
+  live_.reserve(h);
+  for (Entry v : place.entries) live_.insert(v);
 }
 
 void RoundRobinServer::handle_remove_broadcast(const net::RoundRemove& rm,
@@ -99,8 +98,8 @@ void RoundRobinServer::on_message(const net::Message& m, net::Network& net) {
   } else if (const auto* purge = std::get_if<net::PurgeEntry>(&m)) {
     // Drop the migrated entry's *old* copy only: holders that already
     // re-homed it at the deleted entry's slot fail the guard and keep it.
-    auto it = slot_of_.find(purge->entry);
-    if (it != slot_of_.end() && it->second == purge->old_slot) {
+    const std::uint64_t* slot = slot_of_.find(purge->entry);
+    if (slot != nullptr && *slot == purge->old_slot) {
       drop_entry(purge->entry);
     }
   } else if (const auto* rem = std::get_if<net::RemoveEntry>(&m)) {
@@ -115,16 +114,17 @@ net::Message RoundRobinServer::on_rpc(const net::Message& m,
   if (const auto* req = std::get_if<net::MigrateRequest>(&m)) {
     // Head-slot server role (Fig 11's migrate()): pick R[v] once, count
     // requests in M[v], purge the old copies after the y-th request.
-    auto [it, inserted] = migrations_.try_emplace(req->entry);
-    MigrationState& st = it->second;
+    auto [slot, inserted] = migrations_.try_emplace(req->entry);
     if (inserted) {
-      auto at = entry_at_slot_.find(req->head_slot);
-      if (at != entry_at_slot_.end()) {
-        st.replacement = at->second;
-        st.valid = true;
+      if (const Entry* at = entry_at_slot_.find(req->head_slot)) {
+        slot->replacement = *at;
+        slot->valid = true;
       }
     }
-    ++st.requests;
+    ++slot->requests;
+    // Copy out before sending: the purge fan-out may re-enter this server
+    // and the table pointer does not survive mutation.
+    const MigrationState st = *slot;
     net::MigrateReply reply{st.replacement, st.valid};
     if (st.requests >= y_) {
       if (st.valid) {

@@ -28,9 +28,7 @@
 // scheme for dynamic, failure-prone settings (§6.3).
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
-
+#include "pls/common/flat_map.hpp"
 #include "pls/core/strategy.hpp"
 
 namespace pls::core {
@@ -62,8 +60,10 @@ class RoundRobinServer final : public StrategyServer {
   std::size_t storage_budget_;
 
   // Slot bookkeeping, maintained on every server for its own copies.
-  std::unordered_map<Entry, std::uint64_t> slot_of_;
-  std::unordered_map<std::uint64_t, Entry> entry_at_slot_;
+  // FlatMaps: pure membership/position lookups, never iterated, so table
+  // layout cannot leak into results.
+  FlatMap<Entry, std::uint64_t> slot_of_;
+  FlatMap<std::uint64_t, Entry> entry_at_slot_;
 
   // Migration bookkeeping (Fig 11's M[v] / R[v]), on the head-slot server.
   struct MigrationState {
@@ -71,13 +71,13 @@ class RoundRobinServer final : public StrategyServer {
     Entry replacement = 0;
     bool valid = false;
   };
-  std::unordered_map<Entry, MigrationState> migrations_;
+  FlatMap<Entry, MigrationState> migrations_;
 
   // Coordinator state (server 0 only): the paper's head/tail counters plus
   // the live-entry set.
   std::uint64_t head_ = 0;
   std::uint64_t tail_ = 0;
-  std::unordered_set<Entry> live_;
+  FlatSet<Entry> live_;
 };
 
 class RoundRobinStrategy final : public Strategy {

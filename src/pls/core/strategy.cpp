@@ -50,9 +50,14 @@ void StrategyServer::on_message(const net::Message& m, net::Network& net) {
 }
 
 net::Message StrategyServer::on_rpc(const net::Message& m, net::Network& net) {
-  (void)net;
   if (const auto* req = std::get_if<net::LookupRequest>(&m)) {
-    return net::LookupReply{store_.sample(req->target, rng_)};
+    // Allocation-free reply path: sample into the network's pooled buffer
+    // and alias it into the reply. The pool hands the same buffer back once
+    // the previous reply's readers have dropped it, so steady-state lookups
+    // perform no per-reply allocation.
+    auto buffer = net.reply_pool().acquire();
+    store_.sample_into(req->target, rng_, *buffer);
+    return net::LookupReply{net::SharedEntries::alias(std::move(buffer))};
   }
   return net::Ack{};
 }
@@ -93,8 +98,9 @@ const StrategyServer& Strategy::server_state(ServerId s) const {
 void Strategy::place(std::span<const Entry> entries) {
   const ServerId target = update_target();
   if (target == kInvalidServer) return;
-  net_.client_send(target,
-                   net::PlaceRequest{{entries.begin(), entries.end()}});
+  // One deep copy into a shared buffer; every fan-out downstream (e.g.
+  // Fixed-x's rebroadcast of a prefix) aliases it.
+  net_.client_send(target, net::PlaceRequest{net::SharedEntries(entries)});
 }
 
 void Strategy::add(Entry v) {

@@ -9,15 +9,18 @@
 
 #include <cstdint>
 #include <variant>
-#include <vector>
 
 #include "pls/common/types.hpp"
+#include "pls/net/shared_entries.hpp"
 
 namespace pls::net {
 
 /// Client -> server: place(v1..vh), the batch initialisation of §2.
+/// The bulk payloads (here, StoreBatch, LookupReply) are SharedEntries:
+/// copying the message refcounts the buffer instead of copying h entries,
+/// so broadcast fan-out is O(h + n) rather than O(h*n).
 struct PlaceRequest {
-  std::vector<Entry> entries;
+  SharedEntries entries;
 };
 
 /// Client -> server: add(v).
@@ -33,7 +36,7 @@ struct DeleteRequest {
 /// "Replace your local content for this key with (your strategy's subset
 /// of) this batch" — the store{...} broadcast of §3.1-§3.3.
 struct StoreBatch {
-  std::vector<Entry> entries;
+  SharedEntries entries;
 };
 
 /// Unconditional "store this entry locally" (Full Replication / Fixed-x
@@ -94,9 +97,12 @@ struct LookupRequest {
   std::uint32_t target = 0;
 };
 
-/// Reply to LookupRequest.
+/// Reply to LookupRequest. The payload usually aliases the answering
+/// server's pooled reply buffer (Network::reply_pool); holding a reply
+/// beyond the next lookup on the same cluster is safe — the pool only
+/// recycles a buffer once every reference to it is gone.
 struct LookupReply {
-  std::vector<Entry> entries;
+  SharedEntries entries;
 };
 
 /// Generic empty acknowledgement.

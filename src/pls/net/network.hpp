@@ -32,6 +32,7 @@
 #include "pls/net/message.hpp"
 #include "pls/net/retry_policy.hpp"
 #include "pls/net/server.hpp"
+#include "pls/net/shared_entries.hpp"
 #include "pls/net/transport_stats.hpp"
 #include "pls/sim/simulator.hpp"
 #include "pls/sim/trace.hpp"
@@ -119,6 +120,11 @@ class Network {
   /// the network or be detached first.
   void set_trace(sim::Trace* trace) noexcept { trace_ = trace; }
 
+  /// Recycled LookupReply payload buffers. Servers answering a lookup
+  /// write their sample into a pooled buffer and alias it into the reply,
+  /// so a lookup over m servers performs O(1) allocations instead of m.
+  EntryBufferPool& reply_pool() noexcept { return reply_pool_; }
+
  private:
   enum class DropCause { kServerDown, kLink };
 
@@ -143,6 +149,7 @@ class Network {
   sim::Simulator* sim_ = nullptr;
   double latency_ = 0.0;
   sim::Trace* trace_ = nullptr;
+  EntryBufferPool reply_pool_;
 };
 
 }  // namespace pls::net

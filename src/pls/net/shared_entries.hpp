@@ -1,0 +1,136 @@
+// Immutable, refcounted entry buffers for the bulk wire payloads.
+//
+// A broadcast of a StoreBatch used to copy its h entries once per receiver
+// (O(h*n) work for a cost-model charge of n). SharedEntries makes the
+// payload a shared immutable buffer: copying a Message now only bumps a
+// refcount, so broadcast fan-out and deferred-mode delivery are O(h + n).
+//
+// Ownership rules (see docs/PERFORMANCE.md):
+//   * A SharedEntries is immutable from construction; every copy aliases
+//     the same buffer. Mutation requires building a new SharedEntries.
+//   * adopt(vector&&) takes ownership without copying; the vector's heap
+//     block becomes the shared buffer.
+//   * prefix(k) aliases the first k entries of the same buffer (zero-copy),
+//     used by Fixed-x to rebroadcast the first x of h placed entries.
+//   * EntryBufferPool recycles a buffer once every reader has dropped its
+//     reference (use_count() == 1); servers use it to emit LookupReply
+//     payloads without a fresh allocation per contacted server.
+//
+// Thread compatibility: one cluster is a single-threaded simulation unit
+// (the TrialRunner gives each trial its own Network), so the refcount's
+// atomicity is incidental; the pool performs no cross-thread handoff.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "pls/common/types.hpp"
+
+namespace pls::net {
+
+class SharedEntries {
+ public:
+  /// Empty payload; no allocation.
+  SharedEntries() = default;
+
+  /// Deep-copies `entries` into a fresh shared buffer (one allocation,
+  /// exactly sized). The only constructor that copies entry data.
+  explicit SharedEntries(std::span<const Entry> entries) {
+    if (entries.empty()) return;
+    auto owner =
+        std::make_shared<std::vector<Entry>>(entries.begin(), entries.end());
+    size_ = owner->size();
+    const Entry* data = owner->data();
+    data_ = std::shared_ptr<const Entry>(std::move(owner), data);
+    deep_copies_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Adopts the vector's heap block as the shared buffer — zero copies.
+  static SharedEntries adopt(std::vector<Entry>&& entries) {
+    SharedEntries out;
+    if (entries.empty()) return out;
+    auto owner = std::make_shared<std::vector<Entry>>(std::move(entries));
+    out.size_ = owner->size();
+    const Entry* data = owner->data();
+    out.data_ = std::shared_ptr<const Entry>(std::move(owner), data);
+    return out;
+  }
+
+  /// Aliases an externally owned vector (e.g. a pooled reply buffer): the
+  /// buffer stays alive while any SharedEntries references it, and the pool
+  /// knows it may be reused once use_count() drops back to 1.
+  static SharedEntries alias(std::shared_ptr<std::vector<Entry>> owner) {
+    SharedEntries out;
+    if (owner == nullptr || owner->empty()) return out;
+    out.size_ = owner->size();
+    const Entry* data = owner->data();
+    out.data_ = std::shared_ptr<const Entry>(std::move(owner), data);
+    return out;
+  }
+
+  /// Zero-copy view of the first min(k, size()) entries of this buffer.
+  SharedEntries prefix(std::size_t k) const {
+    SharedEntries out;
+    out.data_ = data_;
+    out.size_ = k < size_ ? k : size_;
+    if (out.size_ == 0) out.data_.reset();
+    return out;
+  }
+
+  std::span<const Entry> span() const noexcept { return {data_.get(), size_}; }
+  operator std::span<const Entry>() const noexcept { return span(); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  const Entry* begin() const noexcept { return data_.get(); }
+  const Entry* end() const noexcept { return data_.get() + size_; }
+  const Entry& operator[](std::size_t i) const noexcept {
+    return data_.get()[i];
+  }
+
+  /// Process-wide count of deep copies performed by the copying
+  /// constructor. The allocation-regression tests assert broadcasts leave
+  /// it untouched (copies of a Message only bump refcounts).
+  static std::uint64_t deep_copy_count() noexcept {
+    return deep_copies_.load(std::memory_order_relaxed);
+  }
+
+  friend bool operator==(const SharedEntries& a, const SharedEntries& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  inline static std::atomic<std::uint64_t> deep_copies_{0};
+
+  std::shared_ptr<const Entry> data_;
+  std::size_t size_ = 0;
+};
+
+/// A one-slot recycling pool of entry buffers. acquire() hands back the
+/// pooled vector when no SharedEntries still references it, or a fresh one
+/// otherwise — so the steady-state lookup path reuses one buffer while any
+/// caller that retains a reply transparently forces a new allocation
+/// instead of a use-after-overwrite.
+class EntryBufferPool {
+ public:
+  std::shared_ptr<std::vector<Entry>> acquire() {
+    if (slot_ == nullptr || slot_.use_count() > 1) {
+      slot_ = std::make_shared<std::vector<Entry>>();
+    }
+    slot_->clear();
+    return slot_;
+  }
+
+ private:
+  std::shared_ptr<std::vector<Entry>> slot_;
+};
+
+}  // namespace pls::net

@@ -1,0 +1,142 @@
+// Allocation-regression tests (tier1, built only under -DPLS_COUNT_ALLOCS=ON;
+// scripts/perf_check.sh runs them). They pin the two properties the zero-copy
+// refactor bought:
+//
+//   * partial_lookup runs in O(1) heap allocations regardless of how many
+//     servers it contacts — the reply path reuses one pooled buffer and the
+//     dedup set is recycled scratch.
+//   * broadcast fan-out performs zero payload deep-copies no matter the
+//     cluster size — Message copies only bump the SharedEntries refcount.
+//
+// The thresholds are deliberately loose constants (not exact counts) so the
+// tests survive minor library changes while still failing loudly if a copy
+// or per-server allocation sneaks back into the hot path.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pls/common/alloc_stats.hpp"
+#include "pls/core/strategy_factory.hpp"
+#include "pls/net/network.hpp"
+#include "pls/net/shared_entries.hpp"
+#include "pls/sim/simulator.hpp"
+
+namespace pls {
+namespace {
+
+using core::StrategyConfig;
+using core::StrategyKind;
+
+/// Swallows every delivery; the broadcast tests only measure the transport.
+class NullServer final : public net::Server {
+ public:
+  using Server::Server;
+  void on_message(const net::Message&, net::Network&) override {}
+  net::Message on_rpc(const net::Message&, net::Network&) override {
+    return net::Ack{};
+  }
+};
+
+std::vector<Entry> iota_entries(std::size_t h) {
+  std::vector<Entry> out(h);
+  for (std::size_t i = 0; i < h; ++i) out[i] = i + 1;
+  return out;
+}
+
+/// Steady-state allocations per lookup: warm the pool/scratch first, then
+/// average over a batch.
+double allocs_per_lookup(core::Strategy& strategy, std::size_t t,
+                         int iterations) {
+  for (int i = 0; i < 32; ++i) strategy.partial_lookup(t);  // warm-up
+  const AllocStats before = AllocStats::current();
+  for (int i = 0; i < iterations; ++i) strategy.partial_lookup(t);
+  const AllocStats delta = AllocStats::current() - before;
+  return static_cast<double>(delta.allocations) / iterations;
+}
+
+TEST(AllocRegression, CountingIsEnabledInThisBuild) {
+  ASSERT_TRUE(AllocStats::counting_enabled())
+      << "test_alloc_regression must be built with -DPLS_COUNT_ALLOCS=ON";
+  const AllocStats before = AllocStats::current();
+  auto* p = new std::vector<Entry>(100);
+  delete p;
+  const AllocStats delta = AllocStats::current() - before;
+  EXPECT_GE(delta.allocations, 1u);
+  EXPECT_GE(delta.bytes, 100 * sizeof(Entry));
+  EXPECT_EQ(delta.allocations, delta.deallocations);
+}
+
+TEST(AllocRegression, PartialLookupAllocatesO1Buffers) {
+  // A lookup that contacts m servers must not pay O(m) allocations. Compare
+  // steady-state allocs/lookup on a small and a large cluster of the same
+  // strategy: the large cluster contacts ~8x the servers, so an O(m) reply
+  // path would show a ~8x allocation blow-up. Allow 2x slack for incidental
+  // variation plus a small absolute ceiling.
+  for (const StrategyKind kind :
+       {StrategyKind::kRandomServer, StrategyKind::kHash}) {
+    auto small = core::make_strategy(
+        StrategyConfig{.kind = kind, .param = 4, .seed = 7}, 8);
+    auto large = core::make_strategy(
+        StrategyConfig{.kind = kind, .param = 4, .seed = 7}, 64);
+    const auto entries = iota_entries(256);
+    small->place(entries);
+    large->place(entries);
+    const double small_allocs = allocs_per_lookup(*small, 40, 200);
+    const double large_allocs = allocs_per_lookup(*large, 40, 200);
+    EXPECT_LE(large_allocs, 2.0 * small_allocs + 4.0)
+        << "allocs/lookup scales with cluster size for "
+        << core::to_string(kind);
+    EXPECT_LE(large_allocs, 16.0)
+        << "allocs/lookup above the O(1) ceiling for "
+        << core::to_string(kind);
+  }
+}
+
+TEST(AllocRegression, BroadcastPerformsZeroPayloadCopies) {
+  // Fan a 512-entry StoreBatch out to clusters of growing size. The payload
+  // must never be deep-copied (deep_copy_count frozen) and per-broadcast
+  // allocations must stay O(1), not O(n * h).
+  const auto payload_entries = iota_entries(512);
+  for (const std::size_t n : {std::size_t{4}, std::size_t{25},
+                              std::size_t{100}}) {
+    auto failures = net::make_failure_state(n);
+    net::Network network(failures);
+    for (ServerId i = 0; i < static_cast<ServerId>(n); ++i) {
+      network.add_server(std::make_unique<NullServer>(i));
+    }
+    net::StoreBatch batch{
+        net::SharedEntries{std::span<const Entry>(payload_entries)}};
+    network.broadcast(0, batch);  // warm-up
+    const std::uint64_t copies_before = net::SharedEntries::deep_copy_count();
+    const AllocStats before = AllocStats::current();
+    constexpr int kBroadcasts = 50;
+    for (int i = 0; i < kBroadcasts; ++i) network.broadcast(0, batch);
+    const AllocStats delta = AllocStats::current() - before;
+    EXPECT_EQ(net::SharedEntries::deep_copy_count(), copies_before)
+        << "broadcast deep-copied the payload at n=" << n;
+    const double allocs = static_cast<double>(delta.allocations) / kBroadcasts;
+    EXPECT_LE(allocs, 4.0) << "broadcast allocates per receiver at n=" << n;
+  }
+}
+
+TEST(AllocRegression, DeferredBroadcastAlsoSkipsPayloadCopies) {
+  // Deferred mode copies the Message into each scheduled delivery event;
+  // those copies must not clone the payload either.
+  constexpr std::size_t n = 100;
+  auto failures = net::make_failure_state(n);
+  net::Network network(failures);
+  for (ServerId i = 0; i < n; ++i) {
+    network.add_server(std::make_unique<NullServer>(i));
+  }
+  sim::Simulator sim;
+  network.attach_simulator(&sim, 0.1);
+  net::StoreBatch batch{
+      net::SharedEntries::adopt(iota_entries(512))};
+  const std::uint64_t copies_before = net::SharedEntries::deep_copy_count();
+  network.broadcast(0, batch);
+  sim.run_all();
+  EXPECT_EQ(net::SharedEntries::deep_copy_count(), copies_before);
+}
+
+}  // namespace
+}  // namespace pls

@@ -157,6 +157,54 @@ TEST(EntryStore, EntriesSpanMatchesContents) {
   EXPECT_EQ(copy, (std::vector<Entry>{1, 3}));
 }
 
+TEST(EntryStore, SampleIntoMatchesSampleDrawForDraw) {
+  // sample_into is the allocation-free twin of sample(): with equal-seeded
+  // generators both must produce the same entries in the same order AND
+  // leave the generators in the same state (identical draw consumption).
+  // The golden traces depend on this equivalence.
+  EntryStore s;
+  for (Entry v = 0; v < 50; ++v) s.insert(v * 7 + 1);
+  for (std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                        std::size_t{49}, std::size_t{50}, std::size_t{80}}) {
+    Rng rng_a(42);
+    Rng rng_b(42);
+    const auto via_sample = s.sample(k, rng_a);
+    std::vector<Entry> via_into;
+    s.sample_into(k, rng_b, via_into);
+    EXPECT_EQ(via_sample, via_into) << "k=" << k;
+    EXPECT_EQ(rng_a.next_u64(), rng_b.next_u64())
+        << "draw streams diverged at k=" << k;
+  }
+}
+
+TEST(EntryStore, SampleIntoReusesBufferAcrossCalls) {
+  EntryStore s;
+  for (Entry v = 0; v < 100; ++v) s.insert(v);
+  Rng rng(9);
+  std::vector<Entry> buffer;
+  s.sample_into(50, rng, buffer);
+  EXPECT_EQ(buffer.size(), 50u);
+  const std::size_t cap = buffer.capacity();
+  for (int i = 0; i < 20; ++i) {
+    s.sample_into(50, rng, buffer);
+    EXPECT_EQ(buffer.size(), 50u);
+    EXPECT_EQ(buffer.capacity(), cap);  // steady state: no reallocation
+    std::set<Entry> unique(buffer.begin(), buffer.end());
+    EXPECT_EQ(unique.size(), 50u);
+    for (Entry v : buffer) EXPECT_TRUE(s.contains(v));
+  }
+}
+
+TEST(EntryStore, ReserveDoesNotChangeContents) {
+  EntryStore s;
+  s.insert(1);
+  s.reserve(1000);
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_EQ(s.size(), 1u);
+  for (Entry v = 2; v < 500; ++v) s.insert(v);
+  EXPECT_EQ(s.size(), 499u);
+}
+
 TEST(EntryStore, FuzzAgainstReferenceSet) {
   // Property test: the store must behave exactly like std::set under a
   // random operation sequence.

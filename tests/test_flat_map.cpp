@@ -1,0 +1,168 @@
+// Unit + fuzz tests for the open-addressing FlatMap/FlatSet that back the
+// EntryStore index, the lookup dedup sets and the Round-Robin slot tables.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "pls/common/flat_map.hpp"
+#include "pls/common/rng.hpp"
+
+namespace pls {
+namespace {
+
+TEST(FlatMap, StartsEmpty) {
+  FlatMap<std::uint64_t, std::size_t> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_EQ(m.find(1), nullptr);
+  EXPECT_FALSE(m.erase(1));
+}
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<std::uint64_t, std::size_t> m;
+  EXPECT_TRUE(m.try_emplace(7, 42).second);
+  EXPECT_FALSE(m.try_emplace(7, 99).second);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 42u);
+  EXPECT_EQ(m.at(7), 42u);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.erase(7));
+  EXPECT_FALSE(m.contains(7));
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMap, InsertOrAssignOverwrites) {
+  FlatMap<std::uint64_t, std::size_t> m;
+  m.insert_or_assign(1, 10);
+  m.insert_or_assign(1, 20);
+  EXPECT_EQ(m.at(1), 20u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, AtOnMissingKeyThrows) {
+  FlatMap<std::uint64_t, std::size_t> m;
+  m.try_emplace(1, 1);
+  EXPECT_THROW(m.at(2), std::logic_error);
+}
+
+TEST(FlatMap, GrowsThroughManyInserts) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  constexpr std::uint64_t kCount = 10000;
+  for (std::uint64_t i = 0; i < kCount; ++i) m.try_emplace(i, i * 3);
+  EXPECT_EQ(m.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_NE(m.find(i), nullptr) << i;
+    EXPECT_EQ(*m.find(i), i * 3);
+  }
+  EXPECT_FALSE(m.contains(kCount));
+}
+
+TEST(FlatMap, ReservePreventsRehash) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  m.reserve(1000);
+  for (std::uint64_t i = 0; i < 1000; ++i) m.try_emplace(i, i);
+  EXPECT_EQ(m.size(), 1000u);
+  for (std::uint64_t i = 0; i < 1000; ++i) EXPECT_TRUE(m.contains(i));
+}
+
+TEST(FlatMap, ClearKeepsCapacityUsable) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  for (std::uint64_t i = 0; i < 100; ++i) m.try_emplace(i, i);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_FALSE(m.contains(i));
+  EXPECT_TRUE(m.try_emplace(5, 50).second);
+  EXPECT_EQ(m.at(5), 50u);
+}
+
+TEST(FlatMap, BackwardShiftKeepsProbeChainsIntact) {
+  // Dense cluster of colliding-ish keys; erase from the middle repeatedly
+  // and verify everything else stays findable (the classic tombstone-free
+  // deletion hazard).
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  for (std::uint64_t i = 0; i < 64; ++i) m.try_emplace(i, i);
+  for (std::uint64_t i = 0; i < 64; i += 2) EXPECT_TRUE(m.erase(i));
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(m.contains(i), i % 2 == 1) << i;
+  }
+  for (std::uint64_t i = 1; i < 64; i += 2) EXPECT_EQ(m.at(i), i);
+}
+
+TEST(FlatMap, FuzzAgainstUnorderedMap) {
+  // The map must agree with std::unordered_map over a long random
+  // insert/erase/lookup sequence with a small key universe (maximises
+  // collision/shift pressure).
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(0xf1a7);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t key = rng.uniform(200);
+    switch (rng.uniform(4)) {
+      case 0: {
+        const std::uint64_t value = rng.next_u64();
+        EXPECT_EQ(m.try_emplace(key, value).second,
+                  ref.try_emplace(key, value).second);
+        break;
+      }
+      case 1:
+        EXPECT_EQ(m.erase(key), ref.erase(key) > 0);
+        break;
+      case 2: {
+        const std::uint64_t value = rng.next_u64();
+        m.insert_or_assign(key, value);
+        ref[key] = value;
+        break;
+      }
+      default: {
+        const auto it = ref.find(key);
+        const std::uint64_t* found = m.find(key);
+        EXPECT_EQ(found != nullptr, it != ref.end());
+        if (found != nullptr && it != ref.end()) {
+          EXPECT_EQ(*found, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+  for (const auto& [key, value] : ref) {
+    ASSERT_NE(m.find(key), nullptr);
+    EXPECT_EQ(*m.find(key), value);
+  }
+}
+
+TEST(FlatSet, InsertContainsErase) {
+  FlatSet<std::uint64_t> s;
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_FALSE(s.insert(3));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.erase(3));
+  EXPECT_FALSE(s.erase(3));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FlatSet, FuzzAgainstUnorderedSet) {
+  FlatSet<std::uint64_t> s;
+  std::unordered_set<std::uint64_t> ref;
+  Rng rng(0x5e7);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t key = rng.uniform(100);
+    switch (rng.uniform(3)) {
+      case 0:
+        EXPECT_EQ(s.insert(key), ref.insert(key).second);
+        break;
+      case 1:
+        EXPECT_EQ(s.erase(key), ref.erase(key) > 0);
+        break;
+      default:
+        EXPECT_EQ(s.contains(key), ref.contains(key));
+    }
+    ASSERT_EQ(s.size(), ref.size());
+  }
+}
+
+}  // namespace
+}  // namespace pls

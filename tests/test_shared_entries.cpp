@@ -1,0 +1,193 @@
+// Unit tests for the zero-copy payload buffer (SharedEntries), the reply
+// buffer pool, and the end-to-end guarantee that broadcast fan-out and
+// deferred delivery never deep-copy entry payloads.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pls/net/message.hpp"
+#include "pls/net/network.hpp"
+#include "pls/net/shared_entries.hpp"
+#include "pls/sim/simulator.hpp"
+
+namespace pls::net {
+namespace {
+
+std::vector<Entry> make_entries(std::size_t n) {
+  std::vector<Entry> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<Entry>(i * 3 + 1);
+  return out;
+}
+
+TEST(SharedEntries, DefaultIsEmpty) {
+  SharedEntries e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.size(), 0u);
+  EXPECT_TRUE(e.span().empty());
+  EXPECT_EQ(e.begin(), e.end());
+}
+
+TEST(SharedEntries, CopyingConstructorDeepCopiesOnce) {
+  const auto src = make_entries(8);
+  const std::uint64_t before = SharedEntries::deep_copy_count();
+  SharedEntries e{std::span<const Entry>(src)};
+  EXPECT_EQ(SharedEntries::deep_copy_count(), before + 1);
+  ASSERT_EQ(e.size(), 8u);
+  EXPECT_NE(e.begin(), src.data());  // its own buffer
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(e[i], src[i]);
+}
+
+TEST(SharedEntries, CopiesOfAnInstanceShareTheBuffer) {
+  SharedEntries a{std::span<const Entry>(make_entries(5))};
+  const std::uint64_t before = SharedEntries::deep_copy_count();
+  SharedEntries b = a;          // NOLINT: copy is the point
+  SharedEntries c;
+  c = b;
+  EXPECT_EQ(SharedEntries::deep_copy_count(), before);  // refcount bumps only
+  EXPECT_EQ(b.begin(), a.begin());
+  EXPECT_EQ(c.begin(), a.begin());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(SharedEntries, AdoptTakesTheVectorsHeapBlock) {
+  auto src = make_entries(6);
+  const Entry* block = src.data();
+  const std::uint64_t before = SharedEntries::deep_copy_count();
+  SharedEntries e = SharedEntries::adopt(std::move(src));
+  EXPECT_EQ(SharedEntries::deep_copy_count(), before);
+  ASSERT_EQ(e.size(), 6u);
+  EXPECT_EQ(e.begin(), block);  // exact same storage, zero copies
+}
+
+TEST(SharedEntries, AliasKeepsTheOwnerAlive) {
+  auto owner = std::make_shared<std::vector<Entry>>(make_entries(4));
+  const Entry* block = owner->data();
+  SharedEntries e = SharedEntries::alias(owner);
+  EXPECT_EQ(owner.use_count(), 2);
+  owner.reset();  // the payload must survive the external owner
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_EQ(e.begin(), block);
+  EXPECT_EQ(e[3], make_entries(4)[3]);
+}
+
+TEST(SharedEntries, AliasOfNullOrEmptyIsEmpty) {
+  EXPECT_TRUE(SharedEntries::alias(nullptr).empty());
+  EXPECT_TRUE(
+      SharedEntries::alias(std::make_shared<std::vector<Entry>>()).empty());
+}
+
+TEST(SharedEntries, PrefixAliasesTheSameBuffer) {
+  SharedEntries e = SharedEntries::adopt(make_entries(10));
+  const std::uint64_t before = SharedEntries::deep_copy_count();
+  SharedEntries p = e.prefix(3);
+  EXPECT_EQ(SharedEntries::deep_copy_count(), before);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.begin(), e.begin());  // zero-copy view
+  EXPECT_EQ(e.prefix(99).size(), 10u);  // clamped
+  EXPECT_TRUE(e.prefix(0).empty());
+  EXPECT_EQ(e.prefix(0).begin(), nullptr);  // empty view drops its reference
+}
+
+TEST(SharedEntries, EqualityComparesContents) {
+  SharedEntries a = SharedEntries::adopt(make_entries(4));
+  SharedEntries b{std::span<const Entry>(make_entries(4))};
+  EXPECT_EQ(a, b);  // different buffers, same contents
+  EXPECT_FALSE(a == a.prefix(3));
+  EXPECT_EQ(SharedEntries{}, SharedEntries{});
+}
+
+TEST(EntryBufferPool, ReusesBufferOnceReadersDrop) {
+  EntryBufferPool pool;
+  auto first = pool.acquire();
+  first->assign({1, 2, 3});
+  const std::vector<Entry>* block = first.get();
+  {
+    SharedEntries reply = SharedEntries::alias(first);
+    first.reset();
+    EXPECT_EQ(reply.size(), 3u);
+  }  // last reader gone
+  auto second = pool.acquire();
+  EXPECT_EQ(second.get(), block);  // recycled
+  EXPECT_TRUE(second->empty());    // handed back cleared
+}
+
+TEST(EntryBufferPool, AllocatesFreshWhileAReaderRetainsTheBuffer) {
+  EntryBufferPool pool;
+  auto first = pool.acquire();
+  first->assign({7, 8});
+  SharedEntries retained = SharedEntries::alias(first);
+  first.reset();
+  auto second = pool.acquire();  // retained still references the slot
+  second->assign({9});
+  // The retained reply must be untouched by the new acquisition.
+  ASSERT_EQ(retained.size(), 2u);
+  EXPECT_EQ(retained[0], 7u);
+  EXPECT_EQ(retained[1], 8u);
+}
+
+/// Records the payload buffer address of every StoreBatch it receives.
+class PayloadRecordingServer final : public Server {
+ public:
+  using Server::Server;
+
+  void on_message(const Message& m, Network&) override {
+    if (const auto* batch = std::get_if<StoreBatch>(&m)) {
+      payload_blocks.push_back(batch->entries.begin());
+    }
+  }
+
+  Message on_rpc(const Message&, Network&) override { return Ack{}; }
+
+  std::vector<const Entry*> payload_blocks;
+};
+
+struct BroadcastFixture : public ::testing::Test {
+  void SetUp() override {
+    failures = make_failure_state(kServers);
+    net = std::make_unique<Network>(failures);
+    for (ServerId i = 0; i < kServers; ++i) {
+      auto server = std::make_unique<PayloadRecordingServer>(i);
+      servers.push_back(server.get());
+      net->add_server(std::move(server));
+    }
+  }
+
+  static constexpr ServerId kServers = 16;
+  std::shared_ptr<FailureState> failures;
+  std::unique_ptr<Network> net;
+  std::vector<PayloadRecordingServer*> servers;
+};
+
+TEST_F(BroadcastFixture, BroadcastSharesOneBufferAcrossAllReceivers) {
+  SharedEntries payload = SharedEntries::adopt(make_entries(64));
+  const Entry* block = payload.begin();
+  const std::uint64_t before = SharedEntries::deep_copy_count();
+  net->broadcast(0, StoreBatch{std::move(payload)});
+  EXPECT_EQ(SharedEntries::deep_copy_count(), before);
+  for (auto* s : servers) {
+    ASSERT_EQ(s->payload_blocks.size(), 1u);
+    EXPECT_EQ(s->payload_blocks[0], block);  // everyone read the same buffer
+  }
+}
+
+TEST_F(BroadcastFixture, DeferredDeliveryStillSharesTheBuffer) {
+  // Deferred mode copies the Message into each scheduled event; those copies
+  // must only bump the refcount.
+  sim::Simulator sim;
+  net->attach_simulator(&sim, 0.1);
+  SharedEntries payload = SharedEntries::adopt(make_entries(32));
+  const Entry* block = payload.begin();
+  const std::uint64_t before = SharedEntries::deep_copy_count();
+  net->broadcast(0, StoreBatch{std::move(payload)});
+  sim.run_all();
+  EXPECT_EQ(SharedEntries::deep_copy_count(), before);
+  for (auto* s : servers) {
+    ASSERT_EQ(s->payload_blocks.size(), 1u);
+    EXPECT_EQ(s->payload_blocks[0], block);
+  }
+}
+
+}  // namespace
+}  // namespace pls::net
