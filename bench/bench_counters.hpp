@@ -1,0 +1,52 @@
+// Shared deterministic-counter plumbing for the google-benchmark binaries.
+//
+// Wall-clock numbers vary across machines; the per-op counters below do
+// not: fixed iteration counts plus pre-loop warm-up make them exact
+// steady-state values, which scripts/perf_check.sh extracts (from
+// bench_micro_ops and bench_event_queue) and diffs against the checked-in
+// BENCH_micro_ops.json baseline.
+#pragma once
+
+#include <cstdint>
+
+#include <benchmark/benchmark.h>
+
+#include "pls/common/alloc_stats.hpp"
+#include "pls/net/shared_entries.hpp"
+
+namespace pls::bench {
+
+/// Captures AllocStats and the SharedEntries deep-copy counter around the
+/// timed loop and reports per-op averages:
+///   allocs_per_op / bytes_per_op   heap traffic per operation, measured by
+///                                  pls::AllocStats (all zeros unless built
+///                                  with -DPLS_COUNT_ALLOCS=ON)
+///   payload_copies_per_op          SharedEntries deep copies per operation
+/// Construct after warm-up, call finish() after the loop.
+class CounterScope {
+ public:
+  explicit CounterScope(benchmark::State& state)
+      : state_(state),
+        alloc_before_(AllocStats::current()),
+        copies_before_(net::SharedEntries::deep_copy_count()) {}
+
+  void finish() {
+    const AllocStats delta = AllocStats::current() - alloc_before_;
+    const std::uint64_t copies =
+        net::SharedEntries::deep_copy_count() - copies_before_;
+    using benchmark::Counter;
+    state_.counters["allocs_per_op"] = Counter(
+        static_cast<double>(delta.allocations), Counter::kAvgIterations);
+    state_.counters["bytes_per_op"] =
+        Counter(static_cast<double>(delta.bytes), Counter::kAvgIterations);
+    state_.counters["payload_copies_per_op"] =
+        Counter(static_cast<double>(copies), Counter::kAvgIterations);
+  }
+
+ private:
+  benchmark::State& state_;
+  AllocStats alloc_before_;
+  std::uint64_t copies_before_;
+};
+
+}  // namespace pls::bench

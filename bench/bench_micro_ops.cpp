@@ -14,7 +14,7 @@
 // baseline — wall-clock numbers are reported but never gated on.
 #include <benchmark/benchmark.h>
 
-#include "pls/common/alloc_stats.hpp"
+#include "bench_counters.hpp"
 #include "pls/core/service.hpp"
 #include "pls/core/strategy_factory.hpp"
 #include "pls/net/shared_entries.hpp"
@@ -24,41 +24,13 @@
 namespace {
 
 using namespace pls;
+using bench::CounterScope;
 
 std::vector<Entry> iota_entries(std::size_t h) {
   std::vector<Entry> out(h);
   for (std::size_t i = 0; i < h; ++i) out[i] = i + 1;
   return out;
 }
-
-/// Captures AllocStats and the SharedEntries deep-copy counter around the
-/// timed loop and reports per-op averages. Construct after warm-up, call
-/// finish() after the loop.
-class CounterScope {
- public:
-  explicit CounterScope(benchmark::State& state)
-      : state_(state),
-        alloc_before_(AllocStats::current()),
-        copies_before_(net::SharedEntries::deep_copy_count()) {}
-
-  void finish() {
-    const AllocStats delta = AllocStats::current() - alloc_before_;
-    const std::uint64_t copies =
-        net::SharedEntries::deep_copy_count() - copies_before_;
-    using benchmark::Counter;
-    state_.counters["allocs_per_op"] = Counter(
-        static_cast<double>(delta.allocations), Counter::kAvgIterations);
-    state_.counters["bytes_per_op"] =
-        Counter(static_cast<double>(delta.bytes), Counter::kAvgIterations);
-    state_.counters["payload_copies_per_op"] =
-        Counter(static_cast<double>(copies), Counter::kAvgIterations);
-  }
-
- private:
-  benchmark::State& state_;
-  AllocStats alloc_before_;
-  std::uint64_t copies_before_;
-};
 
 std::size_t param_for(core::StrategyKind kind) {
   return (kind == core::StrategyKind::kRoundRobin ||

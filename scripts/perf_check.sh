@@ -6,13 +6,19 @@
 #   scripts/perf_check.sh --skip-smoke  # skip the determinism smoke
 #
 # Builds an instrumented tree (build-perf/, -DPLS_COUNT_ALLOCS=ON), runs the
-# allocation-regression tests, then runs bench_micro_ops and extracts its
-# deterministic counters (allocs_per_op / bytes_per_op /
-# payload_copies_per_op) into BENCH_micro_ops.json. The result is diffed
-# against the checked-in baseline at the repo root; counters are exact
-# steady-state values (fixed iterations, warmed up), so the default
-# tolerance only absorbs allocator-library noise. Wall-clock numbers are
-# never compared — CI machines differ; heap traffic does not.
+# allocation-regression tests, then runs bench_micro_ops and
+# bench_event_queue and extracts their deterministic counters
+# (allocs_per_op / bytes_per_op / payload_copies_per_op) into
+# BENCH_micro_ops.json. The result is diffed against the checked-in
+# baseline at the repo root; counters are exact steady-state values (fixed
+# iterations, warmed up), so the default tolerance only absorbs
+# allocator-library noise. Wall-clock numbers are never compared — CI
+# machines differ; heap traffic does not.
+#
+# The timer-wheel scheduler benches (BM_Wheel*) are held to a stricter bar
+# than the tolerance diff: their steady-state allocs_per_op and bytes_per_op
+# must be EXACTLY 0 — the wheel's whole point is that schedule/pop/cancel
+# never touch the heap once warm.
 #
 # Environment:
 #   PLS_PERF_TOLERANCE   relative tolerance for counter drift (default 0.10)
@@ -46,28 +52,48 @@ echo "=== perf_check: allocation-regression tests ==="
 (cd "${build_dir}" && ctest -R AllocRegression --output-on-failure)
 
 echo "=== perf_check: micro-op counters ==="
-raw="${build_dir}/bench_micro_ops_raw.json"
-"${build_dir}/bench/bench_micro_ops" --benchmark_format=json > "${raw}"
+raw_micro="${build_dir}/bench_micro_ops_raw.json"
+raw_queue="${build_dir}/bench_event_queue_raw.json"
+"${build_dir}/bench/bench_micro_ops" --benchmark_format=json > "${raw_micro}"
+"${build_dir}/bench/bench_event_queue" --benchmark_format=json > "${raw_queue}"
 
 candidate="${build_dir}/BENCH_micro_ops.json"
-python3 - "${raw}" "${candidate}" <<'EOF'
+python3 - "${candidate}" "${raw_micro}" "${raw_queue}" <<'EOF'
 import json, re, sys
-raw_path, out_path = sys.argv[1], sys.argv[2]
-with open(raw_path) as f:
-    raw = json.load(f)
+out_path, raw_paths = sys.argv[1], sys.argv[2:]
 counters = {}
-for bench in raw["benchmarks"]:
-    if "allocs_per_op" not in bench:
-        continue  # wall-clock-only benches are not gated
-    name = re.sub(r"/iterations:\d+", "", bench["name"])
-    counters[name] = {
-        "allocs_per_op": round(bench["allocs_per_op"], 3),
-        "bytes_per_op": round(bench["bytes_per_op"], 3),
-        "payload_copies_per_op": round(bench["payload_copies_per_op"], 3),
-    }
+for raw_path in raw_paths:
+    with open(raw_path) as f:
+        raw = json.load(f)
+    for bench in raw["benchmarks"]:
+        if "allocs_per_op" not in bench:
+            continue  # wall-clock-only benches are not gated
+        name = re.sub(r"/iterations:\d+", "", bench["name"])
+        counters[name] = {
+            "allocs_per_op": round(bench["allocs_per_op"], 3),
+            "bytes_per_op": round(bench["bytes_per_op"], 3),
+            "payload_copies_per_op": round(bench["payload_copies_per_op"], 3),
+        }
 with open(out_path, "w") as f:
     json.dump(counters, f, indent=2, sort_keys=True)
     f.write("\n")
+
+# Hard gate, independent of the baseline diff: the timer wheel's steady
+# state is allocation-free by contract.
+violations = [
+    f"  {name}: allocs_per_op={vals['allocs_per_op']}, "
+    f"bytes_per_op={vals['bytes_per_op']}"
+    for name, vals in sorted(counters.items())
+    if name.startswith("BM_Wheel")
+    and (vals["allocs_per_op"] != 0.0 or vals["bytes_per_op"] != 0.0)
+]
+if violations:
+    print("perf_check: timer-wheel benches must be allocation-free "
+          "in steady state:")
+    print("\n".join(violations))
+    sys.exit(1)
+wheel = sum(1 for name in counters if name.startswith("BM_Wheel"))
+print(f"perf_check: {wheel} BM_Wheel* benches at exactly 0 allocs/op")
 EOF
 
 if [[ "${update}" == "1" ]]; then

@@ -3,7 +3,12 @@
 # build trees, so a plain `build/` stays usable). Any sanitizer report
 # fails the corresponding ctest run. TSan matters since the TrialRunner
 # fan-out: test_trial_runner's stress cases race real experiment code
-# across worker threads.
+# across worker threads. The scheduler's lifetime-heavy machinery
+# (InlineEvent placement/relocation, the timer wheel's recycled node pool
+# and capture slab) is exercised in every tree by test_inline_event,
+# test_event_queue and the tier-2 differential fuzz
+# (test_event_queue_fuzz), which drives both queue implementations in
+# lockstep regardless of the PLS_REFERENCE_QUEUE configuration.
 #
 #   scripts/run_sanitized_tests.sh [extra ctest args...]
 set -euo pipefail

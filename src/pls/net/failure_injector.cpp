@@ -23,20 +23,28 @@ void FailureInjector::arm(sim::Simulator& sim) {
 }
 
 void FailureInjector::schedule_failure(sim::Simulator& sim, ServerId server) {
-  sim.schedule_after(rng_.exponential(config_.mttf), [this, &sim, server] {
+  const auto fire = [this, &sim, server] {
     failures_state_->fail(server);
     ++failures_;
     schedule_recovery(sim, server);
-  });
+  };
+  static_assert(sim::InlineEvent::fits_inline<decltype(fire)>,
+                "failure events are on the churn hot path and must not "
+                "spill to the event slab");
+  sim.schedule_after(rng_.exponential(config_.mttf), fire);
 }
 
 void FailureInjector::schedule_recovery(sim::Simulator& sim,
                                         ServerId server) {
-  sim.schedule_after(rng_.exponential(config_.mttr), [this, &sim, server] {
+  const auto fire = [this, &sim, server] {
     failures_state_->recover(server);
     ++recoveries_;
     schedule_failure(sim, server);
-  });
+  };
+  static_assert(sim::InlineEvent::fits_inline<decltype(fire)>,
+                "recovery events are on the churn hot path and must not "
+                "spill to the event slab");
+  sim.schedule_after(rng_.exponential(config_.mttr), fire);
 }
 
 double FailureInjector::expected_availability() const noexcept {

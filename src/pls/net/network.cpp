@@ -88,16 +88,37 @@ void Network::deliver(ServerId to, const Message& m, SeqNo seq) {
   if (!servers_[to]->handle(m, *this, seq)) ++stats_.dup_suppressed;
 }
 
+std::uint32_t Network::acquire_pending(const Message& m) {
+  if (!pending_free_.empty()) {
+    const std::uint32_t slot = pending_free_.back();
+    pending_free_.pop_back();
+    // Copy-assign into the recycled slot: shared payloads (SharedEntries)
+    // only bump refcounts, and same-alternative vectors reuse capacity.
+    pending_[slot] = m;
+    return slot;
+  }
+  pending_.push_back(m);
+  return static_cast<std::uint32_t>(pending_.size() - 1);
+}
+
 void Network::schedule_delivery(ServerId to, const Message& m, SeqNo seq,
                                 double delay) {
-  Message copy = m;
-  sim_->schedule_after(delay, [this, to, seq, msg = std::move(copy)]() {
+  const std::uint32_t slot = acquire_pending(m);
+  const auto fire = [this, to, seq, slot]() {
+    // Move out before delivering: handling may schedule further deferred
+    // sends, which can grow pending_ and invalidate references into it.
+    Message msg = std::move(pending_[slot]);
+    pending_free_.push_back(slot);
     if (failures_->is_up(to)) {
       deliver(to, msg, seq);
     } else {
       record_drop(to, msg, DropCause::kServerDown);
     }
-  });
+  };
+  static_assert(sim::InlineEvent::fits_inline<decltype(fire)>,
+                "deferred-delivery capture must stay inline — park large "
+                "state in the pending_ pool, not the lambda");
+  sim_->schedule_after(delay, fire);
 }
 
 void Network::record_drop(ServerId to, const Message& m, DropCause cause) {

@@ -139,6 +139,12 @@ class Network {
   void record_drop(ServerId to, const Message& m, DropCause cause);
   double latency_sample();
 
+  /// Parks a deferred message in a recycled pending_ slot and returns its
+  /// index. Deferred-delivery events capture the index (4 bytes) instead of
+  /// the ~40-byte Message, keeping the capture inside InlineEvent's inline
+  /// buffer; the slot returns to pending_free_ when the event fires.
+  std::uint32_t acquire_pending(const Message& m);
+
   std::shared_ptr<FailureState> failures_;
   std::vector<std::unique_ptr<Server>> servers_;
   TransportStats stats_;
@@ -150,6 +156,8 @@ class Network {
   double latency_ = 0.0;
   sim::Trace* trace_ = nullptr;
   EntryBufferPool reply_pool_;
+  std::vector<Message> pending_;
+  std::vector<std::uint32_t> pending_free_;
 };
 
 }  // namespace pls::net

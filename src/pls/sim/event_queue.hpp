@@ -1,65 +1,37 @@
 // Time-ordered event queue for the discrete-event simulator.
 //
-// Ordering is (time, sequence): events scheduled for the same instant fire
-// in scheduling order, which makes whole simulations deterministic given a
-// fixed RNG seed. Events can be cancelled by id without O(n) removal.
+// sim::EventQueue is an alias over one of two interchangeable
+// implementations with an identical ordering contract — (time, sequence),
+// so events scheduled for the same instant fire in scheduling order and
+// whole simulations are deterministic given a fixed RNG seed:
+//
+//   * TimerWheelQueue (default): hierarchical timer wheel with
+//     allocation-free InlineEvent callables, O(1) placement and O(1)
+//     generation-tagged cancellation. See timer_wheel.hpp.
+//   * ReferenceEventQueue (-DPLS_REFERENCE_QUEUE=ON): the original binary
+//     heap over std::function, kept as a differential oracle. See
+//     reference_queue.hpp.
+//
+// Both produce byte-identical traces; the build flag exists so any seeded
+// run can be replayed against the reference implementation when debugging
+// the wheel, and so benches can quote before/after numbers.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
-
-#include "pls/common/types.hpp"
+#include "pls/sim/inline_event.hpp"
+#include "pls/sim/reference_queue.hpp"
+#include "pls/sim/timer_wheel.hpp"
 
 namespace pls::sim {
 
-using EventId = std::uint64_t;
-using EventFn = std::function<void()>;
+#ifdef PLS_REFERENCE_QUEUE
+using EventQueue = ReferenceEventQueue;
+#else
+using EventQueue = TimerWheelQueue;
+#endif
 
-class EventQueue {
- public:
-  /// Schedules `fn` at absolute time `at`; returns a cancellable id.
-  EventId schedule(SimTime at, EventFn fn);
-
-  /// Cancels a pending event. Returns false if the event already fired,
-  /// was already cancelled, or never existed.
-  bool cancel(EventId id);
-
-  bool empty() const noexcept;
-  std::size_t size() const noexcept;
-
-  /// Time of the next live event. Precondition: !empty().
-  SimTime next_time() const;
-
-  /// Pops and returns the next live event. Precondition: !empty().
-  struct Popped {
-    EventId id;
-    SimTime time;
-    EventFn fn;
-  };
-  Popped pop();
-
- private:
-  struct Item {
-    SimTime time;
-    EventId id;        // doubles as the FIFO tie-break sequence
-    mutable EventFn fn;  // moved out on pop
-  };
-  struct Later {
-    bool operator()(const Item& a, const Item& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
-    }
-  };
-
-  void drop_cancelled() const;
-
-  mutable std::priority_queue<Item, std::vector<Item>, Later> heap_;
-  mutable std::unordered_set<EventId> cancelled_;
-  EventId next_id_ = 1;
-  mutable std::size_t live_ = 0;
-};
+/// The callable type the active queue stores. std::function<void()> for the
+/// reference queue; move-only InlineEvent for the wheel. Generic call sites
+/// should pass lambdas straight to schedule_* and let the queue wrap them.
+using EventFn = EventQueue::Fn;
 
 }  // namespace pls::sim

@@ -1,0 +1,254 @@
+// Allocation-free event callables for the discrete-event scheduler.
+//
+// sim::InlineEvent is a small-buffer-optimized, move-only, type-erased
+// `void()` callable: captures up to kInlineCapacity (48) bytes live inside
+// the event object itself, so the steady-state schedule/pop cycle of the
+// timer-wheel queue performs zero heap allocations (verified under
+// -DPLS_COUNT_ALLOCS=ON by bench_event_queue and perf_check.sh). Captures
+// that do not fit spill into an EventSlab — a per-queue free-list of
+// size-class blocks that recycles every block it ever allocated, so even
+// the overflow path is allocation-free once warm.
+//
+// Capture-size rules for hot-path call sites (see docs/PERFORMANCE.md):
+//   * keep captures at or under 48 bytes — `this` + a few ids/indices;
+//   * capture large payloads by pool index, not by value (net::Network
+//     parks deferred Messages in a recycled slot and captures the slot);
+//   * `InlineEvent::fits_inline<decltype(lambda)>` is a constexpr predicate
+//     call sites static_assert on to keep captures from silently outgrowing
+//     the buffer.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "pls/common/check.hpp"
+
+namespace pls::sim {
+
+/// Cancellable handle to a scheduled event. For the timer wheel this packs
+/// (generation << 32 | node index); for the reference queue it is a plain
+/// sequence number. 0 is never a valid id.
+using EventId = std::uint64_t;
+
+/// Recycling allocator for event captures that overflow the inline buffer.
+/// Blocks are grouped into power-of-two size classes and returned to a
+/// per-class free list on release, so only the first event of each class
+/// ever reaches operator new. Owned by (and thread-confined to) one queue,
+/// like everything else in a trial's simulation stack.
+class EventSlab {
+ public:
+  EventSlab() = default;
+  EventSlab(const EventSlab&) = delete;
+  EventSlab& operator=(const EventSlab&) = delete;
+
+  ~EventSlab() {
+    for (FreeBlock* head : free_) {
+      while (head != nullptr) {
+        FreeBlock* next = head->next;
+        ::operator delete(static_cast<void*>(head));
+        head = next;
+      }
+    }
+  }
+
+  void* allocate(std::size_t size) {
+    ++outstanding_;
+    const int cls = class_for(size);
+    if (cls < 0) {
+      // Beyond the largest class (8 KiB captures): uncached passthrough.
+      ++fresh_blocks_;
+      return ::operator new(size);
+    }
+    if (free_[static_cast<std::size_t>(cls)] != nullptr) {
+      FreeBlock* block = free_[static_cast<std::size_t>(cls)];
+      free_[static_cast<std::size_t>(cls)] = block->next;
+      return block;
+    }
+    ++fresh_blocks_;
+    return ::operator new(kMinBlock << cls);
+  }
+
+  void release(void* block, std::size_t size) noexcept {
+    --outstanding_;
+    const int cls = class_for(size);
+    if (cls < 0) {
+      ::operator delete(block);
+      return;
+    }
+    auto* freed = static_cast<FreeBlock*>(block);
+    freed->next = free_[static_cast<std::size_t>(cls)];
+    free_[static_cast<std::size_t>(cls)] = freed;
+  }
+
+  /// Blocks obtained from operator new so far (never decremented; a warm
+  /// slab stops growing this). 0 means no capture ever overflowed inline
+  /// storage — the acceptance criterion for the default configuration.
+  std::uint64_t fresh_blocks() const noexcept { return fresh_blocks_; }
+
+  /// Blocks currently handed out to live events.
+  std::uint64_t outstanding() const noexcept { return outstanding_; }
+
+ private:
+  static constexpr std::size_t kMinBlock = 64;
+  static constexpr std::size_t kClasses = 8;  // 64 B .. 8 KiB
+
+  struct FreeBlock {
+    FreeBlock* next;
+  };
+
+  static int class_for(std::size_t size) noexcept {
+    std::size_t block = kMinBlock;
+    for (std::size_t cls = 0; cls < kClasses; ++cls, block <<= 1) {
+      if (size <= block) return static_cast<int>(cls);
+    }
+    return -1;
+  }
+
+  std::array<FreeBlock*, kClasses> free_{};
+  std::uint64_t fresh_blocks_ = 0;
+  std::uint64_t outstanding_ = 0;
+};
+
+/// Move-only type-erased `void()` callable with a 48-byte inline capture
+/// buffer and slab-backed overflow storage. The vocabulary type of the
+/// timer-wheel scheduler (sim::EventFn aliases it in the default build).
+class InlineEvent {
+ public:
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  /// True when F's captures are stored inline (no slab, no heap). Hot-path
+  /// schedulers static_assert on this so oversized captures fail the build
+  /// instead of silently costing a slab round-trip.
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(std::decay_t<F>) <= kInlineCapacity &&
+      alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+  InlineEvent() noexcept = default;
+
+  /// Wraps any `void()` callable. `slab` backs overflow captures; nullptr
+  /// falls back to operator new (used when an event is built outside any
+  /// queue). The slab must outlive the event.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineEvent> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  explicit InlineEvent(F&& fn, EventSlab* slab = nullptr) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(storage_.inline_bytes))
+          Fn(std::forward<F>(fn));
+      ops_ = inline_ops<Fn>();
+      heap_ = false;
+    } else {
+      void* block = slab != nullptr ? slab->allocate(sizeof(Fn))
+                                    : ::operator new(sizeof(Fn));
+      ::new (block) Fn(std::forward<F>(fn));
+      storage_.heap = {block, slab, sizeof(Fn)};
+      ops_ = heap_ops<Fn>();
+      heap_ = true;
+    }
+  }
+
+  InlineEvent(InlineEvent&& other) noexcept { move_from(other); }
+
+  InlineEvent& operator=(InlineEvent&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineEvent(const InlineEvent&) = delete;
+  InlineEvent& operator=(const InlineEvent&) = delete;
+
+  ~InlineEvent() { reset(); }
+
+  void operator()() {
+    PLS_CHECK_MSG(ops_ != nullptr, "invoking an empty InlineEvent");
+    ops_->invoke(storage_);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// True when this event's capture spilled to overflow storage.
+  bool overflowed() const noexcept { return heap_; }
+
+ private:
+  union Storage {
+    alignas(std::max_align_t) std::byte inline_bytes[kInlineCapacity];
+    struct {
+      void* block;
+      EventSlab* slab;
+      std::size_t size;
+    } heap;
+  };
+
+  struct Ops {
+    void (*invoke)(Storage& s);
+    void (*relocate)(Storage& from, Storage& to) noexcept;
+    void (*destroy)(Storage& s) noexcept;
+  };
+
+  template <typename Fn>
+  static Fn* inline_obj(Storage& s) noexcept {
+    return std::launder(reinterpret_cast<Fn*>(s.inline_bytes));
+  }
+
+  template <typename Fn>
+  static const Ops* inline_ops() noexcept {
+    static constexpr Ops ops{
+        [](Storage& s) { (*inline_obj<Fn>(s))(); },
+        [](Storage& from, Storage& to) noexcept {
+          Fn* src = inline_obj<Fn>(from);
+          ::new (static_cast<void*>(to.inline_bytes)) Fn(std::move(*src));
+          src->~Fn();
+        },
+        [](Storage& s) noexcept { inline_obj<Fn>(s)->~Fn(); },
+    };
+    return &ops;
+  }
+
+  template <typename Fn>
+  static const Ops* heap_ops() noexcept {
+    static constexpr Ops ops{
+        [](Storage& s) { (*static_cast<Fn*>(s.heap.block))(); },
+        [](Storage& from, Storage& to) noexcept { to.heap = from.heap; },
+        [](Storage& s) noexcept {
+          static_cast<Fn*>(s.heap.block)->~Fn();
+          if (s.heap.slab != nullptr) {
+            s.heap.slab->release(s.heap.block, s.heap.size);
+          } else {
+            ::operator delete(s.heap.block);
+          }
+        },
+    };
+    return &ops;
+  }
+
+  void move_from(InlineEvent& other) noexcept {
+    ops_ = other.ops_;
+    heap_ = other.heap_;
+    if (ops_ != nullptr) ops_->relocate(other.storage_, storage_);
+    other.ops_ = nullptr;
+    other.heap_ = false;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) ops_->destroy(storage_);
+    ops_ = nullptr;
+    heap_ = false;
+  }
+
+  Storage storage_;
+  const Ops* ops_ = nullptr;
+  bool heap_ = false;
+};
+
+}  // namespace pls::sim

@@ -1,0 +1,57 @@
+#include "pls/sim/reference_queue.hpp"
+
+#include <utility>
+
+#include "pls/common/check.hpp"
+
+namespace pls::sim {
+
+EventId ReferenceEventQueue::schedule(SimTime at, Fn fn) {
+  PLS_CHECK_MSG(static_cast<bool>(fn), "cannot schedule an empty event");
+  const EventId id = next_id_++;
+  heap_.push(Item{at, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool ReferenceEventQueue::cancel(EventId id) {
+  // Only ids that are still pending may be cancelled; fired, cancelled and
+  // fabricated ids are rejected here, so `cancelled_` holds exactly the
+  // ids awaiting lazy removal from the heap (no unbounded growth).
+  if (pending_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+void ReferenceEventQueue::drop_cancelled() const {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool ReferenceEventQueue::empty() const noexcept { return pending_.empty(); }
+
+std::size_t ReferenceEventQueue::size() const noexcept {
+  return pending_.size();
+}
+
+SimTime ReferenceEventQueue::next_time() const {
+  PLS_CHECK_MSG(!pending_.empty(), "next_time() on an empty queue");
+  drop_cancelled();
+  return heap_.top().time;
+}
+
+ReferenceEventQueue::Popped ReferenceEventQueue::pop() {
+  PLS_CHECK_MSG(!pending_.empty(), "pop() on an empty queue");
+  drop_cancelled();
+  const Item& top = heap_.top();
+  Popped out{top.id, top.time, std::move(top.fn)};
+  heap_.pop();
+  pending_.erase(out.id);
+  return out;
+}
+
+}  // namespace pls::sim

@@ -1,20 +1,6 @@
 #include "pls/sim/simulator.hpp"
 
-#include <utility>
-
-#include "pls/common/check.hpp"
-
 namespace pls::sim {
-
-EventId Simulator::schedule_at(SimTime at, EventFn fn) {
-  PLS_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
-  return queue_.schedule(at, std::move(fn));
-}
-
-EventId Simulator::schedule_after(SimTime delay, EventFn fn) {
-  PLS_CHECK_MSG(delay >= 0.0, "negative delay");
-  return queue_.schedule(now_ + delay, std::move(fn));
-}
 
 bool Simulator::step() {
   if (queue_.empty()) return false;

@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
+#include "pls/common/check.hpp"
 #include "pls/sim/event_queue.hpp"
 
 namespace pls::sim {
@@ -16,13 +18,27 @@ class Simulator {
   std::uint64_t events_executed() const noexcept { return executed_; }
 
   /// Schedules `fn` at absolute time `at`. `at` must not be in the past.
-  EventId schedule_at(SimTime at, EventFn fn);
+  /// Templated so the queue captures the callable in place (InlineEvent
+  /// for the wheel, std::function for the reference queue).
+  template <typename F>
+  EventId schedule_at(SimTime at, F&& fn) {
+    PLS_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
+    return queue_.schedule(at, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` after a non-negative delay from now().
-  EventId schedule_after(SimTime delay, EventFn fn);
+  template <typename F>
+  EventId schedule_after(SimTime delay, F&& fn) {
+    PLS_CHECK_MSG(delay >= 0.0, "negative delay");
+    return queue_.schedule(now_ + delay, std::forward<F>(fn));
+  }
 
   bool cancel(EventId id) { return queue_.cancel(id); }
   bool idle() const noexcept { return queue_.empty(); }
+
+  /// The underlying queue; tests use this to pin allocation behaviour
+  /// (e.g. queue().slab().fresh_blocks() == 0 on the wheel).
+  const EventQueue& queue() const noexcept { return queue_; }
 
   /// Runs a single event; returns false when the queue is empty.
   bool step();

@@ -1,0 +1,255 @@
+#include "pls/sim/timer_wheel.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace pls::sim {
+
+EventId TimerWheelQueue::schedule(SimTime at, InlineEvent fn) {
+  PLS_CHECK_MSG(static_cast<bool>(fn), "cannot schedule an empty event");
+  const std::uint32_t idx = acquire_node();
+  Node& n = nodes_[idx];
+  n.time = at;
+  n.seq = next_seq_++;
+  ++n.gen;  // even -> odd: armed
+  n.fn = std::move(fn);
+  ++live_;
+  place(idx);
+  return pack(n.gen, idx);
+}
+
+bool TimerWheelQueue::cancel(EventId id) noexcept {
+  const auto idx = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if ((gen & 1u) == 0 || idx >= nodes_.size()) return false;
+  Node& n = nodes_[idx];
+  if (n.gen != gen) return false;
+  ++n.gen;              // odd -> even: dead; container reclaims the node
+  n.fn = InlineEvent{};  // release the capture (and any slab block) eagerly
+  --live_;
+  return true;
+}
+
+SimTime TimerWheelQueue::next_time() const {
+  PLS_CHECK_MSG(live_ > 0, "next_time() on an empty queue");
+  // Advancing the wheel does not change the logical event set, only its
+  // internal arrangement — same trick the reference queue plays with its
+  // mutable lazy-cancel state.
+  const_cast<TimerWheelQueue*>(this)->ensure_ready();
+  return ready_.back().time;
+}
+
+TimerWheelQueue::Popped TimerWheelQueue::pop() {
+  PLS_CHECK_MSG(live_ > 0, "pop() on an empty queue");
+  ensure_ready();
+  const Ref ref = ready_.back();
+  ready_.pop_back();
+  Node& n = nodes_[ref.node];
+  Popped out{pack(n.gen, ref.node), n.time, std::move(n.fn)};
+  ++n.gen;  // odd -> even: fired
+  release_node(ref.node);
+  --live_;
+  return out;
+}
+
+std::uint32_t TimerWheelQueue::acquire_node() {
+  if (free_head_ != kNil) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = nodes_[idx].next;
+    nodes_[idx].next = kNil;
+    return idx;
+  }
+  PLS_CHECK_MSG(nodes_.size() < kNil, "event node limit exceeded");
+  nodes_.emplace_back();
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void TimerWheelQueue::release_node(std::uint32_t idx) noexcept {
+  Node& n = nodes_[idx];
+  PLS_ASSERT((n.gen & 1u) == 0);
+  n.fn = InlineEvent{};  // usually already empty (moved out or cancelled)
+  n.next = free_head_;
+  free_head_ = idx;
+}
+
+void TimerWheelQueue::place(std::uint32_t idx) {
+  Node& n = nodes_[idx];
+  if (n.time < drained_until_) {
+    // The event's tick already drained (same-instant reschedule during
+    // execution, or an exotic caller scheduling into the past): merge it
+    // into the drain buffer at its exact (time, seq) rank.
+    insert_ready(Ref{n.time, n.seq, idx, n.gen});
+    return;
+  }
+  const std::uint64_t etick = tick_of(n.time);
+  if (etick < cur_tick_) {
+    // drained_until_ is a rounded double beyond 2^53 ticks; trust the
+    // integer cursor and fall back to the exact-ordered drain buffer.
+    insert_ready(Ref{n.time, n.seq, idx, n.gen});
+    return;
+  }
+  place_tick(idx, etick);
+}
+
+void TimerWheelQueue::place_tick(std::uint32_t idx, std::uint64_t etick) {
+  Node& n = nodes_[idx];
+  const std::uint64_t diff = etick ^ cur_tick_;
+  for (std::uint32_t level = 0; level < kLevels; ++level) {
+    if ((diff >> (kSlotBits * (level + 1))) == 0) {
+      const auto slot = static_cast<std::uint32_t>(
+          (etick >> (kSlotBits * level)) & (kSlots - 1));
+      n.next = slots_[level][slot];
+      slots_[level][slot] = idx;
+      occupied_[level] |= 1ull << slot;
+      return;
+    }
+  }
+  // Beyond the wheels' horizon: far-future overflow heap.
+  overflow_.push_back(Ref{n.time, n.seq, idx, n.gen});
+  std::push_heap(overflow_.begin(), overflow_.end(),
+                 [](const Ref& a, const Ref& b) noexcept {
+                   if (a.time != b.time) return a.time > b.time;
+                   return a.seq > b.seq;
+                 });
+}
+
+void TimerWheelQueue::insert_ready(const Ref& ref) {
+  const auto later = [](const Ref& a, const Ref& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  };
+  ready_.insert(std::upper_bound(ready_.begin(), ready_.end(), ref, later),
+                ref);
+}
+
+void TimerWheelQueue::ensure_ready() {
+  prune_ready_tail();
+  while (ready_.empty()) {
+    advance_once();
+    prune_ready_tail();
+  }
+}
+
+void TimerWheelQueue::prune_ready_tail() noexcept {
+  while (!ready_.empty()) {
+    const Ref& ref = ready_.back();
+    if (nodes_[ref.node].gen == ref.gen) return;  // live
+    release_node(ref.node);
+    ready_.pop_back();
+  }
+}
+
+void TimerWheelQueue::advance_once() {
+  PLS_ASSERT(ready_.empty());
+
+  const auto fires_later = [](const Ref& a, const Ref& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  };
+
+  // Reclaim cancelled overflow tops so they cannot distort the pull
+  // decision below.
+  while (!overflow_.empty() &&
+         nodes_[overflow_.front().node].gen != overflow_.front().gen) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), fires_later);
+    release_node(overflow_.back().node);
+    overflow_.pop_back();
+  }
+
+  // Earliest occupied slot across the wheel levels. On equal start ticks
+  // the higher level wins: it must cascade down before a lower slot in its
+  // range may drain.
+  std::uint64_t best_tick = 0;
+  int best_level = -1;
+  std::uint32_t best_slot = 0;
+  for (std::uint32_t level = 0; level < kLevels; ++level) {
+    const std::uint32_t shift = kSlotBits * level;
+    const auto off =
+        static_cast<std::uint32_t>((cur_tick_ >> shift) & (kSlots - 1));
+    const std::uint64_t bits = occupied_[level] & (~0ull << off);
+    if (bits == 0) continue;
+    const auto slot = static_cast<std::uint32_t>(std::countr_zero(bits));
+    const std::uint64_t high = cur_tick_ >> (shift + kSlotBits);
+    const std::uint64_t tick = ((high << kSlotBits) | slot) << shift;
+    if (best_level < 0 || tick <= best_tick) {
+      best_tick = tick;
+      best_level = static_cast<int>(level);
+      best_slot = slot;
+    }
+  }
+
+  // Far-future events re-enter the wheels one at a time, before any slot
+  // at or after their tick is allowed to drain (their sub-tick time may
+  // order them before everything already sitting in that slot).
+  if (!overflow_.empty()) {
+    const std::uint64_t o_tick = tick_of(overflow_.front().time);
+    if (best_level < 0 || o_tick <= best_tick) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), fires_later);
+      const std::uint32_t idx = overflow_.back().node;
+      overflow_.pop_back();
+      if (o_tick > cur_tick_) {
+        // Nothing lives in [cur_tick_, o_tick): skip the gap wholesale.
+        cur_tick_ = o_tick;
+        drained_until_ = static_cast<SimTime>(cur_tick_) * kTickWidth;
+      }
+      place(idx);
+      return;
+    }
+  }
+
+  PLS_CHECK_MSG(best_level >= 0,
+                "scheduler invariant violated: live events unreachable");
+
+  if (best_level == 0) {
+    drain_slot(0, best_slot);
+    cur_tick_ = best_tick + 1;
+    drained_until_ = static_cast<SimTime>(cur_tick_) * kTickWidth;
+    return;
+  }
+
+  // Cascade: dissolve the level's earliest slot into the levels below.
+  const auto level = static_cast<std::uint32_t>(best_level);
+  if (best_tick > cur_tick_) {
+    cur_tick_ = best_tick;
+    drained_until_ = static_cast<SimTime>(cur_tick_) * kTickWidth;
+  }
+  std::uint32_t idx = slots_[level][best_slot];
+  slots_[level][best_slot] = kNil;
+  occupied_[level] &= ~(1ull << best_slot);
+  while (idx != kNil) {
+    const std::uint32_t next = nodes_[idx].next;
+    nodes_[idx].next = kNil;
+    if ((nodes_[idx].gen & 1u) == 0) {
+      release_node(idx);  // cancelled while parked
+    } else {
+      place(idx);  // re-places relative to the new cursor: level < this one
+    }
+    idx = next;
+  }
+}
+
+void TimerWheelQueue::drain_slot(std::uint32_t level, std::uint32_t slot) {
+  std::uint32_t idx = slots_[level][slot];
+  slots_[level][slot] = kNil;
+  occupied_[level] &= ~(1ull << slot);
+  while (idx != kNil) {
+    Node& n = nodes_[idx];
+    const std::uint32_t next = n.next;
+    n.next = kNil;
+    if ((n.gen & 1u) == 0) {
+      release_node(idx);  // cancelled while parked
+    } else {
+      ready_.push_back(Ref{n.time, n.seq, idx, n.gen});
+    }
+    idx = next;
+  }
+  // The sort is what restores the exact global (time, seq) order within
+  // the slot's time range — bucketing above is pure performance tuning.
+  std::sort(ready_.begin(), ready_.end(),
+            [](const Ref& a, const Ref& b) noexcept {
+              if (a.time != b.time) return a.time > b.time;
+              return a.seq > b.seq;
+            });
+}
+
+}  // namespace pls::sim

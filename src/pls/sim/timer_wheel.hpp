@@ -1,0 +1,171 @@
+// Hierarchical timer-wheel event scheduler — the default sim::EventQueue.
+//
+// Geometry: four wheel levels of 64 slots each over a 1.0-time-unit base
+// tick, covering [now, now + 64^4) ticks (~16.7M time units) with O(1)
+// placement, plus a binary-heap overflow level for far-future events
+// (MTTF/MTTR tails, open-ended horizons). Occupancy bitmaps (one uint64
+// per level) let the wheel skip empty regions with a ctz instead of
+// slot-by-slot scanning, so sparse far-apart events cost O(levels), not
+// O(elapsed ticks).
+//
+// Ordering contract — identical to ReferenceEventQueue, bit for bit: pops
+// come in (time, sequence) order, so same-instant events fire in
+// scheduling order. The wheel never compares anything else: whenever a
+// slot's range is reached, its events are sorted by (time, sequence) into
+// a drain buffer, which makes the pop order independent of wheel geometry
+// (bucketing is pure performance tuning, the sort restores exact order).
+// The queue draws no randomness, so golden traces and seeded runs are
+// byte-identical under either implementation.
+//
+// Allocation behaviour: events are sim::InlineEvent (48-byte inline
+// captures, slab overflow) living in recycled slab nodes; slots are
+// intrusive singly-linked index lists; the drain buffer and overflow heap
+// reuse their capacity. Steady-state schedule/pop/cancel therefore performs
+// zero heap allocations (perf_check.sh pins this to exactly 0 under
+// -DPLS_COUNT_ALLOCS=ON).
+//
+// Cancellation is O(1): an EventId packs (generation << 32 | node index);
+// cancel bumps the node's generation (odd = armed, even = dead), destroys
+// the capture eagerly, and lets the node's container reclaim the node when
+// it next touches it. No hash set, no heap percolation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "pls/common/check.hpp"
+#include "pls/common/types.hpp"
+#include "pls/sim/inline_event.hpp"
+
+namespace pls::sim {
+
+class TimerWheelQueue {
+ public:
+  using Fn = InlineEvent;
+
+  static constexpr std::uint32_t kSlotBits = 6;
+  static constexpr std::uint32_t kSlots = 1u << kSlotBits;  // 64
+  static constexpr std::uint32_t kLevels = 4;
+  static constexpr SimTime kTickWidth = 1.0;
+
+  TimerWheelQueue() = default;
+  TimerWheelQueue(const TimerWheelQueue&) = delete;
+  TimerWheelQueue& operator=(const TimerWheelQueue&) = delete;
+
+  /// Schedules `fn` at absolute time `at`; returns a cancellable id.
+  /// The callable is captured in place: inline when it fits kInlineCapacity,
+  /// otherwise in this queue's slab.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineEvent>>>
+  EventId schedule(SimTime at, F&& fn) {
+    return schedule(at, InlineEvent(std::forward<F>(fn), &slab_));
+  }
+  EventId schedule(SimTime at, InlineEvent fn);
+
+  /// Cancels a pending event in O(1). Returns false if the event already
+  /// fired, was already cancelled, or never existed.
+  bool cancel(EventId id) noexcept;
+
+  bool empty() const noexcept { return live_ == 0; }
+  std::size_t size() const noexcept { return live_; }
+
+  /// Time of the next live event. Precondition: !empty().
+  SimTime next_time() const;
+
+  /// Pops and returns the next live event. Precondition: !empty(). The
+  /// returned fn must not outlive this queue (overflow captures live in
+  /// the queue's slab).
+  struct Popped {
+    EventId id;
+    SimTime time;
+    InlineEvent fn;
+  };
+  Popped pop();
+
+  /// Overflow-capture slab, exposed so tests can pin "no hot-path capture
+  /// spills" (slab().fresh_blocks() == 0) and perf harnesses can report
+  /// slab traffic.
+  const EventSlab& slab() const noexcept { return slab_; }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  // Ticks at/after this never fit a double's integer range; they share one
+  // far bucket whose drain sort restores exact (time, seq) order anyway.
+  static constexpr std::uint64_t kFarTick = 1ull << 62;
+
+  struct Node {
+    SimTime time = 0.0;
+    std::uint64_t seq = 0;
+    std::uint32_t gen = 0;  // odd = armed; even = fired/cancelled/free
+    std::uint32_t next = kNil;
+    InlineEvent fn;
+  };
+
+  /// A detached reference to a node, carrying the (time, seq) sort key and
+  /// the generation observed at detach time (a mismatch on consumption
+  /// means the event was cancelled in the meantime).
+  struct Ref {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t node;
+    std::uint32_t gen;
+  };
+
+  static EventId pack(std::uint32_t gen, std::uint32_t node) noexcept {
+    return (static_cast<EventId>(gen) << 32) | node;
+  }
+
+  static std::uint64_t tick_of(SimTime at) noexcept {
+    return at < static_cast<SimTime>(kFarTick)
+               ? static_cast<std::uint64_t>(at / kTickWidth)
+               : kFarTick;
+  }
+
+  std::uint32_t acquire_node();
+  void release_node(std::uint32_t idx) noexcept;
+
+  void place(std::uint32_t idx);
+  void place_tick(std::uint32_t idx, std::uint64_t etick);
+  void insert_ready(const Ref& ref);
+
+  void ensure_ready();
+  void prune_ready_tail() noexcept;
+  void advance_once();
+  void drain_slot(std::uint32_t level, std::uint32_t slot);
+
+  // Slab first: node captures that overflowed must be released into a
+  // still-live slab when nodes_ is destroyed.
+  EventSlab slab_;
+  std::vector<Node> nodes_;
+  std::uint32_t free_head_ = kNil;
+
+  std::array<std::array<std::uint32_t, kSlots>, kLevels> slots_ =
+      [] {
+        std::array<std::array<std::uint32_t, kSlots>, kLevels> init{};
+        for (auto& level : init) level.fill(kNil);
+        return init;
+      }();
+  std::array<std::uint64_t, kLevels> occupied_{};
+
+  /// First tick not yet drained; everything before it is history and new
+  /// events landing there go straight to ready_.
+  std::uint64_t cur_tick_ = 0;
+  SimTime drained_until_ = 0.0;
+
+  /// Drain buffer: the current slot's events, sorted descending by
+  /// (time, seq) so pop() takes from the back.
+  std::vector<Ref> ready_;
+
+  /// Far-future events beyond the wheels' horizon: a binary min-heap by
+  /// (time, seq) with lazily skipped cancellations.
+  std::vector<Ref> overflow_;
+
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace pls::sim

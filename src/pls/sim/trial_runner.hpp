@@ -14,6 +14,12 @@
 // The aggregate therefore depends only on (trials, master_seed), not on
 // --jobs or the OS scheduler. docs/EXPERIMENT_RUNNER.md specifies the
 // scheme; tests/test_trial_runner.cpp enforces the guarantee.
+//
+// Each trial builds its own Simulator, whose TimerWheelQueue owns its node
+// pool and capture slab (see inline_event.hpp). Those recyclers are
+// deliberately unsynchronized: the whole simulation stack of a trial is
+// confined to the worker executing it, so per-queue pooling stays
+// allocation-free without atomics or locks.
 #pragma once
 
 #include <cstddef>

@@ -18,7 +18,7 @@ ReplayResult Replayer::run() {
     const UpdateEvent& ev = events[i];
     const SimTime gap =
         (i + 1 < events.size()) ? events[i + 1].time - ev.time : 0.0;
-    sim.schedule_at(ev.time, [this, &result, &ev, i, gap] {
+    const auto fire = [this, &result, &ev, i, gap] {
       if (ev.kind == UpdateKind::kAdd) {
         strategy_.add(ev.entry);
         ++result.adds_applied;
@@ -27,7 +27,11 @@ ReplayResult Replayer::run() {
         ++result.deletes_applied;
       }
       if (observer_) observer_(ev, i, gap);
-    });
+    };
+    static_assert(sim::InlineEvent::fits_inline<decltype(fire)>,
+                  "replay events must capture by reference/index to stay "
+                  "within the inline buffer");
+    sim.schedule_at(ev.time, fire);
   }
   sim.run_all();
   result.end_time = events.empty() ? 0.0 : events.back().time;

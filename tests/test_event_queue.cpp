@@ -1,21 +1,37 @@
 // Unit tests for the discrete-event queue.
+//
+// The whole contract suite runs as typed tests over BOTH implementations —
+// the default TimerWheelQueue and the binary-heap ReferenceEventQueue — so
+// the two can never drift apart on observable behaviour. Implementation-
+// specific regressions (the reference queue's old cancel-after-fire leak,
+// the wheel's generation-tag id reuse) follow as plain TESTs.
+#include <functional>
 #include <vector>
 
 #include <gtest/gtest.h>
 
-#include "pls/sim/event_queue.hpp"
+#include "pls/sim/reference_queue.hpp"
+#include "pls/sim/timer_wheel.hpp"
 
 namespace pls::sim {
 namespace {
 
-TEST(EventQueue, EmptyByDefault) {
-  EventQueue q;
-  EXPECT_TRUE(q.empty());
-  EXPECT_EQ(q.size(), 0u);
+template <typename Q>
+class EventQueueContract : public ::testing::Test {
+ protected:
+  Q queue_;
+};
+
+using QueueTypes = ::testing::Types<TimerWheelQueue, ReferenceEventQueue>;
+TYPED_TEST_SUITE(EventQueueContract, QueueTypes);
+
+TYPED_TEST(EventQueueContract, EmptyByDefault) {
+  EXPECT_TRUE(this->queue_.empty());
+  EXPECT_EQ(this->queue_.size(), 0u);
 }
 
-TEST(EventQueue, PopsInTimeOrder) {
-  EventQueue q;
+TYPED_TEST(EventQueueContract, PopsInTimeOrder) {
+  auto& q = this->queue_;
   std::vector<int> order;
   q.schedule(3.0, [&] { order.push_back(3); });
   q.schedule(1.0, [&] { order.push_back(1); });
@@ -24,8 +40,8 @@ TEST(EventQueue, PopsInTimeOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueue, TiesBreakInSchedulingOrder) {
-  EventQueue q;
+TYPED_TEST(EventQueueContract, TiesBreakInSchedulingOrder) {
+  auto& q = this->queue_;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
     q.schedule(5.0, [&order, i] { order.push_back(i); });
@@ -34,15 +50,15 @@ TEST(EventQueue, TiesBreakInSchedulingOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
-TEST(EventQueue, NextTimeReportsEarliestLiveEvent) {
-  EventQueue q;
+TYPED_TEST(EventQueueContract, NextTimeReportsEarliestLiveEvent) {
+  auto& q = this->queue_;
   q.schedule(9.0, [] {});
   q.schedule(4.0, [] {});
   EXPECT_DOUBLE_EQ(q.next_time(), 4.0);
 }
 
-TEST(EventQueue, CancelPreventsExecution) {
-  EventQueue q;
+TYPED_TEST(EventQueueContract, CancelPreventsExecution) {
+  auto& q = this->queue_;
   bool ran = false;
   const EventId id = q.schedule(1.0, [&] { ran = true; });
   EXPECT_TRUE(q.cancel(id));
@@ -50,48 +66,140 @@ TEST(EventQueue, CancelPreventsExecution) {
   EXPECT_FALSE(ran);
 }
 
-TEST(EventQueue, CancelledHeadRevealsNextEvent) {
-  EventQueue q;
+TYPED_TEST(EventQueueContract, CancelledHeadRevealsNextEvent) {
+  auto& q = this->queue_;
   const EventId first = q.schedule(1.0, [] {});
   q.schedule(2.0, [] {});
   q.cancel(first);
   EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
 }
 
-TEST(EventQueue, CancelUnknownIdsReturnsFalse) {
-  EventQueue q;
-  EXPECT_FALSE(q.cancel(0));
-  EXPECT_FALSE(q.cancel(12345));
+TYPED_TEST(EventQueueContract, CancelUnknownIdsReturnsFalse) {
+  EXPECT_FALSE(this->queue_.cancel(0));
+  EXPECT_FALSE(this->queue_.cancel(12345));
 }
 
-TEST(EventQueue, DoubleCancelReturnsFalse) {
-  EventQueue q;
+TYPED_TEST(EventQueueContract, DoubleCancelReturnsFalse) {
+  auto& q = this->queue_;
   const EventId id = q.schedule(1.0, [] {});
   EXPECT_TRUE(q.cancel(id));
   EXPECT_FALSE(q.cancel(id));
 }
 
-TEST(EventQueue, PopOnEmptyThrows) {
-  EventQueue q;
-  EXPECT_THROW(q.pop(), std::logic_error);
-  EXPECT_THROW(q.next_time(), std::logic_error);
+TYPED_TEST(EventQueueContract, CancelAfterFireReturnsFalse) {
+  auto& q = this->queue_;
+  const EventId id = q.schedule(1.0, [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
 }
 
-TEST(EventQueue, ScheduleEmptyFunctionThrows) {
-  EventQueue q;
-  EXPECT_THROW(q.schedule(1.0, EventFn{}), std::logic_error);
+TYPED_TEST(EventQueueContract, SizeTracksScheduleCancelPop) {
+  auto& q = this->queue_;
+  const EventId a = q.schedule(1.0, [] {});
+  const EventId b = q.schedule(2.0, [] {});
+  q.schedule(3.0, [] {});
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_FALSE(q.cancel(b));  // double cancel must not drift the count
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_FALSE(q.cancel(a));  // fired
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
 }
 
-TEST(EventQueue, PoppedCarriesIdAndTime) {
-  EventQueue q;
+TYPED_TEST(EventQueueContract, PopOnEmptyThrows) {
+  EXPECT_THROW(this->queue_.pop(), std::logic_error);
+  EXPECT_THROW(this->queue_.next_time(), std::logic_error);
+}
+
+TYPED_TEST(EventQueueContract, ScheduleEmptyFunctionThrows) {
+  using Fn = typename TypeParam::Fn;
+  EXPECT_THROW(this->queue_.schedule(1.0, Fn{}), std::logic_error);
+}
+
+TYPED_TEST(EventQueueContract, PoppedCarriesIdAndTime) {
+  auto& q = this->queue_;
   const EventId id = q.schedule(7.5, [] {});
   const auto popped = q.pop();
   EXPECT_EQ(popped.id, id);
   EXPECT_DOUBLE_EQ(popped.time, 7.5);
 }
 
-TEST(EventQueue, StressManyInterleavedOps) {
-  EventQueue q;
+TYPED_TEST(EventQueueContract, ScheduleIntoDrainedInstantStillOrdersExactly) {
+  auto& q = this->queue_;
+  std::vector<int> order;
+  q.schedule(5.0, [&] { order.push_back(0); });
+  q.schedule(5.5, [&] { order.push_back(2); });
+  q.pop().fn();  // drains the tick containing t=5
+  // Late arrival inside the already-drained region must still fire before
+  // the t=5.5 event (and after everything previously popped).
+  q.schedule(5.2, [&] { order.push_back(1); });
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.2);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// The tier-1 ordering property the wheel must not break: same-instant
+// events fire in scheduling order even when the shared instant sits on (or
+// the schedule straddles) wheel-level boundaries, and regardless of pops
+// interleaved between the schedules.
+TYPED_TEST(EventQueueContract, SameInstantOrderAcrossLevelBoundaries) {
+  auto& q = this->queue_;
+  // Instants chosen around the wheel's level edges (64, 64^2, 64^3 ticks)
+  // plus the far-overflow horizon.
+  const SimTime instants[] = {63.0,      64.0,       65.0,     4095.5,
+                              4096.0,    262143.25,  262144.0, 2.0e7,
+                              1.0e9};
+  std::vector<std::pair<SimTime, int>> fired;
+  int tag = 0;
+  // Interleave: for each instant, schedule three same-instant events whose
+  // tags record global scheduling order.
+  for (int round = 0; round < 3; ++round) {
+    for (const SimTime at : instants) {
+      const int t = tag++;
+      q.schedule(at, [&fired, at, t] { fired.emplace_back(at, t); });
+    }
+  }
+  // Pop a prefix (moves the wheel cursor across the first boundary), then
+  // schedule another batch at the same instants.
+  for (int i = 0; i < 4; ++i) q.pop().fn();
+  for (const SimTime at : instants) {
+    if (at < 65.0) continue;  // stay within the queue's no-past contract
+    const int t = tag++;
+    q.schedule(at, [&fired, at, t] { fired.emplace_back(at, t); });
+  }
+  while (!q.empty()) q.pop().fn();
+
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(tag));
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1].first, fired[i].first) << "time order broke at " << i;
+    if (fired[i - 1].first == fired[i].first) {
+      EXPECT_LT(fired[i - 1].second, fired[i].second)
+          << "same-instant FIFO broke at t=" << fired[i].first;
+    }
+  }
+}
+
+TYPED_TEST(EventQueueContract, FarFutureEventsInterleaveWithNearOnes) {
+  auto& q = this->queue_;
+  std::vector<int> order;
+  q.schedule(1.0e9, [&] { order.push_back(5); });   // overflow horizon
+  q.schedule(2.5, [&] { order.push_back(0); });     // level 0
+  q.schedule(5.0e8, [&] { order.push_back(3); });   // overflow horizon
+  q.schedule(1.7e7, [&] { order.push_back(1); });   // just past the wheels
+  q.schedule(5.0e8, [&] { order.push_back(4); });   // overflow tie, FIFO
+  q.schedule(2.0e7, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TYPED_TEST(EventQueueContract, StressManyInterleavedOps) {
+  auto& q = this->queue_;
   std::vector<EventId> ids;
   int executed = 0;
   for (int i = 0; i < 1000; ++i) {
@@ -107,6 +215,85 @@ TEST(EventQueue, StressManyInterleavedOps) {
     ev.fn();
   }
   EXPECT_EQ(executed, 1000 - 334);
+}
+
+// --- Reference-queue regressions -----------------------------------------
+
+// Cancelling an id that already fired used to leak the id into the lazy
+// cancellation set forever (and `live_` was incremented but never
+// decremented, so size() drifted). Neither may come back.
+TEST(ReferenceEventQueue, CancelAfterFireDoesNotAccumulateLazyState) {
+  ReferenceEventQueue q;
+  for (int i = 0; i < 100; ++i) {
+    const EventId id = q.schedule(static_cast<SimTime>(i), [] {});
+    q.pop();
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id + 1000000));  // fabricated ids neither
+  }
+  EXPECT_EQ(q.lazy_cancelled(), 0u);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ReferenceEventQueue, LazyCancelledDrainsOnPop) {
+  ReferenceEventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_EQ(q.lazy_cancelled(), 1u);  // parked until the heap top surfaces
+  EXPECT_DOUBLE_EQ(q.pop().time, 2.0);
+  EXPECT_EQ(q.lazy_cancelled(), 0u);
+}
+
+// --- Timer-wheel specifics ------------------------------------------------
+
+// Node storage is recycled, so a stale id whose node was reused must be
+// rejected by the generation tag instead of cancelling the new occupant.
+TEST(TimerWheelQueue, StaleIdOnReusedNodeIsRejected) {
+  TimerWheelQueue q;
+  const EventId first = q.schedule(1.0, [] {});
+  q.pop();
+  bool ran = false;
+  const EventId second = q.schedule(2.0, [&] { ran = true; });
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(q.cancel(first));  // stale handle, same node
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().fn();
+  EXPECT_TRUE(ran);
+}
+
+TEST(TimerWheelQueue, CancelReleasesCaptureEagerly) {
+  TimerWheelQueue q;
+  auto token = std::make_shared<int>(42);
+  const EventId id = q.schedule(1.0, [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(token.use_count(), 1);  // capture destroyed at cancel, not drain
+}
+
+TEST(TimerWheelQueue, InlineCapturesNeverTouchTheSlab) {
+  TimerWheelQueue q;
+  for (int i = 0; i < 256; ++i) {
+    q.schedule(static_cast<SimTime>(i % 7), [i] { (void)i; });
+  }
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(q.slab().fresh_blocks(), 0u);
+  EXPECT_EQ(q.slab().outstanding(), 0u);
+}
+
+TEST(TimerWheelQueue, OversizedCapturesRecycleThroughTheSlab) {
+  TimerWheelQueue q;
+  struct Big {
+    char payload[128];
+  };
+  for (int round = 0; round < 8; ++round) {
+    Big big{};
+    big.payload[0] = static_cast<char>(round);
+    q.schedule(static_cast<SimTime>(round), [big] { (void)big; });
+    q.pop().fn();
+  }
+  EXPECT_EQ(q.slab().fresh_blocks(), 1u);  // one block, recycled 8 times
+  EXPECT_EQ(q.slab().outstanding(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,177 @@
+// Differential fuzzing of TimerWheelQueue against ReferenceEventQueue.
+//
+// The two implementations promise the same observable contract: pops come
+// in (time, sequence) order, cancel is exact, size/empty/next_time agree.
+// Event *ids* are implementation-defined (sequence numbers vs generation-
+// tagged node handles), so the lockstep driver compares by logical event
+// token — every scheduled callback records its token into a shared log —
+// never by raw id.
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pls/common/rng.hpp"
+#include "pls/sim/reference_queue.hpp"
+#include "pls/sim/timer_wheel.hpp"
+
+namespace pls::sim {
+namespace {
+
+/// One logical event scheduled into both queues.
+struct Token {
+  EventId wheel_id;
+  EventId ref_id;
+  SimTime time;
+};
+
+SimTime draw_time(Rng& rng, SimTime horizon_base) {
+  switch (rng.uniform(6)) {
+    case 0:  // dense near horizon (latency/retry shaped)
+      return horizon_base + rng.uniform_real() * 100.0;
+    case 1:  // mid horizon, crosses wheel levels
+      return horizon_base + rng.uniform_real() * 1.0e5;
+    case 2:  // far horizon (MTTF/MTTR tails), lands in the overflow heap
+      return horizon_base + 1.6e7 + rng.exponential(1.0e9);
+    case 3:  // exact tick boundaries (64^k edges)
+      return horizon_base +
+             static_cast<SimTime>(64u << (6 * rng.uniform(3)));
+    case 4:  // whole-tick instants: maximal same-bucket collisions
+      return horizon_base + static_cast<SimTime>(rng.uniform(50));
+    default:  // "now"
+      return horizon_base;
+  }
+}
+
+void run_lockstep(std::uint64_t seed, int ops) {
+  Rng rng(seed);
+  TimerWheelQueue wheel;
+  ReferenceEventQueue ref;
+  std::vector<Token> tokens;
+  std::vector<std::size_t> wheel_log, ref_log;
+  SimTime last_pop = 0.0;
+
+  for (int op = 0; op < ops; ++op) {
+    ASSERT_EQ(wheel.size(), ref.size());
+    ASSERT_EQ(wheel.empty(), ref.empty());
+
+    switch (rng.uniform(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // schedule (the most common op)
+        // Times may land before already-drained instants — the queues, unlike
+        // Simulator, accept that — so fuzz across the full range.
+        const SimTime at =
+            draw_time(rng, rng.bernoulli(0.8) ? last_pop : 0.0);
+        const std::size_t token = tokens.size();
+        const EventId wid =
+            wheel.schedule(at, [token, &wheel_log] { wheel_log.push_back(token); });
+        const EventId rid =
+            ref.schedule(at, [token, &ref_log] { ref_log.push_back(token); });
+        tokens.push_back(Token{wid, rid, at});
+        break;
+      }
+      case 4: {  // cancel a random token (live, fired, or already cancelled)
+        if (tokens.empty()) break;
+        const Token& t = tokens[rng.uniform(tokens.size())];
+        const bool wheel_ok = wheel.cancel(t.wheel_id);
+        const bool ref_ok = ref.cancel(t.ref_id);
+        ASSERT_EQ(wheel_ok, ref_ok);
+        break;
+      }
+      case 5: {  // next_time must agree exactly
+        if (wheel.empty()) break;
+        ASSERT_EQ(wheel.next_time(), ref.next_time());
+        break;
+      }
+      default: {  // pop
+        if (wheel.empty()) break;
+        auto w = wheel.pop();
+        auto r = ref.pop();
+        ASSERT_EQ(w.time, r.time);
+        last_pop = w.time;
+        w.fn();
+        r.fn();
+        ASSERT_EQ(wheel_log, ref_log);
+        break;
+      }
+    }
+  }
+
+  while (!wheel.empty()) {
+    ASSERT_FALSE(ref.empty());
+    auto w = wheel.pop();
+    auto r = ref.pop();
+    ASSERT_EQ(w.time, r.time);
+    w.fn();
+    r.fn();
+  }
+  EXPECT_TRUE(ref.empty());
+  ASSERT_EQ(wheel_log, ref_log);
+}
+
+TEST(EventQueueFuzz, LockstepAgainstReferenceQueue) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "seed " << seed);
+    run_lockstep(seed, 4000);
+  }
+}
+
+/// Self-scheduling driver: events re-schedule follow-ups and cancel
+/// previously armed ones from *inside* callbacks, the access pattern the
+/// simulator actually produces. Runs the identical script on either queue
+/// type and compares the resulting (time, step) trace.
+template <typename Q>
+std::vector<std::pair<SimTime, std::uint64_t>> run_script(std::uint64_t seed) {
+  Q q;
+  Rng rng(seed);
+  std::vector<std::pair<SimTime, std::uint64_t>> trace;
+  std::vector<EventId> armed;
+  std::uint64_t steps = 0;
+
+  struct Driver {
+    Q& q;
+    Rng& rng;
+    std::vector<std::pair<SimTime, std::uint64_t>>& trace;
+    std::vector<EventId>& armed;
+    std::uint64_t& steps;
+
+    void fire(SimTime now) {
+      trace.emplace_back(now, steps);
+      if (steps >= 20000) return;
+      // Fan out 0-2 follow-ups over mixed horizons.
+      const std::uint64_t fanout = rng.uniform(3);
+      for (std::uint64_t i = 0; i < fanout; ++i) {
+        const SimTime at = now + draw_time(rng, 0.0);
+        const std::uint64_t step = ++steps;
+        armed.push_back(q.schedule(
+            at, [this, at, step] { (void)step; fire(at); }));
+      }
+      // Occasionally cancel a previously armed event (may already have
+      // fired — both outcomes are part of the script).
+      if (!armed.empty() && rng.bernoulli(0.3)) {
+        q.cancel(armed[rng.uniform(armed.size())]);
+      }
+    }
+  } driver{q, rng, trace, armed, steps};
+
+  q.schedule(0.0, [&driver] { driver.fire(0.0); });
+  q.schedule(1.0, [&driver] { driver.fire(1.0); });
+  while (!q.empty()) q.pop().fn();
+  return trace;
+}
+
+TEST(EventQueueFuzz, SelfSchedulingScriptMatchesReference) {
+  for (std::uint64_t seed = 100; seed < 104; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "seed " << seed);
+    const auto wheel_trace = run_script<TimerWheelQueue>(seed);
+    const auto ref_trace = run_script<ReferenceEventQueue>(seed);
+    ASSERT_FALSE(wheel_trace.empty());
+    EXPECT_EQ(wheel_trace, ref_trace);
+  }
+}
+
+}  // namespace
+}  // namespace pls::sim

@@ -1,0 +1,168 @@
+// Unit tests for sim::InlineEvent and sim::EventSlab — the allocation-free
+// callable machinery under the timer-wheel scheduler.
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pls/sim/inline_event.hpp"
+
+namespace pls::sim {
+namespace {
+
+TEST(InlineEvent, EmptyByDefault) {
+  InlineEvent e;
+  EXPECT_FALSE(static_cast<bool>(e));
+  EXPECT_THROW(e(), std::logic_error);
+}
+
+TEST(InlineEvent, SmallCaptureStaysInline) {
+  int hits = 0;
+  InlineEvent e([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(e));
+  EXPECT_FALSE(e.overflowed());
+  e();
+  e();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineEvent, FitsInlinePredicateMatchesCaptureSize) {
+  int a = 0, b = 0, c = 0;
+  const auto small = [&a, &b, &c] { (void)a; (void)b; (void)c; };
+  static_assert(InlineEvent::fits_inline<decltype(small)>);
+
+  struct Big {
+    char payload[InlineEvent::kInlineCapacity + 1];
+  };
+  Big big{};
+  const auto large = [big] { (void)big; };
+  static_assert(!InlineEvent::fits_inline<decltype(large)>);
+  SUCCEED();
+}
+
+TEST(InlineEvent, StdFunctionFitsInline) {
+  // Simulator callers occasionally pre-build a std::function (e.g. a
+  // self-rescheduling closure); it must not spill.
+  static_assert(InlineEvent::fits_inline<std::function<void()>>);
+  int hits = 0;
+  std::function<void()> fn = [&hits] { ++hits; };
+  InlineEvent e(fn);
+  EXPECT_FALSE(e.overflowed());
+  e();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineEvent, MoveTransfersInlineCallable) {
+  int hits = 0;
+  InlineEvent a([&hits] { ++hits; });
+  InlineEvent b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  InlineEvent c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineEvent, DestructorReleasesInlineCapture) {
+  auto token = std::make_shared<int>(7);
+  {
+    InlineEvent e([token] { (void)*token; });
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineEvent, MoveAssignReleasesPreviousCapture) {
+  auto old_token = std::make_shared<int>(1);
+  auto new_token = std::make_shared<int>(2);
+  InlineEvent e([old_token] { (void)*old_token; });
+  e = InlineEvent([new_token] { (void)*new_token; });
+  EXPECT_EQ(old_token.use_count(), 1);
+  EXPECT_EQ(new_token.use_count(), 2);
+}
+
+TEST(InlineEvent, OversizedCaptureOverflowsToHeapWithoutSlab) {
+  struct Big {
+    char payload[200];
+  };
+  Big big{};
+  std::memset(big.payload, 0x5a, sizeof big.payload);
+  bool ok = false;
+  InlineEvent e([big, &ok] { ok = big.payload[199] == 0x5a; });
+  EXPECT_TRUE(e.overflowed());
+  e();
+  EXPECT_TRUE(ok);
+}
+
+TEST(InlineEvent, OversizedCaptureDestructsThroughSlab) {
+  EventSlab slab;
+  auto token = std::make_shared<int>(9);
+  struct Pad {
+    char bytes[64];
+  };
+  Pad pad{};
+  {
+    InlineEvent e([token, pad] { (void)*token; (void)pad; }, &slab);
+    EXPECT_TRUE(e.overflowed());
+    EXPECT_EQ(slab.outstanding(), 1u);
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(slab.outstanding(), 0u);
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventSlab, RecyclesBlocksPerSizeClass) {
+  EventSlab slab;
+  struct Big {
+    char payload[100];
+  };
+  Big big{};
+  for (int i = 0; i < 16; ++i) {
+    InlineEvent e([big] { (void)big; }, &slab);
+    e();
+  }
+  EXPECT_EQ(slab.fresh_blocks(), 1u);  // first block served all 16 events
+  EXPECT_EQ(slab.outstanding(), 0u);
+
+  // A different size class gets its own block...
+  struct Huge {
+    char payload[1000];
+  };
+  Huge huge{};
+  {
+    InlineEvent e([huge] { (void)huge; }, &slab);
+    EXPECT_EQ(slab.fresh_blocks(), 2u);
+  }
+  // ...and is likewise recycled.
+  {
+    InlineEvent e([huge] { (void)huge; }, &slab);
+    EXPECT_EQ(slab.fresh_blocks(), 2u);
+  }
+}
+
+TEST(EventSlab, MovedEventsKeepTheirSlabBlock) {
+  EventSlab slab;
+  struct Big {
+    char payload[100];
+  };
+  Big big{};
+  big.payload[0] = 42;
+  std::vector<InlineEvent> events;
+  events.emplace_back([big] { EXPECT_EQ(big.payload[0], 42); }, &slab);
+  InlineEvent moved = std::move(events.front());
+  events.clear();
+  EXPECT_EQ(slab.outstanding(), 1u);
+  moved();  // capture must still be intact after the move
+  moved = InlineEvent{};
+  EXPECT_EQ(slab.outstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace pls::sim

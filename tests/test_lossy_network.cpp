@@ -6,11 +6,13 @@
 // asserted here are exact replays, not statistical hopes.
 #include <cmath>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "pls/core/strategy_factory.hpp"
+#include "pls/net/failure_injector.hpp"
 #include "pls/net/network.hpp"
 #include "pls/workload/replay.hpp"
 
@@ -195,6 +197,35 @@ TEST_F(LossyFixture, DeferredModeDeliversRetransmissionsAfterBackoff) {
   // clock advanced past at least one base timeout.
   EXPECT_GE(sim.now(), net->retry_policy().base_timeout * 0.8);
   expect_conserved(s);
+}
+
+TEST_F(LossyFixture, DeferredHotPathCapturesNeverSpillToTheEventSlab) {
+  // The acceptance bar for the inline-event scheduler: nothing the default
+  // configuration schedules — deferred deliveries, retransmissions,
+  // failure/recovery churn — may overflow InlineEvent's 48-byte inline
+  // buffer. A capture that grows past it silently costs a slab round-trip
+  // per event; this pins the wheel's slab to "never touched".
+  set_link(0.3, 0.2, 11);
+  sim::Simulator sim;
+  net->attach_simulator(&sim, 0.5);
+  FailureInjector::Config churn;
+  churn.mttf = 40.0;
+  churn.mttr = 5.0;
+  churn.seed = 3;
+  FailureInjector injector(failures, churn);
+  injector.arm(sim);
+  for (int i = 0; i < 200; ++i) {
+    net->client_send(static_cast<ServerId>(i % 4),
+                     StoreEntry{static_cast<Entry>(i)});
+  }
+  sim.run_until(500.0);
+  EXPECT_GT(sim.events_executed(), 200u);
+  if constexpr (std::is_same_v<sim::EventQueue, sim::TimerWheelQueue>) {
+    EXPECT_EQ(sim.queue().slab().fresh_blocks(), 0u)
+        << "a hot-path capture outgrew InlineEvent::kInlineCapacity";
+    EXPECT_EQ(sim.queue().slab().outstanding(), 0u);
+  }
+  expect_conserved(net->stats());
 }
 
 TEST(RetryPolicyTest, TimeoutsBackOffExponentiallyWithJitter) {
