@@ -1,0 +1,249 @@
+// Key-count scaling of the shared-cluster service: how much memory and
+// time does ONE more key cost?
+//
+// For K in {1k, 10k, 100k} keys we build a PartialLookupService (n hosts,
+// Round-Robin-2 per key, h entries each) and report build throughput
+// (keys/sec, wall-clock, informational only) plus the deterministic
+// allocation counters (PLS_COUNT_ALLOCS builds): allocs/key and bytes/key.
+// A shared cluster stores per key only its tenants, its transport channel
+// and its strategy object, so bytes/key must stay essentially flat as K
+// grows — the 100k figure is gated to within 2x of the 1k figure.
+//
+// At K = 10k a realistic deployment — a mildly lossy link plus balanced
+// add/delete churn per key — is run against the pre-tenancy design: K
+// independent standalone strategies, each owning a private Cluster +
+// Network + n host servers. Loss makes deliveries sequenced, so every
+// server accumulates duplicate-suppression window state; the per-key-
+// cluster design retains that per key x server (each window capped at
+// 4096 seqnos), while the shared cluster's n host windows are shared by
+// ALL keys and stay O(n) total. The shared design is gated to retain
+// >= 5x less live memory per key than the per-key-cluster layout.
+//
+// scripts/perf_check.sh runs this binary in the instrumented build-perf
+// tree and diffs --json-out against the checked-in
+// BENCH_service_scale.json; wall-clock numbers stay out of the JSON.
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+#include "pls/common/alloc_stats.hpp"
+#include "pls/core/service.hpp"
+
+namespace {
+
+using namespace pls;
+
+constexpr std::size_t kNumServers = 8;
+constexpr std::size_t kEntriesPerKey = 4;
+/// Comparison deployment: add/delete pairs per key and the link model that
+/// makes deliveries sequenced (and hence dedup-windowed).
+constexpr std::size_t kChurnPairs = 150;
+constexpr net::LinkModel kLossyLink{.drop_probability = 0.02,
+                                    .duplicate_probability = 0.02,
+                                    .seed = 0};
+
+core::ServiceConfig scale_config(std::size_t expected_keys,
+                                 std::uint64_t seed) {
+  core::ServiceConfig cfg;
+  cfg.num_servers = kNumServers;
+  cfg.default_strategy = {.kind = core::StrategyKind::kRoundRobin,
+                          .param = 2};
+  cfg.expected_keys = expected_keys;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<Entry> key_entries(std::size_t k) {
+  std::vector<Entry> out(kEntriesPerKey);
+  for (std::size_t i = 0; i < kEntriesPerKey; ++i) {
+    out[i] = static_cast<Entry>(kEntriesPerKey * k + i);
+  }
+  return out;
+}
+
+struct ScalePoint {
+  std::size_t keys = 0;
+  double keys_per_sec = 0;        // wall clock; printed, never gated
+  double allocs_per_key = 0;      // cumulative (PLS_COUNT_ALLOCS)
+  double bytes_per_key = 0;       // cumulative allocation volume per key
+  double live_bytes_per_key = 0;  // retained state per key, post-build
+};
+
+/// Builds and populates a K-key shared-cluster service, measuring both the
+/// allocation bill of the population (construction + K places, cumulative)
+/// and the live bytes the finished service retains per key.
+ScalePoint run_shared(std::size_t keys, std::uint64_t seed) {
+  ScalePoint point;
+  point.keys = keys;
+  const auto alloc_before = AllocStats::current();
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    core::PartialLookupService service(scale_config(keys, seed));
+    for (std::size_t k = 0; k < keys; ++k) {
+      service.place("key-" + std::to_string(k), key_entries(k));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto delta = AllocStats::current() - alloc_before;
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    point.keys_per_sec =
+        secs > 0 ? static_cast<double>(keys) / secs : 0.0;
+    point.allocs_per_key = static_cast<double>(delta.allocations) /
+                           static_cast<double>(keys);
+    point.bytes_per_key =
+        static_cast<double>(delta.bytes) / static_cast<double>(keys);
+    point.live_bytes_per_key =
+        static_cast<double>(delta.live_bytes) / static_cast<double>(keys);
+  }
+  return point;
+}
+
+/// The K = 10k design comparison, shared-cluster side: lossy link, place
+/// plus balanced add/delete churn per key. Returns retained live
+/// bytes/key.
+double run_shared_lossy(std::size_t keys, std::size_t churn,
+                        std::uint64_t seed) {
+  const auto alloc_before = AllocStats::current();
+  {
+    auto cfg = scale_config(keys, seed);
+    cfg.link = kLossyLink;
+    cfg.retry = {.max_attempts = 3};
+    core::PartialLookupService service(cfg);
+    for (std::size_t k = 0; k < keys; ++k) {
+      const Key key = "key-" + std::to_string(k);
+      service.place(key, key_entries(k));
+      for (std::size_t u = 0; u < churn; ++u) {
+        const Entry v = static_cast<Entry>(1'000'000 + churn * k + u);
+        service.add(key, v);
+        service.erase(key, v);
+      }
+    }
+    const auto delta = AllocStats::current() - alloc_before;
+    return static_cast<double>(delta.live_bytes) /
+           static_cast<double>(keys);
+  }
+}
+
+/// The pre-tenancy baseline: the same keys, deployment and churn, but each
+/// key on its own standalone strategy with a private cluster and network.
+/// Returns the retained live bytes per key.
+double run_per_key_clusters(std::size_t keys, std::size_t churn,
+                            std::uint64_t seed) {
+  const auto alloc_before = AllocStats::current();
+  std::vector<std::unique_ptr<core::Strategy>> strategies;
+  strategies.reserve(keys);
+  const auto base = scale_config(keys, seed);
+  for (std::size_t k = 0; k < keys; ++k) {
+    core::StrategyConfig cfg = base.default_strategy;
+    cfg.link = kLossyLink;
+    cfg.retry = {.max_attempts = 3};
+    cfg.seed = seed + k;
+    strategies.push_back(core::make_strategy(cfg, kNumServers));
+    strategies.back()->place(key_entries(k));
+    for (std::size_t u = 0; u < churn; ++u) {
+      const Entry v = static_cast<Entry>(1'000'000 + churn * k + u);
+      strategies.back()->add(v);
+      strategies.back()->erase(v);
+    }
+  }
+  const auto delta = AllocStats::current() - alloc_before;
+  return static_cast<double>(delta.live_bytes) /
+         static_cast<double>(keys);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = pls::bench::Args::parse(argc, argv);
+  const bool counting = pls::AllocStats::counting_enabled();
+
+  pls::bench::print_title(
+      "Shared-cluster key scaling: n = 8 hosts, Round-Robin-2, h = 4 "
+      "entries per key",
+      counting ? "alloc counters enabled (PLS_COUNT_ALLOCS)"
+               : "alloc counters DISABLED - bytes/key reads 0; build with "
+                 "-DPLS_COUNT_ALLOCS=ON for the gated figures");
+  pls::bench::print_row_header(
+      {"keys", "keys/sec", "allocs/key", "bytes/key", "live bytes/key"});
+
+  std::vector<ScalePoint> points;
+  for (std::size_t keys : {std::size_t{1000}, std::size_t{10000},
+                           std::size_t{100000}}) {
+    points.push_back(run_shared(keys, args.seed));
+    const auto& p = points.back();
+    pls::bench::print_cell(p.keys);
+    pls::bench::print_cell(p.keys_per_sec, 16, 0);
+    pls::bench::print_cell(p.allocs_per_key, 16, 2);
+    pls::bench::print_cell(p.bytes_per_key, 16, 1);
+    pls::bench::print_cell(p.live_bytes_per_key, 16, 1);
+    pls::bench::end_row();
+  }
+
+  // Design comparison under the lossy-churn deployment (see header).
+  const std::size_t kCompareKeys = 10000;
+  const double shared_lossy_live =
+      run_shared_lossy(kCompareKeys, kChurnPairs, args.seed);
+  const double per_cluster_live =
+      run_per_key_clusters(kCompareKeys, kChurnPairs, args.seed);
+  const double ratio =
+      shared_lossy_live > 0 ? per_cluster_live / shared_lossy_live : 0.0;
+  pls::bench::print_note(
+      "lossy-churn deployment at K = 10k (" + std::to_string(kChurnPairs) +
+      " add/delete pairs per key): shared cluster retains " +
+      std::to_string(shared_lossy_live) +
+      " live bytes/key, per-key clusters " +
+      std::to_string(per_cluster_live) + " -> " + std::to_string(ratio) +
+      "x smaller");
+
+  if (!args.json_out.empty()) {
+    std::ofstream out(args.json_out);
+    if (!out) {
+      std::cerr << "cannot open " << args.json_out << " for writing\n";
+      return 1;
+    }
+    out << "{\n";
+    for (const auto& p : points) {
+      out << "  \"service_scale/K" << p.keys << "\": {\n"
+          << "    \"allocs_per_key\": " << std::fixed << std::setprecision(3)
+          << p.allocs_per_key << ",\n"
+          << "    \"bytes_per_key\": " << p.bytes_per_key << ",\n"
+          << "    \"live_bytes_per_key\": " << p.live_bytes_per_key
+          << "\n  },\n";
+    }
+    out << "  \"service_scale/lossy_churn_K10000\": {\n"
+        << "    \"shared_live_bytes_per_key\": " << shared_lossy_live
+        << ",\n"
+        << "    \"per_key_cluster_live_bytes_per_key\": " << per_cluster_live
+        << ",\n"
+        << "    \"shared_vs_per_key_ratio\": " << ratio << "\n  }\n}\n";
+    if (!out.good()) {
+      std::cerr << "error writing " << args.json_out << '\n';
+      return 1;
+    }
+  }
+
+  if (counting) {
+    // The two scaling gates, enforced where the counters are real.
+    bool failed = false;
+    if (points[2].bytes_per_key > 2.0 * points[0].bytes_per_key) {
+      std::cerr << "FAIL: bytes/key at K=100k ("
+                << points[2].bytes_per_key << ") exceeds 2x the K=1k figure ("
+                << points[0].bytes_per_key << ") - per-key state is not "
+                << "O(K)\n";
+      failed = true;
+    }
+    if (shared_lossy_live > 0 && ratio < 5.0) {
+      std::cerr << "FAIL: shared cluster only " << ratio
+                << "x smaller than the per-key-cluster design at K=10k "
+                << "(need >= 5x)\n";
+      failed = true;
+    }
+    if (failed) return 1;
+    pls::bench::print_note(
+        "gates passed: bytes/key flat within 2x from 1k to 100k keys; "
+        "shared cluster >= 5x smaller than per-key clusters at 10k keys");
+  }
+  return 0;
+}

@@ -20,6 +20,12 @@
 # must be EXACTLY 0 — the wheel's whole point is that schedule/pop/cancel
 # never touch the heap once warm.
 #
+# bench_service_scale guards the shared-cluster tenancy design the same
+# way: its per-key allocation counters are diffed against
+# BENCH_service_scale.json, and the bench itself hard-gates the two
+# scaling claims (flat bytes/key from 1k to 100k keys; >= 5x less retained
+# memory than per-key clusters under a lossy-churn deployment).
+#
 # Environment:
 #   PLS_PERF_TOLERANCE   relative tolerance for counter drift (default 0.10)
 #
@@ -30,6 +36,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-perf"
 baseline="${repo_root}/BENCH_micro_ops.json"
+scale_baseline="${repo_root}/BENCH_service_scale.json"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 tolerance="${PLS_PERF_TOLERANCE:-0.10}"
 
@@ -96,11 +103,16 @@ wheel = sum(1 for name in counters if name.startswith("BM_Wheel"))
 print(f"perf_check: {wheel} BM_Wheel* benches at exactly 0 allocs/op")
 EOF
 
-if [[ "${update}" == "1" ]]; then
-  cp "${candidate}" "${baseline}"
-  echo "baseline refreshed: ${baseline}"
-else
-  python3 - "${baseline}" "${candidate}" "${tolerance}" <<'EOF'
+echo "=== perf_check: service key-count scaling ==="
+# The bench enforces its own hard gates (bytes/key at 100k keys within 2x
+# of 1k; shared cluster >= 5x smaller than per-key clusters under the
+# lossy-churn deployment) and exits non-zero on violation; the counter
+# JSON is additionally diffed against the checked-in baseline below.
+scale_candidate="${build_dir}/BENCH_service_scale.json"
+"${build_dir}/bench/bench_service_scale" --json-out "${scale_candidate}"
+
+diff_counters() {
+  python3 - "$1" "$2" "${tolerance}" <<'EOF'
 import json, sys
 baseline_path, candidate_path, rtol = sys.argv[1], sys.argv[2], float(sys.argv[3])
 ATOL = 2.0  # absolute slack: tiny counters may wobble by a malloc or two
@@ -126,13 +138,22 @@ for name in sorted(set(baseline) | set(candidate)):
             failures.append(f"{name}.{key}: {old} -> {new} "
                             f"(tolerance {rtol:.0%} + {ATOL:g})")
 if failures:
-    print("perf_check: counter regressions against BENCH_micro_ops.json:")
+    print(f"perf_check: counter regressions against {baseline_path}:")
     for line in failures:
         print(f"  {line}")
     print("If intentional, refresh with: scripts/perf_check.sh --update")
     sys.exit(1)
 print(f"perf_check: {len(baseline)} benchmark counter sets within tolerance")
 EOF
+}
+
+if [[ "${update}" == "1" ]]; then
+  cp "${candidate}" "${baseline}"
+  cp "${scale_candidate}" "${scale_baseline}"
+  echo "baselines refreshed: ${baseline}, ${scale_baseline}"
+else
+  diff_counters "${baseline}" "${candidate}"
+  diff_counters "${scale_baseline}" "${scale_candidate}"
 fi
 
 if [[ "${smoke}" == "1" ]]; then

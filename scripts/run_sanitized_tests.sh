@@ -8,7 +8,11 @@
 # and capture slab) is exercised in every tree by test_inline_event,
 # test_event_queue and the tier-2 differential fuzz
 # (test_event_queue_fuzz), which drives both queue implementations in
-# lockstep regardless of the PLS_REFERENCE_QUEUE configuration.
+# lockstep regardless of the PLS_REFERENCE_QUEUE configuration. The
+# multi-tenant shared-cluster machinery (KeyId routing, per-key channels,
+# tenant lifetimes on the FlatMap-backed hosts) runs under all three
+# sanitizers via the tier-1 test_shared_cluster invariants and the tier-2
+# test_shared_cluster_grid randomized differential grid.
 #
 #   scripts/run_sanitized_tests.sh [extra ctest args...]
 set -euo pipefail

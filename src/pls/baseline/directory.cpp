@@ -230,9 +230,9 @@ class PartialDirectory final : public Directory {
   }
 
   void reset_load() override {
-    // Lookup load is read from the transport counters, so zero them on
-    // every per-key cluster.
-    for_each_key_network([](net::Network& net) { net.reset_stats(); });
+    // Lookup load is read from the shared cluster's transport counters;
+    // one reset zeroes the cluster-wide set and every per-key channel.
+    service_.reset_transport();
   }
 
   void fail_server(ServerId s) override { service_.fail_server(s); }
@@ -245,20 +245,10 @@ class PartialDirectory final : public Directory {
     if (key_set_.insert(key).second) known_keys_.push_back(key);
   }
 
-  template <typename Fn>
-  void for_each_key_network(Fn&& fn);
-
   core::PartialLookupService service_;
   std::vector<Key> known_keys_;
   std::unordered_set<Key> key_set_;
 };
-
-template <typename Fn>
-void PartialDirectory::for_each_key_network(Fn&& fn) {
-  for (const auto& key : known_keys_) {
-    fn(service_.strategy(key).network());
-  }
-}
 
 }  // namespace
 

@@ -5,12 +5,18 @@
 #include <cstdlib>
 #include <new>
 
+#if defined(PLS_COUNT_ALLOCS) && defined(__GLIBC__)
+#include <malloc.h>
+#define PLS_HAVE_USABLE_SIZE 1
+#endif
+
 namespace pls {
 namespace {
 
 std::atomic<std::uint64_t> g_allocations{0};
 std::atomic<std::uint64_t> g_deallocations{0};
 std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<std::uint64_t> g_live_bytes{0};
 
 }  // namespace
 
@@ -25,7 +31,8 @@ bool AllocStats::counting_enabled() noexcept {
 AllocStats AllocStats::current() noexcept {
   return {g_allocations.load(std::memory_order_relaxed),
           g_deallocations.load(std::memory_order_relaxed),
-          g_bytes.load(std::memory_order_relaxed)};
+          g_bytes.load(std::memory_order_relaxed),
+          g_live_bytes.load(std::memory_order_relaxed)};
 }
 
 }  // namespace pls
@@ -50,12 +57,22 @@ void* counted_alloc(std::size_t size, std::size_t alignment) {
   if (p == nullptr) throw std::bad_alloc{};
   pls::g_allocations.fetch_add(1, std::memory_order_relaxed);
   pls::g_bytes.fetch_add(size, std::memory_order_relaxed);
+#ifdef PLS_HAVE_USABLE_SIZE
+  // Live accounting uses the allocator's rounded block size on both sides
+  // of the ledger, so alloc/free pairs cancel exactly.
+  pls::g_live_bytes.fetch_add(malloc_usable_size(p),
+                              std::memory_order_relaxed);
+#endif
   return p;
 }
 
 void counted_free(void* p) noexcept {
   if (p == nullptr) return;
   pls::g_deallocations.fetch_add(1, std::memory_order_relaxed);
+#ifdef PLS_HAVE_USABLE_SIZE
+  pls::g_live_bytes.fetch_sub(malloc_usable_size(p),
+                              std::memory_order_relaxed);
+#endif
   std::free(p);
 }
 

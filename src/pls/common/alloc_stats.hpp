@@ -21,6 +21,12 @@ struct AllocStats {
   std::uint64_t allocations = 0;
   std::uint64_t deallocations = 0;
   std::uint64_t bytes = 0;
+  /// Currently-live heap bytes, measured in *usable* (allocator-rounded)
+  /// block sizes so allocation and deallocation accounting agree. 0 when
+  /// counting is disabled or the platform lacks malloc_usable_size.
+  /// Unlike `bytes` this nets out frees: snapshot deltas isolate retained
+  /// state from transient traffic.
+  std::uint64_t live_bytes = 0;
 
   /// True when the build replaces operator new/delete (PLS_COUNT_ALLOCS).
   static bool counting_enabled() noexcept;
@@ -31,7 +37,7 @@ struct AllocStats {
   /// Counter deltas, for before/after snapshots.
   friend AllocStats operator-(const AllocStats& a, const AllocStats& b) {
     return {a.allocations - b.allocations, a.deallocations - b.deallocations,
-            a.bytes - b.bytes};
+            a.bytes - b.bytes, a.live_bytes - b.live_bytes};
   }
 
   friend bool operator==(const AllocStats&, const AllocStats&) = default;

@@ -151,7 +151,9 @@ class FlatMap {
   void rehash(std::size_t new_capacity) {
     std::vector<Slot> old_slots = std::move(slots_);
     std::vector<std::uint8_t> old_states = std::move(states_);
-    slots_.assign(new_capacity, Slot{});
+    // Default-construct the new table (not assign-fill): values only need
+    // to be movable, so move-only payloads like unique_ptr work.
+    slots_ = std::vector<Slot>(new_capacity);
     states_.assign(new_capacity, kEmpty);
     size_ = 0;
     for (std::size_t i = 0; i < old_slots.size(); ++i) {

@@ -19,6 +19,14 @@ using ServerId = std::uint32_t;
 /// single-key, as in the paper (§2: keys are managed independently).
 using Key = std::string;
 
+/// Dense id of a key within one shared cluster. The multi-key service
+/// interns each Key string to a KeyId once; every wire message carries the
+/// id so multi-tenant host servers can route it to the key's tenant state.
+/// Standalone single-key clusters use kDefaultKey throughout.
+using KeyId = std::uint32_t;
+
+inline constexpr KeyId kDefaultKey = 0;
+
 /// Simulation time. The paper uses abstract "time units" (one add per 10
 /// time units); double keeps lifetime distributions exact.
 using SimTime = double;

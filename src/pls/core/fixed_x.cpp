@@ -4,7 +4,7 @@
 
 namespace pls::core {
 
-void FixedServer::on_message(const net::Message& m, net::Network& net) {
+void FixedServer::on_message(const net::Message& m, net::ClusterView& net) {
   if (const auto* place = std::get_if<net::PlaceRequest>(&m)) {
     // Keep the first x of the h entries and broadcast only those (§3.2):
     // a zero-copy prefix view of the placed buffer.
@@ -27,19 +27,28 @@ void FixedServer::on_message(const net::Message& m, net::Network& net) {
 FixedStrategy::FixedStrategy(StrategyConfig config, std::size_t num_servers,
                              std::shared_ptr<net::FailureState> failures)
     : Strategy(config, num_servers, std::move(failures)) {
-  PLS_CHECK_MSG(config.param >= 1, "Fixed-x needs x >= 1");
-  PLS_CHECK_MSG(config.storage_budget == 0,
+  build();
+}
+
+FixedStrategy::FixedStrategy(StrategyConfig config, net::Cluster& cluster)
+    : Strategy(config, cluster) {
+  build();
+}
+
+void FixedStrategy::build() {
+  PLS_CHECK_MSG(config().param >= 1, "Fixed-x needs x >= 1");
+  PLS_CHECK_MSG(config().storage_budget == 0,
                 "Fixed-x takes its budget through x, not storage_budget");
-  Rng master(config.seed);
-  for (std::size_t i = 0; i < num_servers; ++i) {
-    register_server<FixedServer>(static_cast<ServerId>(i),
-                                 master.fork(0x1000 + i), config.param);
+  Rng master(config().seed);
+  for (std::size_t i = 0; i < num_servers(); ++i) {
+    register_tenant<FixedServer>(static_cast<ServerId>(i),
+                                 master.fork(0x1000 + i), config().param);
   }
 }
 
 LookupResult FixedStrategy::partial_lookup(std::size_t t) {
   // All servers are identical; contacting more than one gains nothing.
-  return single_server_lookup(network(), client_rng(), t, retry_policy());
+  return single_server_lookup(cluster_view(), client_rng(), t, retry_policy());
 }
 
 }  // namespace pls::core

@@ -18,7 +18,7 @@ class FixedServer final : public StrategyServer {
   FixedServer(ServerId id, Rng rng, std::size_t x)
       : StrategyServer(id, rng), x_(x) {}
 
-  void on_message(const net::Message& m, net::Network& net) override;
+  void on_message(const net::Message& m, net::ClusterView& net) override;
 
  private:
   std::size_t x_;
@@ -28,10 +28,15 @@ class FixedStrategy final : public Strategy {
  public:
   FixedStrategy(StrategyConfig config, std::size_t num_servers,
                 std::shared_ptr<net::FailureState> failures);
+  /// Shared-cluster mode: one more tenant key on `cluster`'s hosts.
+  FixedStrategy(StrategyConfig config, net::Cluster& cluster);
 
   LookupResult partial_lookup(std::size_t t) override;
 
   std::size_t x() const noexcept { return config().param; }
+
+ private:
+  void build();
 };
 
 }  // namespace pls::core

@@ -5,7 +5,7 @@
 namespace pls::core {
 
 void FullReplicationServer::on_message(const net::Message& m,
-                                       net::Network& net) {
+                                       net::ClusterView& net) {
   if (const auto* place = std::get_if<net::PlaceRequest>(&m)) {
     net.broadcast(id(), net::StoreBatch{place->entries});
   } else if (const auto* add = std::get_if<net::AddRequest>(&m)) {
@@ -21,17 +21,27 @@ FullReplicationStrategy::FullReplicationStrategy(
     StrategyConfig config, std::size_t num_servers,
     std::shared_ptr<net::FailureState> failures)
     : Strategy(config, num_servers, std::move(failures)) {
-  PLS_CHECK_MSG(config.storage_budget == 0,
+  build();
+}
+
+FullReplicationStrategy::FullReplicationStrategy(StrategyConfig config,
+                                                 net::Cluster& cluster)
+    : Strategy(config, cluster) {
+  build();
+}
+
+void FullReplicationStrategy::build() {
+  PLS_CHECK_MSG(config().storage_budget == 0,
                 "Full Replication has no storage-budget mode");
-  Rng master(config.seed);
-  for (std::size_t i = 0; i < num_servers; ++i) {
-    register_server<FullReplicationServer>(static_cast<ServerId>(i),
+  Rng master(config().seed);
+  for (std::size_t i = 0; i < num_servers(); ++i) {
+    register_tenant<FullReplicationServer>(static_cast<ServerId>(i),
                                            master.fork(0x1000 + i));
   }
 }
 
 LookupResult FullReplicationStrategy::partial_lookup(std::size_t t) {
-  return single_server_lookup(network(), client_rng(), t, retry_policy());
+  return single_server_lookup(cluster_view(), client_rng(), t, retry_policy());
 }
 
 }  // namespace pls::core

@@ -11,15 +11,20 @@ namespace pls::core {
 class FullReplicationServer final : public StrategyServer {
  public:
   using StrategyServer::StrategyServer;
-  void on_message(const net::Message& m, net::Network& net) override;
+  void on_message(const net::Message& m, net::ClusterView& net) override;
 };
 
 class FullReplicationStrategy final : public Strategy {
  public:
   FullReplicationStrategy(StrategyConfig config, std::size_t num_servers,
                           std::shared_ptr<net::FailureState> failures);
+  /// Shared-cluster mode: one more tenant key on `cluster`'s hosts.
+  FullReplicationStrategy(StrategyConfig config, net::Cluster& cluster);
 
   LookupResult partial_lookup(std::size_t t) override;
+
+ private:
+  void build();
 };
 
 }  // namespace pls::core

@@ -4,7 +4,7 @@
 
 namespace pls::core {
 
-void HashServer::on_message(const net::Message& m, net::Network& net) {
+void HashServer::on_message(const net::Message& m, net::ClusterView& net) {
   if (const auto* place = std::get_if<net::PlaceRequest>(&m)) {
     // Reset every server, then distribute. With a storage budget L below
     // y*h, entry i gets floor(L/h) or ceil(L/h) copies via its first hash
@@ -49,17 +49,27 @@ HashStrategy::HashStrategy(StrategyConfig config, std::size_t num_servers,
                            std::shared_ptr<net::FailureState> failures)
     : Strategy(config, num_servers, std::move(failures)),
       family_(config.param, num_servers, Rng(config.seed).fork(0x2000)()) {
-  PLS_CHECK_MSG(config.param >= 1, "Hash-y needs y >= 1");
-  Rng master(config.seed);
-  for (std::size_t i = 0; i < num_servers; ++i) {
-    register_server<HashServer>(static_cast<ServerId>(i),
+  build();
+}
+
+HashStrategy::HashStrategy(StrategyConfig config, net::Cluster& cluster)
+    : Strategy(config, cluster),
+      family_(config.param, cluster.size(), Rng(config.seed).fork(0x2000)()) {
+  build();
+}
+
+void HashStrategy::build() {
+  PLS_CHECK_MSG(config().param >= 1, "Hash-y needs y >= 1");
+  Rng master(config().seed);
+  for (std::size_t i = 0; i < num_servers(); ++i) {
+    register_tenant<HashServer>(static_cast<ServerId>(i),
                                 master.fork(0x1000 + i), family_,
-                                config.storage_budget);
+                                config().storage_budget);
   }
 }
 
 LookupResult HashStrategy::partial_lookup(std::size_t t) {
-  return random_order_lookup(network(), client_rng(), t, retry_policy());
+  return random_order_lookup(cluster_view(), client_rng(), t, retry_policy());
 }
 
 }  // namespace pls::core

@@ -20,7 +20,7 @@ class HashServer final : public StrategyServer {
         family_(std::move(family)),
         storage_budget_(storage_budget) {}
 
-  void on_message(const net::Message& m, net::Network& net) override;
+  void on_message(const net::Message& m, net::ClusterView& net) override;
 
  private:
   HashFamily family_;
@@ -31,6 +31,8 @@ class HashStrategy final : public Strategy {
  public:
   HashStrategy(StrategyConfig config, std::size_t num_servers,
                std::shared_ptr<net::FailureState> failures);
+  /// Shared-cluster mode: one more tenant key on `cluster`'s hosts.
+  HashStrategy(StrategyConfig config, net::Cluster& cluster);
 
   LookupResult partial_lookup(std::size_t t) override;
 
@@ -38,6 +40,8 @@ class HashStrategy final : public Strategy {
   const HashFamily& family() const noexcept { return family_; }
 
  private:
+  void build();
+
   HashFamily family_;
 };
 

@@ -63,7 +63,7 @@ enum class QueryState { kAnswered, kNoReply, kBudgetExhausted };
 /// Sends a LookupRequest to `target` under `policy` (capped by the
 /// remaining per-lookup attempt budget), merging distinct entries into
 /// `out` and charging the attempt accounting.
-QueryState query_one(net::Network& net, ServerId target, std::size_t t,
+QueryState query_one(net::ClusterView& net, ServerId target, std::size_t t,
                      const net::RetryPolicy& policy,
                      std::uint32_t& budget_left, FlatSet<Entry>& seen,
                      LookupResult& out) {
@@ -97,7 +97,8 @@ QueryState query_one(net::Network& net, ServerId target, std::size_t t,
 
 }  // namespace
 
-LookupResult single_server_lookup(net::Network& net, Rng& rng, std::size_t t,
+LookupResult single_server_lookup(net::ClusterView net, Rng& rng,
+                                  std::size_t t,
                                   const net::RetryPolicy& policy) {
   LookupResult out;
   const auto up = net.failures().up_servers();
@@ -116,7 +117,8 @@ LookupResult single_server_lookup(net::Network& net, Rng& rng, std::size_t t,
   return out;
 }
 
-LookupResult random_order_lookup(net::Network& net, Rng& rng, std::size_t t,
+LookupResult random_order_lookup(net::ClusterView net, Rng& rng,
+                                 std::size_t t,
                                  const net::RetryPolicy& policy) {
   LookupResult out;
   auto up = net.failures().up_servers();
@@ -141,7 +143,7 @@ LookupResult random_order_lookup(net::Network& net, Rng& rng, std::size_t t,
   return out;
 }
 
-LookupResult subset_lookup(net::Network& net, Rng& rng, std::size_t t,
+LookupResult subset_lookup(net::ClusterView net, Rng& rng, std::size_t t,
                            std::span<const ServerId> candidates,
                            const net::RetryPolicy& policy) {
   LookupResult out;
@@ -171,7 +173,7 @@ LookupResult subset_lookup(net::Network& net, Rng& rng, std::size_t t,
   return out;
 }
 
-LookupResult exhaustive_lookup(net::Network& net, Rng& rng,
+LookupResult exhaustive_lookup(net::ClusterView net, Rng& rng,
                                const net::RetryPolicy& policy) {
   LookupResult out;
   auto up = net.failures().up_servers();
@@ -195,8 +197,8 @@ LookupResult exhaustive_lookup(net::Network& net, Rng& rng,
   return out;
 }
 
-LookupResult stride_order_lookup(net::Network& net, Rng& rng, std::size_t t,
-                                 std::size_t stride,
+LookupResult stride_order_lookup(net::ClusterView net, Rng& rng,
+                                 std::size_t t, std::size_t stride,
                                  const net::RetryPolicy& policy) {
   PLS_CHECK_MSG(stride > 0, "stride must be positive");
   LookupResult out;
@@ -247,26 +249,51 @@ LookupResult stride_order_lookup(net::Network& net, Rng& rng, std::size_t t,
   return out;
 }
 
-LookupResult single_server_lookup(net::Network& net, Rng& rng, std::size_t t) {
+LookupResult single_server_lookup(net::ClusterView net, Rng& rng,
+                                  std::size_t t) {
   return single_server_lookup(net, rng, t, net.retry_policy());
 }
 
-LookupResult random_order_lookup(net::Network& net, Rng& rng, std::size_t t) {
+LookupResult random_order_lookup(net::ClusterView net, Rng& rng,
+                                 std::size_t t) {
   return random_order_lookup(net, rng, t, net.retry_policy());
 }
 
-LookupResult stride_order_lookup(net::Network& net, Rng& rng, std::size_t t,
-                                 std::size_t stride) {
+LookupResult stride_order_lookup(net::ClusterView net, Rng& rng,
+                                 std::size_t t, std::size_t stride) {
   return stride_order_lookup(net, rng, t, stride, net.retry_policy());
 }
 
-LookupResult subset_lookup(net::Network& net, Rng& rng, std::size_t t,
+LookupResult subset_lookup(net::ClusterView net, Rng& rng, std::size_t t,
                            std::span<const ServerId> candidates) {
   return subset_lookup(net, rng, t, candidates, net.retry_policy());
 }
 
-LookupResult exhaustive_lookup(net::Network& net, Rng& rng) {
+LookupResult exhaustive_lookup(net::ClusterView net, Rng& rng) {
   return exhaustive_lookup(net, rng, net.retry_policy());
+}
+
+LookupResult single_server_lookup(net::Network& net, Rng& rng, std::size_t t) {
+  return single_server_lookup(net::ClusterView(net, kDefaultKey), rng, t);
+}
+
+LookupResult random_order_lookup(net::Network& net, Rng& rng, std::size_t t) {
+  return random_order_lookup(net::ClusterView(net, kDefaultKey), rng, t);
+}
+
+LookupResult stride_order_lookup(net::Network& net, Rng& rng, std::size_t t,
+                                 std::size_t stride) {
+  return stride_order_lookup(net::ClusterView(net, kDefaultKey), rng, t,
+                             stride);
+}
+
+LookupResult subset_lookup(net::Network& net, Rng& rng, std::size_t t,
+                           std::span<const ServerId> candidates) {
+  return subset_lookup(net::ClusterView(net, kDefaultKey), rng, t, candidates);
+}
+
+LookupResult exhaustive_lookup(net::Network& net, Rng& rng) {
+  return exhaustive_lookup(net::ClusterView(net, kDefaultKey), rng);
 }
 
 }  // namespace pls::core

@@ -22,6 +22,7 @@
 
 #include "pls/common/rng.hpp"
 #include "pls/common/types.hpp"
+#include "pls/net/host.hpp"
 #include "pls/net/network.hpp"
 
 namespace pls::core {
@@ -74,37 +75,56 @@ struct LookupResult {
   friend bool operator==(const LookupResult&, const LookupResult&) = default;
 };
 
+/// The lookups take a key-scoped net::ClusterView (by value — it is two
+/// words): requests are stamped with the view's key, so attempts are
+/// charged to that key's channel whether the cluster is shared or private.
+/// net::Network& overloads serve unkeyed callers (tests, raw-transport
+/// diagnostics) by wrapping the network in a kDefaultKey view.
+
 /// Contact one random operational server and return its answer verbatim.
-LookupResult single_server_lookup(net::Network& net, Rng& rng, std::size_t t,
+LookupResult single_server_lookup(net::ClusterView net, Rng& rng,
+                                  std::size_t t,
                                   const net::RetryPolicy& policy);
 
 /// Contact operational servers in uniformly random order until t distinct
 /// entries are gathered or every operational server has answered.
-LookupResult random_order_lookup(net::Network& net, Rng& rng, std::size_t t,
+LookupResult random_order_lookup(net::ClusterView net, Rng& rng,
+                                 std::size_t t,
                                  const net::RetryPolicy& policy);
 
 /// Contact servers s, s+stride, s+2*stride, ... (mod n) from a random
 /// operational start. Failed or repeated targets fall back to random
 /// operational servers, per §3.4. Stops at t distinct entries or when all
 /// operational servers have answered (or timed out).
-LookupResult stride_order_lookup(net::Network& net, Rng& rng, std::size_t t,
-                                 std::size_t stride,
+LookupResult stride_order_lookup(net::ClusterView net, Rng& rng,
+                                 std::size_t t, std::size_t stride,
                                  const net::RetryPolicy& policy);
 
 /// Like random_order_lookup but restricted to `candidates` (the reachable
 /// servers of a §7.2 limited-reachability client). Down or duplicate
 /// candidates are skipped.
-LookupResult subset_lookup(net::Network& net, Rng& rng, std::size_t t,
+LookupResult subset_lookup(net::ClusterView net, Rng& rng, std::size_t t,
                            std::span<const ServerId> candidates,
                            const net::RetryPolicy& policy);
 
 /// Contact every operational server and return everything it stores (the
 /// per-server answer cap is lifted). Used by exhaustive preference
 /// lookups (§7.1) and diagnostics; costs up-server-count messages.
-LookupResult exhaustive_lookup(net::Network& net, Rng& rng,
+LookupResult exhaustive_lookup(net::ClusterView net, Rng& rng,
                                const net::RetryPolicy& policy);
 
-/// Convenience overloads using the network's default retry policy.
+/// Convenience overloads using the transport's default retry policy.
+LookupResult single_server_lookup(net::ClusterView net, Rng& rng,
+                                  std::size_t t);
+LookupResult random_order_lookup(net::ClusterView net, Rng& rng,
+                                 std::size_t t);
+LookupResult stride_order_lookup(net::ClusterView net, Rng& rng,
+                                 std::size_t t, std::size_t stride);
+LookupResult subset_lookup(net::ClusterView net, Rng& rng, std::size_t t,
+                           std::span<const ServerId> candidates);
+LookupResult exhaustive_lookup(net::ClusterView net, Rng& rng);
+
+/// Unkeyed (default-key) overloads over a raw Network.
 LookupResult single_server_lookup(net::Network& net, Rng& rng, std::size_t t);
 LookupResult random_order_lookup(net::Network& net, Rng& rng, std::size_t t);
 LookupResult stride_order_lookup(net::Network& net, Rng& rng, std::size_t t,

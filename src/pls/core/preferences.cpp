@@ -36,7 +36,7 @@ PreferredResult preferred_lookup(Strategy& strategy, std::size_t t,
     case PreferenceMode::kStopAtT:
       return rank_and_trim(strategy.partial_lookup(t), t, cost);
     case PreferenceMode::kExhaustive:
-      return rank_and_trim(exhaustive_lookup(strategy.network(), rng,
+      return rank_and_trim(exhaustive_lookup(strategy.cluster_view(), rng,
                                              strategy.retry_policy()),
                            t, cost);
   }

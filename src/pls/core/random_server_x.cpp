@@ -4,7 +4,8 @@
 
 namespace pls::core {
 
-void RandomServerServer::on_message(const net::Message& m, net::Network& net) {
+void RandomServerServer::on_message(const net::Message& m,
+                                    net::ClusterView& net) {
   if (const auto* place = std::get_if<net::PlaceRequest>(&m)) {
     net.broadcast(id(), net::StoreBatch{place->entries});
   } else if (const auto* batch = std::get_if<net::StoreBatch>(&m)) {
@@ -47,7 +48,8 @@ void RandomServerServer::on_message(const net::Message& m, net::Network& net) {
   }
 }
 
-void RandomServerServer::fetch_replacement(Entry deleted, net::Network& net) {
+void RandomServerServer::fetch_replacement(Entry deleted,
+                                           net::ClusterView& net) {
   const std::size_t n = net.size();
   if (n < 2) return;
   // One attempt at a random peer; "two servers are not likely to have the
@@ -70,19 +72,30 @@ RandomServerStrategy::RandomServerStrategy(
     StrategyConfig config, std::size_t num_servers,
     std::shared_ptr<net::FailureState> failures)
     : Strategy(config, num_servers, std::move(failures)) {
-  PLS_CHECK_MSG(config.param >= 1, "RandomServer-x needs x >= 1");
-  PLS_CHECK_MSG(config.storage_budget == 0,
+  build();
+}
+
+RandomServerStrategy::RandomServerStrategy(StrategyConfig config,
+                                           net::Cluster& cluster)
+    : Strategy(config, cluster) {
+  build();
+}
+
+void RandomServerStrategy::build() {
+  PLS_CHECK_MSG(config().param >= 1, "RandomServer-x needs x >= 1");
+  PLS_CHECK_MSG(config().storage_budget == 0,
                 "RandomServer-x takes its budget through x");
-  Rng master(config.seed);
-  for (std::size_t i = 0; i < num_servers; ++i) {
-    register_server<RandomServerServer>(static_cast<ServerId>(i),
-                                        master.fork(0x1000 + i), config.param,
-                                        config.rs_active_replacement);
+  Rng master(config().seed);
+  for (std::size_t i = 0; i < num_servers(); ++i) {
+    register_tenant<RandomServerServer>(static_cast<ServerId>(i),
+                                        master.fork(0x1000 + i),
+                                        config().param,
+                                        config().rs_active_replacement);
   }
 }
 
 LookupResult RandomServerStrategy::partial_lookup(std::size_t t) {
-  return random_order_lookup(network(), client_rng(), t, retry_policy());
+  return random_order_lookup(cluster_view(), client_rng(), t, retry_policy());
 }
 
 }  // namespace pls::core

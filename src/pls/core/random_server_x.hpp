@@ -21,7 +21,7 @@ class RandomServerServer final : public StrategyServer {
         x_(x),
         active_replacement_(active_replacement) {}
 
-  void on_message(const net::Message& m, net::Network& net) override;
+  void on_message(const net::Message& m, net::ClusterView& net) override;
 
   /// This server's view of the global entry count h (maintained from the
   /// add/delete broadcasts; drives the reservoir keep-probability x/h).
@@ -30,7 +30,7 @@ class RandomServerServer final : public StrategyServer {
  private:
   /// §5.3's active-replacement variant: pull a substitute for a deleted
   /// entry from a random peer (2 extra messages per affected server).
-  void fetch_replacement(Entry deleted, net::Network& net);
+  void fetch_replacement(Entry deleted, net::ClusterView& net);
 
   std::size_t x_;
   bool active_replacement_;
@@ -41,10 +41,15 @@ class RandomServerStrategy final : public Strategy {
  public:
   RandomServerStrategy(StrategyConfig config, std::size_t num_servers,
                        std::shared_ptr<net::FailureState> failures);
+  /// Shared-cluster mode: one more tenant key on `cluster`'s hosts.
+  RandomServerStrategy(StrategyConfig config, net::Cluster& cluster);
 
   LookupResult partial_lookup(std::size_t t) override;
 
   std::size_t x() const noexcept { return config().param; }
+
+ private:
+  void build();
 };
 
 }  // namespace pls::core

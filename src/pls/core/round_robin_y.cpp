@@ -26,7 +26,7 @@ void RoundRobinServer::drop_entry(Entry v) {
 }
 
 void RoundRobinServer::handle_place(const net::PlaceRequest& place,
-                                    net::Network& net) {
+                                    net::ClusterView& net) {
   // Reset the whole cluster, then hand out slot i to servers i..i+c-1.
   net.broadcast(id(), net::StoreBatch{});
   const std::size_t n = net.size();
@@ -50,7 +50,7 @@ void RoundRobinServer::handle_place(const net::PlaceRequest& place,
 }
 
 void RoundRobinServer::handle_remove_broadcast(const net::RoundRemove& rm,
-                                               net::Network& net) {
+                                               net::ClusterView& net) {
   if (!store().contains(rm.entry)) return;
   const std::uint64_t p_v = slot_of_.at(rm.entry);
   drop_entry(rm.entry);
@@ -63,7 +63,8 @@ void RoundRobinServer::handle_remove_broadcast(const net::RoundRemove& rm,
   if (mig.valid) set_slot(mig.replacement, p_v);
 }
 
-void RoundRobinServer::on_message(const net::Message& m, net::Network& net) {
+void RoundRobinServer::on_message(const net::Message& m,
+                                  net::ClusterView& net) {
   if (const auto* place = std::get_if<net::PlaceRequest>(&m)) {
     handle_place(*place, net);
   } else if (const auto* batch = std::get_if<net::StoreBatch>(&m)) {
@@ -110,7 +111,7 @@ void RoundRobinServer::on_message(const net::Message& m, net::Network& net) {
 }
 
 net::Message RoundRobinServer::on_rpc(const net::Message& m,
-                                      net::Network& net) {
+                                      net::ClusterView& net) {
   if (const auto* req = std::get_if<net::MigrateRequest>(&m)) {
     // Head-slot server role (Fig 11's migrate()): pick R[v] once, count
     // requests in M[v], purge the old copies after the y-th request.
@@ -146,19 +147,30 @@ RoundRobinStrategy::RoundRobinStrategy(
     StrategyConfig config, std::size_t num_servers,
     std::shared_ptr<net::FailureState> failures)
     : Strategy(config, num_servers, std::move(failures)) {
-  PLS_CHECK_MSG(config.param >= 1, "Round-Robin-y needs y >= 1");
-  PLS_CHECK_MSG(config.param <= num_servers,
+  build();
+}
+
+RoundRobinStrategy::RoundRobinStrategy(StrategyConfig config,
+                                       net::Cluster& cluster)
+    : Strategy(config, cluster) {
+  build();
+}
+
+void RoundRobinStrategy::build() {
+  PLS_CHECK_MSG(config().param >= 1, "Round-Robin-y needs y >= 1");
+  PLS_CHECK_MSG(config().param <= num_servers(),
                 "Round-Robin-y needs y <= n (distinct copy holders)");
-  Rng master(config.seed);
-  for (std::size_t i = 0; i < num_servers; ++i) {
-    register_server<RoundRobinServer>(static_cast<ServerId>(i),
-                                      master.fork(0x1000 + i), config.param,
-                                      config.storage_budget);
+  Rng master(config().seed);
+  for (std::size_t i = 0; i < num_servers(); ++i) {
+    register_tenant<RoundRobinServer>(static_cast<ServerId>(i),
+                                      master.fork(0x1000 + i), config().param,
+                                      config().storage_budget);
   }
 }
 
 LookupResult RoundRobinStrategy::partial_lookup(std::size_t t) {
-  return stride_order_lookup(network(), client_rng(), t, y(), retry_policy());
+  return stride_order_lookup(cluster_view(), client_rng(), t, y(),
+                             retry_policy());
 }
 
 std::uint64_t RoundRobinStrategy::head() const {

@@ -39,8 +39,8 @@ class RoundRobinServer final : public StrategyServer {
                    std::size_t storage_budget)
       : StrategyServer(id, rng), y_(y), storage_budget_(storage_budget) {}
 
-  void on_message(const net::Message& m, net::Network& net) override;
-  net::Message on_rpc(const net::Message& m, net::Network& net) override;
+  void on_message(const net::Message& m, net::ClusterView& net) override;
+  net::Message on_rpc(const net::Message& m, net::ClusterView& net) override;
 
   /// Coordinator counters (meaningful on server 0 only).
   std::uint64_t head() const noexcept { return head_; }
@@ -53,8 +53,9 @@ class RoundRobinServer final : public StrategyServer {
  private:
   void set_slot(Entry v, std::uint64_t slot);
   void drop_entry(Entry v);
-  void handle_place(const net::PlaceRequest& place, net::Network& net);
-  void handle_remove_broadcast(const net::RoundRemove& rm, net::Network& net);
+  void handle_place(const net::PlaceRequest& place, net::ClusterView& net);
+  void handle_remove_broadcast(const net::RoundRemove& rm,
+                               net::ClusterView& net);
 
   std::size_t y_;
   std::size_t storage_budget_;
@@ -84,6 +85,8 @@ class RoundRobinStrategy final : public Strategy {
  public:
   RoundRobinStrategy(StrategyConfig config, std::size_t num_servers,
                      std::shared_ptr<net::FailureState> failures);
+  /// Shared-cluster mode: one more tenant key on `cluster`'s hosts.
+  RoundRobinStrategy(StrategyConfig config, net::Cluster& cluster);
 
   LookupResult partial_lookup(std::size_t t) override;
 
@@ -96,6 +99,9 @@ class RoundRobinStrategy final : public Strategy {
  protected:
   /// All updates route through the coordinator (§5.4).
   ServerId update_target() override;
+
+ private:
+  void build();
 };
 
 }  // namespace pls::core

@@ -10,13 +10,29 @@ namespace pls::core {
 PartialLookupService::PartialLookupService(ServiceConfig config)
     : config_(std::move(config)),
       failures_(net::make_failure_state(config_.num_servers)),
-      key_seeder_(Rng(config_.seed).fork(0x5e41)) {
+      cluster_(
+          std::make_unique<net::Cluster>(config_.num_servers, failures_)) {
   PLS_CHECK_MSG(config_.num_servers > 0, "service needs at least one server");
+  // Cluster-wide transport reliability; each key's link stream is seeded
+  // at intern time (Cluster::add_key), from the key-derived seed.
+  cluster_->network().set_link_model(config_.link);
+  cluster_->network().set_retry_policy(config_.retry);
+  if (config_.expected_keys > 0) {
+    ids_.reserve(config_.expected_keys);
+    strategies_.reserve(config_.expected_keys);
+    cluster_->reserve_keys(config_.expected_keys);
+  }
 }
 
-Strategy& PartialLookupService::strategy_for(const Key& key) {
-  auto it = keys_.find(key);
-  if (it != keys_.end()) return *it->second;
+std::optional<KeyId> PartialLookupService::find_id(const Key& key) const {
+  const auto it = ids_.find(key);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+KeyId PartialLookupService::intern(const Key& key) {
+  const auto it = ids_.find(key);
+  if (it != ids_.end()) return it->second;
 
   StrategyConfig cfg = config_.default_strategy;
   if (config_.strategy_policy) {
@@ -35,76 +51,66 @@ Strategy& PartialLookupService::strategy_for(const Key& key) {
   }
   cfg.seed = mix_hash(key_hash, config_.seed);
 
-  auto strategy = make_strategy(cfg, config_.num_servers, failures_);
-  auto [pos, inserted] = keys_.emplace(key, std::move(strategy));
-  PLS_ASSERT(inserted);
-  return *pos->second;
+  auto strategy = make_strategy(cfg, *cluster_);
+  const KeyId id = strategy->key();
+  PLS_ASSERT(id == strategies_.size());
+  strategies_.push_back(std::move(strategy));
+  ids_.emplace(key, id);
+  return id;
 }
 
 void PartialLookupService::place(const Key& key,
                                  std::span<const Entry> entries) {
-  strategy_for(key).place(entries);
+  strategies_[intern(key)]->place(entries);
 }
 
 void PartialLookupService::add(const Key& key, Entry v) {
-  strategy_for(key).add(v);
+  strategies_[intern(key)]->add(v);
 }
 
 void PartialLookupService::erase(const Key& key, Entry v) {
-  auto it = keys_.find(key);
-  if (it == keys_.end()) return;  // deleting from an unknown key is a no-op
-  it->second->erase(v);
+  const auto id = find_id(key);
+  if (!id.has_value()) return;  // deleting from an unknown key is a no-op
+  strategies_[*id]->erase(v);
 }
 
 LookupResult PartialLookupService::partial_lookup(const Key& key,
                                                   std::size_t t) {
-  auto it = keys_.find(key);
-  if (it == keys_.end()) return LookupResult{};  // §2: unknown key -> empty
-  return it->second->partial_lookup(t);
+  const auto id = find_id(key);
+  if (!id.has_value()) return LookupResult{};  // §2: unknown key -> empty
+  return strategies_[*id]->partial_lookup(t);
 }
 
 bool PartialLookupService::contains_key(const Key& key) const {
-  return keys_.contains(key);
+  return ids_.contains(key);
+}
+
+std::optional<KeyId> PartialLookupService::key_id(const Key& key) const {
+  return find_id(key);
 }
 
 Strategy& PartialLookupService::strategy(const Key& key) {
-  auto it = keys_.find(key);
-  PLS_CHECK_MSG(it != keys_.end(), "unknown key: " + key);
-  return *it->second;
+  const auto id = find_id(key);
+  PLS_CHECK_MSG(id.has_value(), "unknown key: " + key);
+  return *strategies_[*id];
 }
 
 const Strategy& PartialLookupService::strategy(const Key& key) const {
-  auto it = keys_.find(key);
-  PLS_CHECK_MSG(it != keys_.end(), "unknown key: " + key);
-  return *it->second;
+  const auto id = find_id(key);
+  PLS_CHECK_MSG(id.has_value(), "unknown key: " + key);
+  return *strategies_[*id];
+}
+
+const net::TransportStats& PartialLookupService::key_transport(
+    const Key& key) const {
+  const auto id = find_id(key);
+  PLS_CHECK_MSG(id.has_value(), "unknown key: " + key);
+  return cluster_->network().key_stats(*id);
 }
 
 std::size_t PartialLookupService::total_storage() const {
   std::size_t total = 0;
-  for (const auto& [key, strategy] : keys_) total += strategy->storage_cost();
-  return total;
-}
-
-net::TransportStats PartialLookupService::total_transport() const {
-  net::TransportStats total;
-  total.per_server_processed.assign(config_.num_servers, 0);
-  for (const auto& [key, strategy] : keys_) {
-    const auto& s = strategy->network().stats();
-    total.sent += s.sent;
-    total.processed += s.processed;
-    total.dropped += s.dropped;
-    total.broadcasts += s.broadcasts;
-    total.rpcs += s.rpcs;
-    total.dropped_down += s.dropped_down;
-    total.dropped_link += s.dropped_link;
-    total.duplicated += s.duplicated;
-    total.dup_suppressed += s.dup_suppressed;
-    total.retries += s.retries;
-    total.timeouts += s.timeouts;
-    for (std::size_t i = 0; i < s.per_server_processed.size(); ++i) {
-      total.per_server_processed[i] += s.per_server_processed[i];
-    }
-  }
+  for (const auto& strategy : strategies_) total += strategy->storage_cost();
   return total;
 }
 

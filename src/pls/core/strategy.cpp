@@ -35,7 +35,7 @@ std::size_t Placement::distinct_entries() const {
   return seen.size();
 }
 
-void StrategyServer::on_message(const net::Message& m, net::Network& net) {
+void StrategyServer::on_message(const net::Message& m, net::ClusterView& net) {
   (void)net;
   if (const auto* batch = std::get_if<net::StoreBatch>(&m)) {
     store_.assign(batch->entries);
@@ -49,7 +49,8 @@ void StrategyServer::on_message(const net::Message& m, net::Network& net) {
   // role in (e.g. a RoundRemove for an entry it does not store).
 }
 
-net::Message StrategyServer::on_rpc(const net::Message& m, net::Network& net) {
+net::Message StrategyServer::on_rpc(const net::Message& m,
+                                    net::ClusterView& net) {
   if (const auto* req = std::get_if<net::LookupRequest>(&m)) {
     // Allocation-free reply path: sample into the network's pooled buffer
     // and alias it into the reply. The pool hands the same buffer back once
@@ -62,23 +63,40 @@ net::Message StrategyServer::on_rpc(const net::Message& m, net::Network& net) {
   return net::Ack{};
 }
 
+std::uint64_t Strategy::link_stream_seed(const StrategyConfig& config) {
+  if (config.link.seed != 0) return config.link.seed;
+  return Rng(config.seed).fork(0x117f)();
+}
+
 Strategy::Strategy(StrategyConfig config, std::size_t num_servers,
                    std::shared_ptr<net::FailureState> failures)
     : config_(config),
-      failures_(std::move(failures)),
-      net_(failures_),
+      owned_cluster_(
+          std::make_unique<net::Cluster>(num_servers, std::move(failures))),
+      cluster_(owned_cluster_.get()),
       client_rng_(Rng(config.seed).fork(0x11)) {
   PLS_CHECK_MSG(num_servers > 0, "need at least one server");
-  PLS_CHECK_MSG(failures_->size() == num_servers,
-                "FailureState size must match the cluster size");
   net::LinkModel link = config.link;
-  if (link.seed == 0) link.seed = Rng(config.seed).fork(0x117f)();
-  net_.set_link_model(link);
-  net_.set_retry_policy(config.retry);
+  link.seed = link_stream_seed(config);
+  net::Network& net = cluster_->network();
+  net.set_link_model(link);
+  net.set_retry_policy(config.retry);
+  // The private cluster's single key; reuses channel 0, which
+  // set_link_model just seeded identically (the reseed is idempotent).
+  key_ = cluster_->add_key(link.seed);
+}
+
+Strategy::Strategy(StrategyConfig config, net::Cluster& cluster)
+    : config_(config),
+      cluster_(&cluster),
+      client_rng_(Rng(config.seed).fork(0x11)) {
+  // Shared mode: the cluster's (service-wide) link model and retry policy
+  // apply; this key only brings its own link-randomness stream.
+  key_ = cluster_->add_key(link_stream_seed(config));
 }
 
 ServerId Strategy::random_up_server() {
-  const auto up = net_.failures().up_servers();
+  const auto up = network().failures().up_servers();
   if (up.empty()) return kInvalidServer;
   return up[client_rng_.uniform(up.size())];
 }
@@ -100,7 +118,8 @@ void Strategy::place(std::span<const Entry> entries) {
   if (target == kInvalidServer) return;
   // One deep copy into a shared buffer; every fan-out downstream (e.g.
   // Fixed-x's rebroadcast of a prefix) aliases it.
-  net_.client_send(target, net::PlaceRequest{net::SharedEntries(entries)});
+  cluster_view().client_send(target,
+                             net::PlaceRequest{net::SharedEntries(entries)});
 }
 
 void Strategy::add(Entry v) {
@@ -108,7 +127,7 @@ void Strategy::add(Entry v) {
                 "storage-budget placements are static-only (no add)");
   const ServerId target = update_target();
   if (target == kInvalidServer) return;
-  net_.client_send(target, net::AddRequest{v});
+  cluster_view().client_send(target, net::AddRequest{v});
 }
 
 void Strategy::erase(Entry v) {
@@ -116,7 +135,7 @@ void Strategy::erase(Entry v) {
                 "storage-budget placements are static-only (no delete)");
   const ServerId target = update_target();
   if (target == kInvalidServer) return;
-  net_.client_send(target, net::DeleteRequest{v});
+  cluster_view().client_send(target, net::DeleteRequest{v});
 }
 
 Placement Strategy::placement() const {

@@ -5,6 +5,13 @@
 // A Strategy manages ONE key, exactly as the paper does ("we focus here on
 // strategies that manage only one key", §2); pls::core::PartialLookupService
 // composes per-key strategies into the multi-key service.
+//
+// Deployment modes: a standalone Strategy owns a private one-key
+// net::Cluster (the historical shape — golden traces depend on it byte for
+// byte); a Strategy built over a shared net::Cluster registers itself as
+// one more tenant key on the cluster's multi-tenant hosts. Either way all
+// transport flows through a key-scoped net::ClusterView, so protocol code
+// cannot tell the deployments apart.
 #pragma once
 
 #include <memory>
@@ -17,7 +24,7 @@
 #include "pls/common/types.hpp"
 #include "pls/core/entry_store.hpp"
 #include "pls/core/lookup.hpp"
-#include "pls/net/network.hpp"
+#include "pls/net/cluster.hpp"
 
 namespace pls::core {
 
@@ -51,7 +58,9 @@ struct StrategyConfig {
   /// the paper's perfectly reliable link; set drop/duplicate
   /// probabilities to evaluate under loss. A zero LinkModel::seed is
   /// replaced by one derived from `seed`, keeping sibling strategies'
-  /// link randomness independent but reproducible.
+  /// link randomness independent but reproducible. On a *shared* cluster
+  /// the probabilities are cluster-wide (the service installs them); only
+  /// the derived seed is used, to seed this key's private link stream.
   net::LinkModel link{};
   /// Retransmission policy used by this key's clients and servers on a
   /// lossy link (inert on a reliable one).
@@ -71,19 +80,19 @@ struct Placement {
   std::size_t distinct_entries() const;
 };
 
-/// Server base shared by all strategies: an EntryStore plus default
+/// Per-key tenant base shared by all strategies: an EntryStore plus default
 /// handling of the generic messages (StoreBatch/StoreEntry/RemoveEntry and
-/// the LookupRequest RPC). Strategy-specific servers override `on_message`
-/// for their placement/update logic.
-class StrategyServer : public net::Server {
+/// the LookupRequest RPC). Strategy-specific tenants override `on_message`
+/// for their placement/update logic. One instance per (host server, key).
+class StrategyServer : public net::Tenant {
  public:
-  StrategyServer(ServerId id, Rng rng) : net::Server(id), rng_(rng) {}
+  StrategyServer(ServerId id, Rng rng) : net::Tenant(id), rng_(rng) {}
 
   EntryStore& store() noexcept { return store_; }
   const EntryStore& store() const noexcept { return store_; }
 
-  void on_message(const net::Message& m, net::Network& net) override;
-  net::Message on_rpc(const net::Message& m, net::Network& net) override;
+  void on_message(const net::Message& m, net::ClusterView& net) override;
+  net::Message on_rpc(const net::Message& m, net::ClusterView& net) override;
 
  protected:
   Rng& rng() noexcept { return rng_; }
@@ -120,14 +129,29 @@ class Strategy {
   std::string_view name() const noexcept { return to_string(config_.kind); }
   const StrategyConfig& config() const noexcept { return config_; }
 
-  std::size_t num_servers() const noexcept { return net_.size(); }
-  net::Network& network() noexcept { return net_; }
-  const net::Network& network() const noexcept { return net_; }
+  std::size_t num_servers() const noexcept { return cluster_->size(); }
+  net::Network& network() noexcept { return cluster_->network(); }
+  const net::Network& network() const noexcept { return cluster_->network(); }
+
+  /// This strategy's dense key id on its cluster (kDefaultKey standalone).
+  KeyId key() const noexcept { return key_; }
+
+  /// The key-scoped transport handle: stamps this strategy's KeyId on every
+  /// message and reads its per-key stats channel. Cheap value type.
+  net::ClusterView cluster_view() noexcept {
+    return net::ClusterView(cluster_->network(), key_);
+  }
+
+  /// Transport counters attributed to this strategy's key. Standalone this
+  /// equals network().stats(); on a shared cluster it is this key's slice.
+  const net::TransportStats& transport() const {
+    return cluster_->network().key_stats(key_);
+  }
 
   /// The active retransmission policy (config().retry, as installed on
   /// the transport).
   const net::RetryPolicy& retry_policy() const noexcept {
-    return net_.retry_policy();
+    return cluster_->network().retry_policy();
   }
 
   /// Snapshot of the current entry placement across servers.
@@ -136,15 +160,32 @@ class Strategy {
   /// Total entries stored across all servers (§4.1 storage cost).
   std::size_t storage_cost() const noexcept;
 
-  /// Failure injection (shared with sibling strategies when the
-  /// FailureState is shared by a PartialLookupService).
-  void fail_server(ServerId s) { net_.fail(s); }
-  void recover_server(ServerId s) { net_.recover(s); }
-  void recover_all() { failures_->recover_all(); }
+  /// Failure injection (shared with sibling strategies when the cluster or
+  /// FailureState is shared). All three route through the network, so
+  /// transport- and failure-side bookkeeping can never diverge.
+  void fail_server(ServerId s) { network().fail(s); }
+  void recover_server(ServerId s) { network().recover(s); }
+  void recover_all() { network().recover_all(); }
+
+  /// This strategy's per-server tenant state (tests, metrics).
+  StrategyServer& server_state(ServerId s);
+  const StrategyServer& server_state(ServerId s) const;
 
  protected:
+  /// Standalone mode: a private one-key cluster of `num_servers` hosts.
   Strategy(StrategyConfig config, std::size_t num_servers,
            std::shared_ptr<net::FailureState> failures);
+
+  /// Shared mode: registers this strategy as a new tenant key on
+  /// `cluster`. The cluster's link model and retry policy apply; the key's
+  /// link stream is seeded from link_stream_seed(config).
+  Strategy(StrategyConfig config, net::Cluster& cluster);
+
+  /// The link-Rng stream seed for `config`'s key: config.link.seed, or the
+  /// stream derived from config.seed when it is 0. Both deployment modes
+  /// use this one derivation — which is what makes a shared-cluster key
+  /// byte-identical to its standalone twin.
+  static std::uint64_t link_stream_seed(const StrategyConfig& config);
 
   /// Delivery target for client requests: a uniformly random operational
   /// server (§5.1: "a client selects a server S at random").
@@ -157,26 +198,27 @@ class Strategy {
   virtual ServerId update_target();
 
   Rng& client_rng() noexcept { return client_rng_; }
-  StrategyServer& server_state(ServerId s);
-  const StrategyServer& server_state(ServerId s) const;
 
  private:
   StrategyConfig config_;
-  std::shared_ptr<net::FailureState> failures_;
-  net::Network net_;
+  /// Standalone mode owns its cluster; shared mode borrows the service's.
+  std::unique_ptr<net::Cluster> owned_cluster_;
+  net::Cluster* cluster_;
+  KeyId key_ = kDefaultKey;
   Rng client_rng_;
 
  protected:
-  /// Typed views of the servers owned by net_; filled by subclasses'
-  /// register_server().
+  /// Typed views of this key's tenants, one per host; filled by
+  /// subclasses' register_tenant().
   std::vector<StrategyServer*> servers_;
 
-  /// Creates, registers and records a server of type T.
+  /// Creates a tenant of type T and registers it under this strategy's key
+  /// on host `args[0]` (tenants must be registered in host-id order).
   template <typename T, typename... Args>
-  T& register_server(Args&&... args) {
+  T& register_tenant(Args&&... args) {
     auto owned = std::make_unique<T>(std::forward<Args>(args)...);
     T& ref = *owned;
-    net_.add_server(std::move(owned));
+    cluster_->add_tenant(ref.id(), key_, std::move(owned));
     servers_.push_back(&ref);
     return ref;
   }

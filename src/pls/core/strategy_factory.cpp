@@ -36,6 +36,23 @@ std::unique_ptr<Strategy> make_strategy(
   PLS_CHECK_MSG(false, "unknown strategy kind");
 }
 
+std::unique_ptr<Strategy> make_strategy(StrategyConfig config,
+                                        net::Cluster& cluster) {
+  switch (config.kind) {
+    case StrategyKind::kFullReplication:
+      return std::make_unique<FullReplicationStrategy>(config, cluster);
+    case StrategyKind::kFixed:
+      return std::make_unique<FixedStrategy>(config, cluster);
+    case StrategyKind::kRandomServer:
+      return std::make_unique<RandomServerStrategy>(config, cluster);
+    case StrategyKind::kRoundRobin:
+      return std::make_unique<RoundRobinStrategy>(config, cluster);
+    case StrategyKind::kHash:
+      return std::make_unique<HashStrategy>(config, cluster);
+  }
+  PLS_CHECK_MSG(false, "unknown strategy kind");
+}
+
 std::optional<StrategyKind> parse_strategy_kind(std::string_view name) {
   std::string lower(name);
   std::transform(lower.begin(), lower.end(), lower.begin(),

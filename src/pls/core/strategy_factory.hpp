@@ -9,12 +9,17 @@
 
 namespace pls::core {
 
-/// Builds a strategy over `num_servers` servers. Pass a shared FailureState
-/// to correlate failures across several strategies (the multi-key service
-/// does); pass nullptr to get a private one.
+/// Builds a standalone strategy over a private `num_servers`-host cluster.
+/// Pass a shared FailureState to correlate failures across several
+/// strategies; pass nullptr to get a private one.
 std::unique_ptr<Strategy> make_strategy(
     StrategyConfig config, std::size_t num_servers,
     std::shared_ptr<net::FailureState> failures = nullptr);
+
+/// Builds a strategy as a new tenant key on `cluster`'s multi-tenant hosts
+/// (the multi-key service's shared-cluster mode).
+std::unique_ptr<Strategy> make_strategy(StrategyConfig config,
+                                        net::Cluster& cluster);
 
 /// Parses the names used throughout the paper and this repo's CLIs:
 /// "full", "fixed", "randomserver", "roundrobin"/"round", "hash"

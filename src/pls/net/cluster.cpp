@@ -1,0 +1,57 @@
+#include "pls/net/cluster.hpp"
+
+#include <utility>
+
+#include "pls/common/check.hpp"
+
+namespace pls::net {
+
+Cluster::Cluster(std::size_t num_servers,
+                 std::shared_ptr<FailureState> failures)
+    : failures_(failures != nullptr ? std::move(failures)
+                                    : make_failure_state(num_servers)),
+      net_(failures_) {
+  PLS_CHECK_MSG(num_servers > 0, "a cluster needs at least one server");
+  PLS_CHECK_MSG(failures_->size() == num_servers,
+                "FailureState size must match the cluster size");
+  hosts_.reserve(num_servers);
+  for (std::size_t i = 0; i < num_servers; ++i) {
+    auto host = std::make_unique<HostServer>(static_cast<ServerId>(i));
+    hosts_.push_back(host.get());
+    net_.add_server(std::move(host));
+  }
+}
+
+KeyId Cluster::add_key(std::uint64_t link_seed) {
+  if (num_keys_ == 0) {
+    // Channel 0 always exists; handing it to the first key keeps a one-key
+    // cluster identical to the pre-tenancy single-key network.
+    net_.reseed_channel(kDefaultKey, link_seed);
+    ++num_keys_;
+    return kDefaultKey;
+  }
+  ++num_keys_;
+  return net_.add_channel(link_seed);
+}
+
+void Cluster::add_tenant(ServerId host, KeyId key,
+                         std::unique_ptr<Tenant> tenant) {
+  PLS_CHECK_MSG(key < num_keys_, "add_key must precede add_tenant");
+  this->host(host).add_tenant(key, std::move(tenant));
+}
+
+HostServer& Cluster::host(ServerId s) {
+  PLS_CHECK(s < hosts_.size());
+  return *hosts_[s];
+}
+
+const HostServer& Cluster::host(ServerId s) const {
+  PLS_CHECK(s < hosts_.size());
+  return *hosts_[s];
+}
+
+void Cluster::reserve_keys(std::size_t n) {
+  for (HostServer* h : hosts_) h->reserve_tenants(n);
+}
+
+}  // namespace pls::net

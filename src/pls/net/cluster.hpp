@@ -1,0 +1,63 @@
+// A physical cluster: one Network plus n multi-tenant HostServers.
+//
+// The shared substrate of the multi-key service (§2): every key's tenants
+// live on the same n hosts and all traffic flows over the one network, so
+// service memory is O(K·h/n + n) instead of the K·n server objects and K
+// networks a per-key-cluster design costs, and the cluster-wide
+// TransportStats are a single real counter set with a per-key breakdown.
+//
+// A standalone single-key Strategy owns a private one-key Cluster; the
+// shared and private deployments are byte-identical per key because each
+// key carries its own link-Rng stream and stats channel (see host.hpp).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pls/common/types.hpp"
+#include "pls/net/failure.hpp"
+#include "pls/net/host.hpp"
+#include "pls/net/network.hpp"
+
+namespace pls::net {
+
+class Cluster {
+ public:
+  /// Builds `num_servers` empty hosts over `failures` (shared failure
+  /// injection); pass nullptr for a private FailureState.
+  explicit Cluster(std::size_t num_servers,
+                   std::shared_ptr<FailureState> failures = nullptr);
+
+  std::size_t size() const noexcept { return hosts_.size(); }
+  std::size_t num_keys() const noexcept { return num_keys_; }
+
+  Network& network() noexcept { return net_; }
+  const Network& network() const noexcept { return net_; }
+  const std::shared_ptr<FailureState>& failures() const noexcept {
+    return failures_;
+  }
+
+  /// Registers a new tenant key and returns its dense KeyId. The key's
+  /// link-Rng stream is seeded from `link_seed`. The first key reuses
+  /// channel 0 (reseeding it), so a one-key cluster is channel-for-channel
+  /// identical to the pre-tenancy single-key network.
+  KeyId add_key(std::uint64_t link_seed);
+
+  /// Installs `tenant` as `key`'s protocol state on host `host`.
+  void add_tenant(ServerId host, KeyId key, std::unique_ptr<Tenant> tenant);
+
+  HostServer& host(ServerId s);
+  const HostServer& host(ServerId s) const;
+
+  /// Key-count hint: pre-sizes every host's tenant table.
+  void reserve_keys(std::size_t n);
+
+ private:
+  std::shared_ptr<FailureState> failures_;
+  Network net_;
+  /// Hosts owned by net_, typed.
+  std::vector<HostServer*> hosts_;
+  std::size_t num_keys_ = 0;
+};
+
+}  // namespace pls::net

@@ -1,0 +1,44 @@
+#include "pls/net/host.hpp"
+
+#include <utility>
+
+#include "pls/common/check.hpp"
+
+namespace pls::net {
+
+void HostServer::add_tenant(KeyId key, std::unique_ptr<Tenant> tenant) {
+  PLS_CHECK_MSG(tenant != nullptr, "null tenant");
+  PLS_CHECK_MSG(tenant->id() == id(),
+                "tenant id must match its host server's id");
+  const bool inserted = tenants_.try_emplace(key, std::move(tenant)).second;
+  PLS_CHECK_MSG(inserted, "host already has a tenant for this key");
+}
+
+Tenant* HostServer::tenant(KeyId key) noexcept {
+  std::unique_ptr<Tenant>* slot = tenants_.find(key);
+  return slot != nullptr ? slot->get() : nullptr;
+}
+
+const Tenant* HostServer::tenant(KeyId key) const noexcept {
+  const std::unique_ptr<Tenant>* slot = tenants_.find(key);
+  return slot != nullptr ? slot->get() : nullptr;
+}
+
+Tenant& HostServer::route(const Message& m) {
+  Tenant* t = tenant(m.key);
+  PLS_CHECK_MSG(t != nullptr, "message delivered for a key this host does "
+                              "not serve");
+  return *t;
+}
+
+void HostServer::on_message(const Message& m, Network& net) {
+  ClusterView view(net, m.key);
+  route(m).on_message(m, view);
+}
+
+Message HostServer::on_rpc(const Message& m, Network& net) {
+  ClusterView view(net, m.key);
+  return route(m).on_rpc(m, view);
+}
+
+}  // namespace pls::net

@@ -1,0 +1,145 @@
+// Multi-tenant hosting: one physical server, many per-key tenants.
+//
+// The paper's §2 multi-key service runs every key on *one* set of servers
+// ("a server S may store entries for many keys"). A HostServer is that
+// physical server: a transport endpoint (net::Server) owning a
+// FlatMap<KeyId, Tenant> of per-key protocol state. The Network stamps each
+// Message with its KeyId; the host routes the delivery to the matching
+// tenant, handing it a ClusterView scoped to that key.
+//
+// A ClusterView is the only transport handle a tenant (or a strategy's
+// client side) ever sees: it mirrors the Network's send/broadcast/call
+// surface, stamps the key on every outgoing message, and reads the per-key
+// TransportStats channel. Because each key also owns a private link-Rng
+// stream (Network::add_channel), a tenant's observable behaviour over a
+// shared cluster is byte-identical to the same protocol running on a
+// standalone single-key cluster seeded with the same streams.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "pls/common/flat_map.hpp"
+#include "pls/common/types.hpp"
+#include "pls/net/network.hpp"
+#include "pls/net/server.hpp"
+
+namespace pls::net {
+
+class ClusterView;
+
+/// Per-key protocol state hosted on one server. Subclasses implement the
+/// placement-strategy message handling of §3/§5; `id()` is the host
+/// server's id (a tenant acts *as* its host for its own key's traffic).
+class Tenant {
+ public:
+  explicit Tenant(ServerId id) : id_(id) {}
+  virtual ~Tenant() = default;
+
+  Tenant(const Tenant&) = delete;
+  Tenant& operator=(const Tenant&) = delete;
+
+  ServerId id() const noexcept { return id_; }
+
+  /// Handles a one-way message addressed to this tenant's key.
+  virtual void on_message(const Message& m, ClusterView& net) = 0;
+
+  /// Handles a request/reply exchange; must return the reply message.
+  virtual Message on_rpc(const Message& m, ClusterView& net) = 0;
+
+ private:
+  ServerId id_;
+};
+
+/// A key-scoped window onto a (shared or private) cluster's transport.
+///
+/// Mirrors the Network's client/server call surface so protocol code reads
+/// identically in both deployments; every outgoing message is stamped with
+/// the view's key, which selects the per-key link-Rng stream and charges
+/// the per-key TransportStats channel. Copyable and cheap (two words).
+class ClusterView {
+ public:
+  ClusterView(Network& net, KeyId key) : net_(&net), key_(key) {}
+
+  KeyId key() const noexcept { return key_; }
+  Network& network() noexcept { return *net_; }
+
+  std::size_t size() const noexcept { return net_->size(); }
+  const FailureState& failures() const noexcept { return net_->failures(); }
+  bool is_up(ServerId s) const { return net_->is_up(s); }
+
+  bool client_send(ServerId to, Message m) {
+    m.key = key_;
+    return net_->client_send(to, m);
+  }
+
+  std::optional<Message> client_rpc(ServerId to, Message m) {
+    m.key = key_;
+    return net_->client_rpc(to, m);
+  }
+
+  CallResult client_call(ServerId to, Message m, const RetryPolicy& policy,
+                         std::uint32_t attempt_cap) {
+    m.key = key_;
+    return net_->client_call(to, m, policy, attempt_cap);
+  }
+
+  void send(ServerId from, ServerId to, Message m) {
+    m.key = key_;
+    net_->send(from, to, m);
+  }
+
+  void broadcast(ServerId from, Message m) {
+    m.key = key_;
+    net_->broadcast(from, m);
+  }
+
+  std::optional<Message> rpc(ServerId from, ServerId to, Message m) {
+    m.key = key_;
+    return net_->rpc(from, to, m);
+  }
+
+  /// This key's share of the cluster traffic (Network::key_stats).
+  const TransportStats& stats() const { return net_->key_stats(key_); }
+
+  const RetryPolicy& retry_policy() const noexcept {
+    return net_->retry_policy();
+  }
+  const LinkModel& link_model() const noexcept { return net_->link_model(); }
+
+  EntryBufferPool& reply_pool() noexcept { return net_->reply_pool(); }
+
+ private:
+  Network* net_;
+  KeyId key_;
+};
+
+/// A physical server hosting one tenant per key. Deliveries are routed by
+/// the message's KeyId; the transport-side dedup window (net::Server) is
+/// shared by all tenants, which is safe because sequence numbers are unique
+/// per network, not per key.
+class HostServer final : public Server {
+ public:
+  explicit HostServer(ServerId id) : Server(id) {}
+
+  /// Registers `tenant` as the handler for `key`'s traffic on this host.
+  /// One tenant per key; the tenant's id must match the host's.
+  void add_tenant(KeyId key, std::unique_ptr<Tenant> tenant);
+
+  Tenant* tenant(KeyId key) noexcept;
+  const Tenant* tenant(KeyId key) const noexcept;
+  std::size_t num_tenants() const noexcept { return tenants_.size(); }
+
+  /// Pre-sizes the tenant table (ServiceConfig::expected_keys hint).
+  void reserve_tenants(std::size_t n) { tenants_.reserve(n); }
+
+  void on_message(const Message& m, Network& net) override;
+  Message on_rpc(const Message& m, Network& net) override;
+
+ private:
+  Tenant& route(const Message& m);
+
+  FlatMap<KeyId, std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace pls::net

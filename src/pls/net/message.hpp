@@ -108,11 +108,31 @@ struct LookupReply {
 /// Generic empty acknowledgement.
 struct Ack {};
 
-using Message =
+/// The strategy-protocol payload: exactly one of the message kinds above.
+using MessagePayload =
     std::variant<PlaceRequest, AddRequest, DeleteRequest, StoreBatch,
                  StoreEntry, StoreSlotted, RemoveEntry, ReservoirAdd,
                  RoundRemove, MigrateRequest, MigrateReply, PurgeEntry,
                  LookupRequest, LookupReply, Ack>;
+
+/// A wire message: a protocol payload tagged with the KeyId of the tenant
+/// it addresses. Deriving from the payload variant keeps every
+/// std::get_if/std::get/std::holds_alternative/std::visit call site working
+/// on a Message directly (template deduction walks to the unique variant
+/// base), so protocol handlers read payloads exactly as before; only the
+/// transport and the multi-tenant hosts look at `key`.
+///
+/// Single-key clusters leave `key` at kDefaultKey; in a shared cluster the
+/// key-scoped ClusterView stamps it on every outgoing message, and hosts
+/// route deliveries to the matching tenant.
+struct Message : MessagePayload {
+  using MessagePayload::MessagePayload;
+
+  KeyId key = kDefaultKey;
+
+  const MessagePayload& payload() const noexcept { return *this; }
+  MessagePayload& payload() noexcept { return *this; }
+};
 
 /// Short human-readable tag for tracing.
 const char* message_name(const Message& m) noexcept;

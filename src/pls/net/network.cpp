@@ -31,13 +31,44 @@ const char* message_name(const Message& m) noexcept {
     const char* operator()(const LookupReply&) const { return "LookupReply"; }
     const char* operator()(const Ack&) const { return "Ack"; }
   };
-  return std::visit(Visitor{}, m);
+  return std::visit(Visitor{}, m.payload());
 }
 
 Network::Network(std::shared_ptr<FailureState> failures)
-    : failures_(std::move(failures)), link_rng_(1) {
+    : failures_(std::move(failures)) {
   PLS_CHECK_MSG(failures_ != nullptr, "Network needs a FailureState");
   stats_.per_server_processed.assign(failures_->size(), 0);
+  // Channel 0: the default key's transport state (single-key clusters and
+  // legacy unkeyed callers); reseeded by set_link_model.
+  channels_.emplace_back();
+  channels_.back().stats.per_server_processed.assign(failures_->size(), 0);
+}
+
+Network::KeyChannel& Network::channel(KeyId key) {
+  PLS_CHECK_MSG(key < channels_.size(), "message addresses an unregistered "
+                                        "tenant channel");
+  return channels_[key];
+}
+
+KeyId Network::add_channel(std::uint64_t link_seed) {
+  channels_.emplace_back();
+  channels_.back().link_rng = Rng(link_seed == 0 ? 1 : link_seed);
+  channels_.back().stats.per_server_processed.assign(failures_->size(), 0);
+  return static_cast<KeyId>(channels_.size() - 1);
+}
+
+void Network::reseed_channel(KeyId key, std::uint64_t link_seed) {
+  channel(key).link_rng = Rng(link_seed == 0 ? 1 : link_seed);
+}
+
+const TransportStats& Network::key_stats(KeyId key) const {
+  PLS_CHECK_MSG(key < channels_.size(), "unregistered tenant channel");
+  return channels_[key].stats;
+}
+
+void Network::reset_stats() noexcept {
+  stats_.reset();
+  for (auto& c : channels_) c.stats.reset();
 }
 
 ServerId Network::add_server(std::unique_ptr<Server> server) {
@@ -68,7 +99,7 @@ void Network::set_link_model(const LinkModel& model) {
       "duplicate probability must be in [0, 1]");
   PLS_CHECK_MSG(model.latency_mean >= 0.0, "latency mean must be >= 0");
   link_ = model;
-  link_rng_ = Rng(model.seed == 0 ? 1 : model.seed);
+  channels_[kDefaultKey].link_rng = Rng(model.seed == 0 ? 1 : model.seed);
 }
 
 void Network::set_retry_policy(const RetryPolicy& policy) {
@@ -79,13 +110,19 @@ void Network::set_retry_policy(const RetryPolicy& policy) {
 void Network::deliver(ServerId to, const Message& m, SeqNo seq) {
   ++stats_.processed;
   ++stats_.per_server_processed[to];
+  TransportStats& ks = channel(m.key).stats;
+  ++ks.processed;
+  ++ks.per_server_processed[to];
   if (trace_ != nullptr) {
     trace_->record(sim_ != nullptr ? sim_->now() : 0.0,
                    sim::TraceKind::kMessage,
                    std::string(message_name(m)) + " -> server " +
                        std::to_string(to));
   }
-  if (!servers_[to]->handle(m, *this, seq)) ++stats_.dup_suppressed;
+  if (!servers_[to]->handle(m, *this, seq)) {
+    ++stats_.dup_suppressed;
+    ++channel(m.key).stats.dup_suppressed;
+  }
 }
 
 std::uint32_t Network::acquire_pending(const Message& m) {
@@ -123,10 +160,14 @@ void Network::schedule_delivery(ServerId to, const Message& m, SeqNo seq,
 
 void Network::record_drop(ServerId to, const Message& m, DropCause cause) {
   ++stats_.dropped;
+  TransportStats& ks = channel(m.key).stats;
+  ++ks.dropped;
   if (cause == DropCause::kServerDown) {
     ++stats_.dropped_down;
+    ++ks.dropped_down;
   } else {
     ++stats_.dropped_link;
+    ++ks.dropped_link;
   }
   if (trace_ != nullptr) {
     trace_->record(sim_ != nullptr ? sim_->now() : 0.0,
@@ -137,26 +178,28 @@ void Network::record_drop(ServerId to, const Message& m, DropCause cause) {
   }
 }
 
-double Network::latency_sample() {
+double Network::latency_sample(Rng& link_rng) {
   double latency = latency_;
   if (link_.latency_mean > 0.0) {
-    latency += link_rng_.exponential(link_.latency_mean);
+    latency += link_rng.exponential(link_.latency_mean);
   }
   return latency;
 }
 
 bool Network::transmit(ServerId to, const Message& m) {
+  KeyChannel& ch = channel(m.key);
   if (!link_.lossy()) {
     // Reliable link: the paper's exact transport, one attempt, no
     // sequencing (duplicates are impossible, so the dedup window stays
     // untouched and accounting is unchanged).
     ++stats_.sent;
+    ++ch.stats.sent;
     if (!failures_->is_up(to)) {
       record_drop(to, m, DropCause::kServerDown);
       return false;
     }
     if (sim_ != nullptr) {
-      schedule_delivery(to, m, kNoSeq, latency_sample());
+      schedule_delivery(to, m, kNoSeq, latency_sample(ch.link_rng));
       return true;
     }
     deliver(to, m, kNoSeq);
@@ -167,28 +210,36 @@ bool Network::transmit(ServerId to, const Message& m) {
   // attempts of this logical message, so redundant deliveries are
   // suppressed by the receiver. Acknowledgements are modelled as reliable:
   // the sender stops after the first delivered attempt; duplicates come
-  // from the link itself (duplicate_probability).
+  // from the link itself (duplicate_probability). All loss randomness
+  // comes from the key's own channel stream, so tenants never perturb one
+  // another's replay.
   const SeqNo seq = ++next_seq_;
   double wait = 0.0;  // backoff time elapsed before the current attempt
   for (std::uint32_t attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
     ++stats_.sent;
-    if (attempt > 1) ++stats_.retries;
+    ++ch.stats.sent;
+    if (attempt > 1) {
+      ++stats_.retries;
+      ++ch.stats.retries;
+    }
     const bool up = failures_->is_up(to);
-    if (!up || link_rng_.bernoulli(link_.drop_probability)) {
+    if (!up || ch.link_rng.bernoulli(link_.drop_probability)) {
       record_drop(to, m, up ? DropCause::kLink : DropCause::kServerDown);
       ++stats_.timeouts;
-      wait += retry_.timeout_for(attempt, link_rng_);
+      ++ch.stats.timeouts;
+      wait += retry_.timeout_for(attempt, ch.link_rng);
       continue;
     }
     if (sim_ != nullptr) {
-      schedule_delivery(to, m, seq, wait + latency_sample());
+      schedule_delivery(to, m, seq, wait + latency_sample(ch.link_rng));
     } else {
       deliver(to, m, seq);
     }
-    if (link_rng_.bernoulli(link_.duplicate_probability)) {
+    if (ch.link_rng.bernoulli(link_.duplicate_probability)) {
       ++stats_.duplicated;
+      ++ch.stats.duplicated;
       if (sim_ != nullptr) {
-        schedule_delivery(to, m, seq, wait + latency_sample());
+        schedule_delivery(to, m, seq, wait + latency_sample(ch.link_rng));
       } else {
         deliver(to, m, seq);
       }
@@ -213,12 +264,14 @@ CallResult Network::client_call(ServerId to, const Message& m,
   PLS_CHECK(to < servers_.size());
   PLS_CHECK_MSG(policy.valid(), "invalid retry policy");
   PLS_CHECK_MSG(attempt_cap >= 1, "attempt cap must be >= 1");
+  KeyChannel& ch = channel(m.key);
   CallResult out;
   if (!link_.lossy()) {
     // Reliable link: one synchronous attempt; a missing reply means the
     // server is down, which retrying cannot fix within one lookup.
     out.attempts = 1;
     ++stats_.sent;
+    ++ch.stats.sent;
     if (!failures_->is_up(to)) {
       record_drop(to, m, DropCause::kServerDown);
       return out;
@@ -226,6 +279,9 @@ CallResult Network::client_call(ServerId to, const Message& m,
     ++stats_.processed;
     ++stats_.per_server_processed[to];
     ++stats_.rpcs;
+    ++ch.stats.processed;
+    ++ch.stats.per_server_processed[to];
+    ++ch.stats.rpcs;
     out.reply = servers_[to]->on_rpc(m, *this);
     return out;
   }
@@ -234,18 +290,26 @@ CallResult Network::client_call(ServerId to, const Message& m,
   for (std::uint32_t attempt = 1; attempt <= cap; ++attempt) {
     out.attempts = attempt;
     ++stats_.sent;
-    if (attempt > 1) ++stats_.retries;
+    ++ch.stats.sent;
+    if (attempt > 1) {
+      ++stats_.retries;
+      ++ch.stats.retries;
+    }
     const bool up = failures_->is_up(to);
-    if (!up || link_rng_.bernoulli(link_.drop_probability)) {
+    if (!up || ch.link_rng.bernoulli(link_.drop_probability)) {
       // The client cannot distinguish a lost request from a dead server;
       // both surface as a timeout and trigger the next attempt.
       record_drop(to, m, up ? DropCause::kLink : DropCause::kServerDown);
       ++stats_.timeouts;
+      ++ch.stats.timeouts;
       continue;
     }
     ++stats_.processed;
     ++stats_.per_server_processed[to];
     ++stats_.rpcs;
+    ++ch.stats.processed;
+    ++ch.stats.per_server_processed[to];
+    ++ch.stats.rpcs;
     out.reply = servers_[to]->on_rpc(m, *this);
     return out;
   }
@@ -262,6 +326,7 @@ void Network::send(ServerId from, ServerId to, const Message& m) {
 void Network::broadcast(ServerId from, const Message& m) {
   PLS_CHECK(from < servers_.size());
   ++stats_.broadcasts;
+  ++channel(m.key).stats.broadcasts;
   for (ServerId to = 0; to < servers_.size(); ++to) {
     transmit(to, m);
   }
@@ -272,17 +337,24 @@ std::optional<Message> Network::rpc(ServerId from, ServerId to,
   PLS_CHECK(from < servers_.size());
   PLS_CHECK(to < servers_.size());
   PLS_CHECK_MSG(sim_ == nullptr, "RPC requires immediate delivery mode");
+  KeyChannel& ch = channel(m.key);
   // Request leg, retransmitted under the default policy on a lossy link.
   bool delivered = false;
   const std::uint32_t attempts = link_.lossy() ? retry_.max_attempts : 1;
   for (std::uint32_t attempt = 1; attempt <= attempts; ++attempt) {
     ++stats_.sent;
-    if (attempt > 1) ++stats_.retries;
+    ++ch.stats.sent;
+    if (attempt > 1) {
+      ++stats_.retries;
+      ++ch.stats.retries;
+    }
     const bool up = failures_->is_up(to);
-    if (!up || (link_.lossy() && link_rng_.bernoulli(link_.drop_probability))) {
+    if (!up ||
+        (link_.lossy() && ch.link_rng.bernoulli(link_.drop_probability))) {
       record_drop(to, m, up ? DropCause::kLink : DropCause::kServerDown);
       if (link_.lossy()) {
         ++stats_.timeouts;
+        ++ch.stats.timeouts;
         continue;
       }
       return std::nullopt;
@@ -292,20 +364,29 @@ std::optional<Message> Network::rpc(ServerId from, ServerId to,
   }
   if (!delivered) return std::nullopt;
   ++stats_.rpcs;
+  ++ch.stats.rpcs;
   // Request processed by the callee...
   ++stats_.processed;
   ++stats_.per_server_processed[to];
+  ++ch.stats.processed;
+  ++ch.stats.per_server_processed[to];
   Message reply = servers_[to]->on_rpc(m, *this);
+  // The reply leg is attributed to the request's tenant regardless of what
+  // the callee stamped on the reply payload.
+  reply.key = m.key;
   // ...and the reply processed by the calling *server* (unlike client
   // RPCs). Replies ride the established exchange and are not subject to
   // link loss (connection-oriented model).
   ++stats_.sent;
+  ++ch.stats.sent;
   if (!failures_->is_up(from)) {
     record_drop(from, reply, DropCause::kServerDown);
     return std::nullopt;
   }
   ++stats_.processed;
   ++stats_.per_server_processed[from];
+  ++ch.stats.processed;
+  ++ch.stats.per_server_processed[from];
   return reply;
 }
 

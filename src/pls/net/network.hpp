@@ -10,10 +10,22 @@
 // A configurable LinkModel makes the wire lossy: each attempt may be
 // dropped or duplicated, and senders retransmit under the network's
 // RetryPolicy (bounded attempts, exponential backoff with jitter). All
-// link randomness comes from one seeded pls::Rng, so lossy runs replay
+// link randomness comes from seeded pls::Rng streams, so lossy runs replay
 // deterministically. Sequenced deliveries let servers suppress duplicates
 // (Server::handle). Retransmissions are charged like any other wire
 // message; see TransportStats for the conservation law.
+//
+// Multi-tenancy: every Message carries a KeyId and the network keeps one
+// *channel* per key — a private link Rng stream plus a TransportStats set.
+// Wire traffic is charged twice, to the global counters and to the
+// message's channel, so per-key attribution and cluster totals are
+// maintained independently (and must agree — a cross-checkable
+// conservation law). Each key's link randomness comes from its own stream,
+// so one key's loss pattern is unaffected by other tenants' traffic; a
+// shared-cluster run therefore reproduces, per key, the exact transport
+// behaviour of a standalone single-key cluster seeded with the same
+// stream. Channel 0 is the default for single-key and legacy callers and
+// is (re)seeded by set_link_model, exactly as the pre-tenancy network was.
 //
 // An optional deferred mode routes one-way sends through a pls::sim
 // Simulator; retransmissions then land after their accumulated backoff
@@ -67,6 +79,9 @@ class Network {
   bool is_up(ServerId s) const { return failures_->is_up(s); }
   void fail(ServerId s) { failures_->fail(s); }
   void recover(ServerId s) { failures_->recover(s); }
+  /// Recovers every server. All failure operations route through the
+  /// network so transport- and failure-side bookkeeping can never diverge.
+  void recover_all() { failures_->recover_all(); }
 
   /// Client -> server one-way message. Returns false (and counts drops)
   /// when the message never got through: server down, or every lossy-link
@@ -99,10 +114,29 @@ class Network {
   std::optional<Message> rpc(ServerId from, ServerId to, const Message& m);
 
   const TransportStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_.reset(); }
+  void reset_stats() noexcept;
 
-  /// Installs an unreliable-link model. Reseeds the link's private random
-  /// stream from `model.seed`, so the same model replays identically.
+  /// Registers a transport channel for a new tenant key and returns its
+  /// KeyId. The channel's link Rng stream is seeded from `link_seed`
+  /// (0 maps to 1, as set_link_model does), keeping per-key loss patterns
+  /// independent and reproducible. Channel 0 always exists.
+  KeyId add_channel(std::uint64_t link_seed);
+  std::size_t num_channels() const noexcept { return channels_.size(); }
+
+  /// Reseeds an existing channel's link stream (same 0 -> 1 mapping as
+  /// add_channel). Used when a cluster hands channel 0 to its first key.
+  void reseed_channel(KeyId key, std::uint64_t link_seed);
+
+  /// Per-key transport counters: the traffic attributed to `key`'s tenant.
+  /// Summed over all channels these equal stats() — the tenancy
+  /// conservation law (both sides are counted independently).
+  const TransportStats& key_stats(KeyId key) const;
+
+  /// Installs an unreliable-link model. Reseeds channel 0's random stream
+  /// from `model.seed`, so the same model replays identically. The loss
+  /// probabilities apply to every channel (a lossy wire is a property of
+  /// the deployment, not of one key); per-key streams are seeded at
+  /// add_channel time.
   void set_link_model(const LinkModel& model);
   const LinkModel& link_model() const noexcept { return link_; }
 
@@ -128,6 +162,16 @@ class Network {
  private:
   enum class DropCause { kServerDown, kLink };
 
+  /// One key's transport state: a private link-randomness stream and the
+  /// traffic attributed to the key. Channel 0 serves single-key clusters
+  /// and legacy (unkeyed) callers.
+  struct KeyChannel {
+    Rng link_rng{1};
+    TransportStats stats;
+  };
+
+  KeyChannel& channel(KeyId key);
+
   /// One-way transmission with loss, duplication and bounded
   /// retransmission. Returns true when at least one attempt was delivered
   /// (or scheduled for delivery, in deferred mode).
@@ -137,7 +181,7 @@ class Network {
   void schedule_delivery(ServerId to, const Message& m, SeqNo seq,
                          double delay);
   void record_drop(ServerId to, const Message& m, DropCause cause);
-  double latency_sample();
+  double latency_sample(Rng& link_rng);
 
   /// Parks a deferred message in a recycled pending_ slot and returns its
   /// index. Deferred-delivery events capture the index (4 bytes) instead of
@@ -148,9 +192,9 @@ class Network {
   std::shared_ptr<FailureState> failures_;
   std::vector<std::unique_ptr<Server>> servers_;
   TransportStats stats_;
+  std::vector<KeyChannel> channels_;
   LinkModel link_;
   RetryPolicy retry_;
-  Rng link_rng_;
   SeqNo next_seq_ = 0;
   sim::Simulator* sim_ = nullptr;
   double latency_ = 0.0;

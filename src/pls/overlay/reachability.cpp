@@ -28,7 +28,7 @@ core::LookupResult restricted_lookup(core::Strategy& strategy,
                 "server map does not match the cluster size");
   const auto reachable =
       servers.reachable_servers(topo, client_node, max_hops);
-  return core::subset_lookup(strategy.network(), rng, t, reachable,
+  return core::subset_lookup(strategy.cluster_view(), rng, t, reachable,
                              strategy.retry_policy());
 }
 

@@ -113,7 +113,7 @@ TEST(Hash, AddTouchesOnlyHashTargets) {
   EXPECT_EQ(s.network().stats().broadcasts, 0u);
   for (ServerId t : targets) {
     const auto& server =
-        static_cast<const StrategyServer&>(s.network().server(t));
+        s.server_state(t);
     EXPECT_TRUE(server.store().contains(v));
   }
 }

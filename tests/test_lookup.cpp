@@ -10,17 +10,20 @@
 namespace pls::core {
 namespace {
 
-/// Builds a network whose server i stores contents[i].
+/// Builds a network whose server i hosts a default-key tenant storing
+/// contents[i].
 struct LookupFixture {
   explicit LookupFixture(std::vector<std::vector<Entry>> contents)
       : failures(net::make_failure_state(contents.size())), net(failures) {
     Rng master(99);
     for (std::size_t i = 0; i < contents.size(); ++i) {
-      auto server = std::make_unique<StrategyServer>(
+      auto host = std::make_unique<net::HostServer>(static_cast<ServerId>(i));
+      auto tenant = std::make_unique<StrategyServer>(
           static_cast<ServerId>(i), master.fork(i));
-      server->store().assign(contents[i]);
-      servers.push_back(server.get());
-      net.add_server(std::move(server));
+      tenant->store().assign(contents[i]);
+      servers.push_back(tenant.get());
+      host->add_tenant(kDefaultKey, std::move(tenant));
+      net.add_server(std::move(host));
     }
   }
 

@@ -178,7 +178,7 @@ TEST(RandomServer, LocalCounterTracksSystemSize) {
   s.add(12);
   s.erase(1);
   const auto& server =
-      static_cast<const RandomServerServer&>(s.network().server(0));
+      static_cast<const RandomServerServer&>(s.server_state(0));
   EXPECT_EQ(server.local_h(), 11u);
 }
 

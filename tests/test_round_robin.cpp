@@ -41,7 +41,7 @@ void expect_round_robin_invariants(const RoundRobinStrategy& s,
   std::size_t min_load = SIZE_MAX, max_load = 0;
   for (ServerId id = 0; id < n; ++id) {
     const auto& server =
-        static_cast<const RoundRobinServer&>(s.network().server(id));
+        static_cast<const RoundRobinServer&>(s.server_state(id));
     min_load = std::min(min_load, server.store().size());
     max_load = std::max(max_load, server.store().size());
     for (Entry v : server.store().entries()) {
@@ -81,7 +81,7 @@ TEST(RoundRobin, PlaceAssignsConsecutiveServers) {
   expect_round_robin_invariants(s, live, 5, 2);
   // Entry i+1 (slot i) sits on servers i and i+1 mod 5.
   const auto& server0 =
-      static_cast<const RoundRobinServer&>(s.network().server(0));
+      static_cast<const RoundRobinServer&>(s.server_state(0));
   EXPECT_TRUE(server0.store().contains(1));   // slot 0
   EXPECT_TRUE(server0.store().contains(5));   // slot 4 wraps to {4, 0}
   EXPECT_TRUE(server0.store().contains(6));   // slot 5 -> {0, 1}
@@ -133,10 +133,10 @@ TEST(RoundRobin, AddAppendsAtTail) {
   std::set<Entry> live{1, 2, 3, 4, 42};
   expect_round_robin_invariants(s, live, 5, 2);
   // Slot 4 -> servers 4 and 0.
-  EXPECT_TRUE(static_cast<const RoundRobinServer&>(s.network().server(4))
+  EXPECT_TRUE(static_cast<const RoundRobinServer&>(s.server_state(4))
                   .store()
                   .contains(42));
-  EXPECT_TRUE(static_cast<const RoundRobinServer&>(s.network().server(0))
+  EXPECT_TRUE(static_cast<const RoundRobinServer&>(s.server_state(0))
                   .store()
                   .contains(42));
 }
@@ -161,11 +161,11 @@ TEST(RoundRobin, DeleteMiddleEntryPlugsHoleWithHeadEntry) {
   expect_round_robin_invariants(s, live, 4, 2);
   // Entry 1 (old head, slot 0) now occupies slot 2 (servers 2, 3).
   const auto& server2 =
-      static_cast<const RoundRobinServer&>(s.network().server(2));
+      static_cast<const RoundRobinServer&>(s.server_state(2));
   EXPECT_TRUE(server2.store().contains(1));
   EXPECT_EQ(server2.slot_of(1), std::uint64_t{2});
   const auto& server0 =
-      static_cast<const RoundRobinServer&>(s.network().server(0));
+      static_cast<const RoundRobinServer&>(s.server_state(0));
   EXPECT_FALSE(server0.store().contains(1));  // old copy purged
 }
 
@@ -208,7 +208,7 @@ TEST(RoundRobin, DeleteWhenCopiesOverlapHeadHolders) {
   std::set<Entry> live{1, 2, 3, 4};
   expect_round_robin_invariants(s, live, 4, 2);
   const auto& server0 =
-      static_cast<const RoundRobinServer&>(s.network().server(0));
+      static_cast<const RoundRobinServer&>(s.server_state(0));
   EXPECT_EQ(server0.slot_of(1), std::uint64_t{4});  // entry 1 re-homed
 }
 

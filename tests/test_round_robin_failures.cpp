@@ -65,10 +65,10 @@ TEST(RoundRobinFailures, DeleteOfEntryOnDownServerLeavesStaleCopy) {
   s.erase(6);
   s.recover_server(2);
   const auto& server2 =
-      static_cast<const RoundRobinServer&>(s.network().server(2));
+      static_cast<const RoundRobinServer&>(s.server_state(2));
   EXPECT_TRUE(server2.store().contains(6));  // stale, as documented
   const auto& server1 =
-      static_cast<const RoundRobinServer&>(s.network().server(1));
+      static_cast<const RoundRobinServer&>(s.server_state(1));
   EXPECT_FALSE(server1.store().contains(6));
   // The coordinator's live view is authoritative: a re-delete is ignored
   // (already removed), but a fresh place() resets everything.

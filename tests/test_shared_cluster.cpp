@@ -1,0 +1,313 @@
+// Multi-key shared-cluster invariants: cross-key isolation, shared failure
+// injection, the per-key transport conservation law, and independence from
+// key insertion order. These are the contracts that make ONE net::Cluster
+// safe to share between every key of a PartialLookupService.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pls/common/hashing.hpp"
+#include "pls/core/service.hpp"
+
+namespace pls::core {
+namespace {
+
+std::vector<Entry> iota_entries(Entry lo, std::size_t count) {
+  std::vector<Entry> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(lo + static_cast<Entry>(i));
+  }
+  return out;
+}
+
+/// The service's per-key seed derivation (FNV-1a over the key's characters
+/// mixed with the service seed) — duplicated here so the differential
+/// tests can build a standalone twin of a shared-cluster key.
+std::uint64_t derived_key_seed(const Key& key, std::uint64_t service_seed) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : key) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  return mix_hash(h, service_seed);
+}
+
+ServiceConfig small_service(std::size_t n = 6) {
+  ServiceConfig cfg;
+  cfg.num_servers = n;
+  cfg.default_strategy = {.kind = StrategyKind::kRoundRobin, .param = 2};
+  cfg.seed = 404;
+  return cfg;
+}
+
+TEST(SharedCluster, AllKeysShareOneNetworkAndHostSet) {
+  PartialLookupService service(small_service());
+  service.place("alpha", iota_entries(0, 8));
+  service.place("beta", iota_entries(100, 8));
+  service.place("gamma", iota_entries(200, 8));
+
+  auto& cluster = service.cluster();
+  EXPECT_EQ(cluster.size(), 6u);
+  EXPECT_EQ(cluster.num_keys(), 3u);
+  EXPECT_EQ(cluster.network().num_channels(), 3u);
+  // Every key's strategy runs over the SAME network object.
+  EXPECT_EQ(&service.strategy("alpha").network(), &cluster.network());
+  EXPECT_EQ(&service.strategy("beta").network(), &cluster.network());
+  // Each host carries one tenant per key, not one server object per key.
+  for (ServerId s = 0; s < 6; ++s) {
+    EXPECT_EQ(cluster.host(s).num_tenants(), 3u);
+  }
+}
+
+TEST(SharedCluster, KeysAreInternedToDenseIds) {
+  PartialLookupService service(small_service());
+  EXPECT_FALSE(service.key_id("alpha").has_value());
+  service.place("alpha", iota_entries(0, 4));
+  service.add("beta", 7);
+  service.add("alpha", 99);  // re-touch: same id
+  ASSERT_TRUE(service.key_id("alpha").has_value());
+  ASSERT_TRUE(service.key_id("beta").has_value());
+  EXPECT_EQ(*service.key_id("alpha"), 0u);
+  EXPECT_EQ(*service.key_id("beta"), 1u);
+  EXPECT_EQ(service.strategy("beta").key(), 1u);
+}
+
+TEST(SharedCluster, CrossKeyIsolationUnderChurn) {
+  // Hammering one key must not disturb a sibling key's placement: tenants
+  // are routed by the message's KeyId, never by arrival order.
+  PartialLookupService service(small_service());
+  service.place("quiet", iota_entries(0, 10));
+  const auto before = service.strategy("quiet").placement();
+
+  service.place("busy", iota_entries(500, 10));
+  for (Entry v = 0; v < 200; ++v) {
+    service.add("busy", 1000 + v);
+    if (v % 3 == 0) service.erase("busy", 1000 + v);
+  }
+  EXPECT_EQ(service.strategy("quiet").placement().servers, before.servers);
+
+  // And lookups on the quiet key still answer from its own entry universe.
+  const auto r = service.partial_lookup("quiet", 4);
+  ASSERT_TRUE(r.satisfied);
+  for (Entry v : r.entries) EXPECT_LT(v, 10);
+}
+
+TEST(SharedCluster, FailureInjectionIsClusterWide) {
+  PartialLookupService service(small_service());
+  service.place("a", iota_entries(0, 6));
+  service.place("b", iota_entries(50, 6));
+
+  // Failing through ONE key's strategy downs the host for every key:
+  // there is a single FailureState behind the shared network.
+  service.strategy("a").fail_server(2);
+  EXPECT_FALSE(service.failures().is_up(2));
+  EXPECT_FALSE(service.strategy("b").network().is_up(2));
+
+  service.fail_server(3);
+  EXPECT_FALSE(service.strategy("a").network().is_up(3));
+
+  service.recover_all();
+  for (ServerId s = 0; s < 6; ++s) EXPECT_TRUE(service.failures().is_up(s));
+}
+
+TEST(SharedCluster, LookupsSurviveSharedFailures) {
+  // Round-Robin-2 keeps two copies of every entry; with one host down each
+  // key must still satisfy lookups, answered purely from its own tenants.
+  PartialLookupService service(small_service());
+  service.place("a", iota_entries(0, 12));
+  service.place("b", iota_entries(100, 12));
+  service.fail_server(1);
+  const auto ra = service.partial_lookup("a", 6);
+  const auto rb = service.partial_lookup("b", 6);
+  ASSERT_TRUE(ra.satisfied);
+  ASSERT_TRUE(rb.satisfied);
+  for (Entry v : ra.entries) EXPECT_LT(v, 12);
+  for (Entry v : rb.entries) EXPECT_GE(v, 100);
+}
+
+TEST(SharedCluster, PerKeyTransportSumsToClusterTotals) {
+  // The tenancy conservation law: global counters and per-key channels are
+  // maintained independently; summing the channels must reproduce the
+  // cluster-wide set exactly — on a reliable link...
+  PartialLookupService service(small_service());
+  service.place("a", iota_entries(0, 10));
+  service.place("b", iota_entries(100, 10));
+  service.place("c", iota_entries(200, 10));
+  for (Entry i = 0; i < 30; ++i) {
+    service.add("a", 1000 + i);
+    service.partial_lookup("b", 4);
+    if (i % 2 == 0) service.erase("c", 200 + i / 2);
+  }
+
+  net::TransportStats summed;
+  summed.per_server_processed.resize(service.num_servers(), 0);
+  for (const Key key : {"a", "b", "c"}) {
+    const auto& ks = service.key_transport(key);
+    EXPECT_TRUE(ks.conservation_holds()) << "key " << key;
+    summed.merge(ks);
+  }
+  EXPECT_EQ(summed, service.total_transport());
+  EXPECT_TRUE(service.total_transport().conservation_holds());
+}
+
+TEST(SharedCluster, PerKeyTransportSumsToClusterTotalsLossy) {
+  // ...and on a lossy, duplicating link with retransmissions, where the
+  // per-key attribution must also capture drops, dups and retries.
+  auto cfg = small_service();
+  cfg.link = {.drop_probability = 0.2,
+              .duplicate_probability = 0.1,
+              .seed = 9090};
+  cfg.retry = {.max_attempts = 3};
+  PartialLookupService service(cfg);
+  service.place("a", iota_entries(0, 10));
+  service.place("b", iota_entries(100, 10));
+  for (Entry i = 0; i < 40; ++i) {
+    service.add("a", 1000 + i);
+    service.partial_lookup("b", 4);
+    service.partial_lookup("a", 3);
+  }
+
+  net::TransportStats summed;
+  summed.per_server_processed.resize(service.num_servers(), 0);
+  std::uint64_t lossy_traffic = 0;
+  for (const Key key : {"a", "b"}) {
+    const auto& ks = service.key_transport(key);
+    EXPECT_TRUE(ks.conservation_holds()) << "key " << key;
+    lossy_traffic += ks.dropped_link + ks.duplicated + ks.retries;
+    summed.merge(ks);
+  }
+  EXPECT_GT(lossy_traffic, 0u);  // the link model actually engaged
+  EXPECT_EQ(summed, service.total_transport());
+}
+
+TEST(SharedCluster, ResetZeroesTotalsAndEveryChannel) {
+  PartialLookupService service(small_service());
+  service.place("a", iota_entries(0, 8));
+  service.place("b", iota_entries(50, 8));
+  ASSERT_GT(service.total_transport().processed, 0u);
+  service.reset_transport();
+  EXPECT_EQ(service.total_transport().processed, 0u);
+  EXPECT_EQ(service.key_transport("a").sent, 0u);
+  EXPECT_EQ(service.key_transport("b").sent, 0u);
+}
+
+TEST(SharedCluster, KeyResultsIndependentOfInsertionOrder) {
+  // Per-key streams are derived from (service seed, key content), so the
+  // order keys first touch the service must not change any key's
+  // placement, lookups, or per-key transport bill.
+  const std::vector<Key> keys{"red", "green", "blue", "cyan"};
+  auto run = [&](std::vector<Key> order) {
+    PartialLookupService service(small_service());
+    for (const Key& key : order) {
+      const auto base =
+          static_cast<Entry>(100 * (1 + (key[0] % 7)));
+      service.place(key, iota_entries(base, 9));
+      service.add(key, base + 50);
+      service.erase(key, base + 1);
+    }
+    return service;
+  };
+
+  auto forward = run(keys);
+  auto reversed = run({keys.rbegin(), keys.rend()});
+  for (const Key& key : keys) {
+    EXPECT_EQ(forward.strategy(key).placement().servers,
+              reversed.strategy(key).placement().servers)
+        << "key " << key;
+    EXPECT_EQ(forward.key_transport(key), reversed.key_transport(key))
+        << "key " << key;
+    EXPECT_EQ(forward.partial_lookup(key, 4).entries,
+              reversed.partial_lookup(key, 4).entries)
+        << "key " << key;
+  }
+  // The ids differ (dense, insertion-ordered) even though behaviour agrees.
+  EXPECT_NE(*forward.key_id("red"), *reversed.key_id("red"));
+}
+
+TEST(SharedCluster, SharedKeyMatchesStandaloneStrategy) {
+  // The headline differential: a key on the shared cluster behaves
+  // byte-for-byte like a standalone single-key Strategy built with the
+  // same derived config — placements, lookup answers, and transport.
+  auto cfg = small_service();
+  cfg.link = {.drop_probability = 0.15,
+              .duplicate_probability = 0.05,
+              .seed = 0};  // 0: per-key stream derived from cfg.seed
+  cfg.retry = {.max_attempts = 4};
+  PartialLookupService service(cfg);
+  service.place("decoy", iota_entries(900, 8));  // occupy channel 0
+  service.place("twin", iota_entries(0, 10));
+
+  StrategyConfig twin_cfg = cfg.default_strategy;
+  twin_cfg.link = cfg.link;
+  twin_cfg.retry = cfg.retry;
+  twin_cfg.seed = derived_key_seed("twin", cfg.seed);
+  auto standalone = make_strategy(twin_cfg, cfg.num_servers);
+  const auto initial = iota_entries(0, 10);
+  standalone->place(initial);
+
+  for (Entry i = 0; i < 25; ++i) {
+    service.add("twin", 100 + i);
+    standalone->add(100 + i);
+    const auto shared_r = service.partial_lookup("twin", 4);
+    const auto alone_r = standalone->partial_lookup(4);
+    EXPECT_EQ(shared_r.entries, alone_r.entries) << "iteration " << i;
+    EXPECT_EQ(shared_r.servers_contacted, alone_r.servers_contacted);
+  }
+  EXPECT_EQ(service.strategy("twin").placement().servers,
+            standalone->placement().servers);
+  EXPECT_EQ(service.key_transport("twin"), standalone->transport());
+}
+
+TEST(SharedCluster, ExpectedKeysHintPreservesBehaviour) {
+  // The reservation hint is purely a performance knob: with and without
+  // it, every observable result is identical.
+  auto with_hint = small_service();
+  with_hint.expected_keys = 64;
+  PartialLookupService a(small_service());
+  PartialLookupService b(with_hint);
+  for (int k = 0; k < 20; ++k) {
+    const Key key = "key-" + std::to_string(k);
+    a.place(key, iota_entries(static_cast<Entry>(10 * k), 6));
+    b.place(key, iota_entries(static_cast<Entry>(10 * k), 6));
+  }
+  for (int k = 0; k < 20; ++k) {
+    const Key key = "key-" + std::to_string(k);
+    EXPECT_EQ(a.strategy(key).placement().servers,
+              b.strategy(key).placement().servers);
+    EXPECT_EQ(a.key_transport(key), b.key_transport(key));
+  }
+  EXPECT_EQ(a.total_transport(), b.total_transport());
+}
+
+TEST(SharedCluster, MixedStrategiesCoexistOnOneCluster) {
+  // A per-key policy can give every key a different scheme; they all share
+  // the hosts without interfering.
+  auto cfg = small_service();
+  cfg.strategy_policy = [](const Key& key) -> std::optional<StrategyConfig> {
+    if (key == "hash") {
+      return StrategyConfig{.kind = StrategyKind::kHash, .param = 2};
+    }
+    if (key == "full") {
+      return StrategyConfig{.kind = StrategyKind::kFullReplication};
+    }
+    return std::nullopt;  // default Round-Robin-2
+  };
+  PartialLookupService service(cfg);
+  service.place("hash", iota_entries(0, 8));
+  service.place("full", iota_entries(100, 8));
+  service.place("rr", iota_entries(200, 8));
+
+  EXPECT_EQ(service.strategy("hash").kind(), StrategyKind::kHash);
+  EXPECT_EQ(service.strategy("full").kind(), StrategyKind::kFullReplication);
+  EXPECT_EQ(service.strategy("rr").kind(), StrategyKind::kRoundRobin);
+  // Full replication stores h on every host; RR-2 stores 2 copies each.
+  EXPECT_EQ(service.strategy("full").storage_cost(), 8u * 6u);
+  EXPECT_EQ(service.strategy("rr").storage_cost(), 8u * 2u);
+  for (const Key key : {"hash", "full", "rr"}) {
+    EXPECT_TRUE(service.partial_lookup(key, 5).satisfied) << "key " << key;
+  }
+}
+
+}  // namespace
+}  // namespace pls::core

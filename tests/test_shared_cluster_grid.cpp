@@ -1,0 +1,185 @@
+// Tier-2 randomized differential grid for the shared-cluster service: for
+// random (strategy, n, h, t, churn, link) shapes, a multi-key
+// PartialLookupService must reproduce — per key, byte for byte — the
+// placements, lookup answers, and transport bills of K independent
+// standalone single-key strategies built with the service's derived
+// per-key seeds. This is the load-bearing guarantee of the tenancy
+// refactor: sharing one Network is purely an implementation economy, never
+// an observable behaviour change.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pls/common/hashing.hpp"
+#include "pls/core/service.hpp"
+
+namespace pls::core {
+namespace {
+
+struct GridShape {
+  StrategyKind kind;
+  std::size_t n;
+  std::size_t h;
+  std::size_t param;
+  std::size_t t;
+  std::size_t churn_ops;
+  bool lossy;
+  bool with_failures;
+  std::uint64_t seed;
+};
+
+std::string grid_name(const ::testing::TestParamInfo<GridShape>& info) {
+  const auto& s = info.param;
+  return std::string(to_string(s.kind)) + "_n" + std::to_string(s.n) + "_h" +
+         std::to_string(s.h) + "_p" + std::to_string(s.param) +
+         (s.lossy ? "_lossy" : "") + (s.with_failures ? "_fail" : "") + "_s" +
+         std::to_string(s.seed % 100000);
+}
+
+std::vector<GridShape> random_grid() {
+  Rng meta(0x7e94a7c5);
+  std::vector<GridShape> shapes;
+  constexpr std::size_t kPerKind = 6;
+  for (StrategyKind kind :
+       {StrategyKind::kFullReplication, StrategyKind::kFixed,
+        StrategyKind::kRandomServer, StrategyKind::kRoundRobin,
+        StrategyKind::kHash}) {
+    for (std::size_t i = 0; i < kPerKind; ++i) {
+      GridShape s;
+      s.kind = kind;
+      s.n = 2 + static_cast<std::size_t>(meta.uniform(9));   // 2..10
+      s.h = 4 + static_cast<std::size_t>(meta.uniform(40));  // 4..43
+      switch (kind) {
+        case StrategyKind::kFullReplication:
+          s.param = 1;
+          break;
+        case StrategyKind::kFixed:
+        case StrategyKind::kRandomServer:
+          s.param = 1 + static_cast<std::size_t>(meta.uniform(12));
+          break;
+        case StrategyKind::kRoundRobin:
+        case StrategyKind::kHash:
+          s.param = 1 + static_cast<std::size_t>(meta.uniform(s.n));
+          break;
+      }
+      s.t = 1 + static_cast<std::size_t>(meta.uniform(s.h / 2 + 1));
+      s.churn_ops = 10 + static_cast<std::size_t>(meta.uniform(40));
+      s.lossy = (i % 2 == 1);
+      s.with_failures = (i % 3 == 2);
+      s.seed = meta.next_u64();
+      shapes.push_back(s);
+    }
+  }
+  return shapes;
+}
+
+/// The service's per-key seed derivation, duplicated for the differential.
+std::uint64_t derived_key_seed(const Key& key, std::uint64_t service_seed) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : key) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  return mix_hash(h, service_seed);
+}
+
+class SharedClusterGridTest : public ::testing::TestWithParam<GridShape> {};
+
+TEST_P(SharedClusterGridTest, ServiceMatchesIndependentStrategies) {
+  const auto& p = GetParam();
+  const std::vector<Key> keys{"k-apple", "k-pear", "k-plum"};
+
+  ServiceConfig cfg;
+  cfg.num_servers = p.n;
+  cfg.default_strategy = {.kind = p.kind, .param = p.param, .seed = 0};
+  if (p.lossy) {
+    cfg.link = {.drop_probability = 0.15,
+                .duplicate_probability = 0.08,
+                .seed = 0};  // per-key streams derived from the key seeds
+    cfg.retry = {.max_attempts = 3};
+  }
+  cfg.seed = p.seed;
+  PartialLookupService service(cfg);
+
+  // The standalone twins: one single-key strategy per key, each with the
+  // service's derived config. Failures are correlated through a shared
+  // FailureState, mirroring the shared cluster's single failure domain.
+  auto twin_failures = net::make_failure_state(p.n);
+  std::vector<std::unique_ptr<Strategy>> twins;
+  for (const Key& key : keys) {
+    StrategyConfig kc = cfg.default_strategy;
+    kc.link = cfg.link;
+    kc.retry = cfg.retry;
+    kc.seed = derived_key_seed(key, cfg.seed);
+    twins.push_back(make_strategy(kc, p.n, twin_failures));
+  }
+
+  // Interleaved churn over all keys, identical op-for-op on both sides.
+  std::vector<std::vector<Entry>> live(keys.size());
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    for (std::size_t i = 0; i < p.h; ++i) {
+      live[k].push_back(static_cast<Entry>(1000 * k + i));
+    }
+    service.place(keys[k], live[k]);
+    twins[k]->place(live[k]);
+  }
+
+  Rng ops(p.seed ^ 0xc452u);
+  for (std::size_t op = 0; op < p.churn_ops; ++op) {
+    const auto k = static_cast<std::size_t>(ops.uniform(keys.size()));
+    const auto what = ops.uniform(4);
+    if (p.with_failures && op == p.churn_ops / 2) {
+      const auto down = static_cast<ServerId>(ops.uniform(p.n));
+      service.fail_server(down);
+      twins[0]->fail_server(down);  // shared FailureState: hits all twins
+    }
+    switch (what) {
+      case 0: {  // add
+        const Entry v = static_cast<Entry>(5000 + 100 * k + op);
+        service.add(keys[k], v);
+        twins[k]->add(v);
+        live[k].push_back(v);
+        break;
+      }
+      case 1: {  // delete
+        if (live[k].empty()) break;
+        const Entry v = live[k].back();
+        live[k].pop_back();
+        service.erase(keys[k], v);
+        twins[k]->erase(v);
+        break;
+      }
+      default: {  // lookup — answers must match entry-for-entry
+        const auto rs = service.partial_lookup(keys[k], p.t);
+        const auto rt = twins[k]->partial_lookup(p.t);
+        ASSERT_EQ(rs.entries, rt.entries)
+            << "key " << keys[k] << " op " << op;
+        ASSERT_EQ(rs.satisfied, rt.satisfied);
+        ASSERT_EQ(rs.servers_contacted, rt.servers_contacted);
+        break;
+      }
+    }
+  }
+
+  // End-state differential: placements and per-key transport bills agree
+  // exactly; the cluster totals equal the sum of the per-key channels.
+  net::TransportStats summed;
+  summed.per_server_processed.resize(p.n, 0);
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    EXPECT_EQ(service.strategy(keys[k]).placement().servers,
+              twins[k]->placement().servers)
+        << "key " << keys[k];
+    EXPECT_EQ(service.key_transport(keys[k]), twins[k]->transport())
+        << "key " << keys[k];
+    EXPECT_TRUE(service.key_transport(keys[k]).conservation_holds());
+    summed.merge(service.key_transport(keys[k]));
+  }
+  EXPECT_EQ(summed, service.total_transport());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGrid, SharedClusterGridTest,
+                         ::testing::ValuesIn(random_grid()), grid_name);
+
+}  // namespace
+}  // namespace pls::core

@@ -8,6 +8,11 @@
 // Flags (all optional):
 //   --strategy NAME   full | fixed | randomserver | round | hash
 //   --param P         x or y for the chosen scheme
+//   --keys K          K > 0 switches to shared-service mode: K keys
+//                     multiplexed on ONE cluster through
+//                     PartialLookupService (h entries per key, lookups
+//                     round-robin across keys, per-key transport
+//                     conservation check). 0 = classic single-key run.
 //   --servers N       cluster size
 //   --entries H       steady-state entry count
 //   --target T        partial_lookup target answer size
@@ -39,6 +44,7 @@
 #include <string_view>
 #include <unordered_set>
 
+#include "pls/core/service.hpp"
 #include "pls/core/strategy_factory.hpp"
 #include "pls/metrics/availability.hpp"
 #include "pls/metrics/coverage.hpp"
@@ -57,6 +63,7 @@ namespace {
 struct Options {
   pls::core::StrategyKind strategy = pls::core::StrategyKind::kRoundRobin;
   std::size_t param = 2;
+  std::size_t keys = 0;  // 0 = classic single-key mode
   std::size_t servers = 10;
   std::size_t entries = 100;
   std::size_t target = 15;
@@ -76,8 +83,8 @@ struct Options {
 [[noreturn]] void usage(int code) {
   std::cout << "usage: pls_sim [--strategy full|fixed|randomserver|round|"
                "hash] [--param P]\n"
-               "               [--servers N] [--entries H] [--target T] "
-               "[--lookups L]\n"
+               "               [--keys K] [--servers N] [--entries H] "
+               "[--target T] [--lookups L]\n"
                "               [--updates U] [--lifetime exp|zipf] "
                "[--mttf M --mttr M]\n"
                "               [--drop P] [--dup P] [--max-attempts A] "
@@ -109,6 +116,8 @@ Options parse(int argc, char** argv) {
       opt.strategy = *parsed;
     } else if (flag == "--param") {
       opt.param = std::strtoull(value().data(), nullptr, 10);
+    } else if (flag == "--keys") {
+      opt.keys = std::strtoull(value().data(), nullptr, 10);
     } else if (flag == "--servers") {
       opt.servers = std::strtoull(value().data(), nullptr, 10);
     } else if (flag == "--entries") {
@@ -267,6 +276,99 @@ pls::metrics::TrialAccumulator run_one(const Options& opt,
   return trial;
 }
 
+/// Shared-service mode (--keys K): K keys multiplexed on one cluster via
+/// PartialLookupService. Places h entries per key, optionally churns
+/// (each update is one balanced add+delete pair, round-robin over keys),
+/// runs L partial lookups round-robin over keys, and cross-checks the
+/// tenancy conservation law: per-key transport channels merged over all
+/// keys must equal the cluster-wide counter set. Pure function of
+/// (opt, seed), like run_one.
+pls::metrics::TrialAccumulator run_service_one(const Options& opt,
+                                               std::uint64_t seed) {
+  using namespace pls;
+  metrics::TrialAccumulator trial;
+
+  core::ServiceConfig cfg;
+  cfg.num_servers = opt.servers;
+  cfg.default_strategy.kind = opt.strategy;
+  cfg.default_strategy.param = opt.param;
+  cfg.link = opt.link;
+  cfg.retry = opt.retry;
+  cfg.expected_keys = opt.keys;
+  cfg.seed = seed;
+  core::PartialLookupService service(cfg);
+
+  std::vector<Key> keys(opt.keys);
+  std::vector<Entry> entries(opt.entries);
+  for (std::size_t k = 0; k < opt.keys; ++k) {
+    keys[k] = "key-" + std::to_string(k);
+    for (std::size_t i = 0; i < opt.entries; ++i) {
+      entries[i] = static_cast<Entry>(opt.entries * k + i + 1);
+    }
+    service.place(keys[k], entries);
+  }
+
+  for (std::size_t u = 0; u < opt.updates; ++u) {
+    const Key& key = keys[u % opt.keys];
+    const Entry v = static_cast<Entry>(1'000'000 + u);
+    service.add(key, v);
+    service.erase(key, v);
+  }
+
+  std::size_t contacted = 0, satisfied = 0;
+  for (std::size_t i = 0; i < opt.lookups; ++i) {
+    const auto result =
+        service.partial_lookup(keys[i % opt.keys], opt.target);
+    contacted += result.servers_contacted;
+    if (result.satisfied) ++satisfied;
+  }
+
+  trial.add("svc/keys", static_cast<double>(service.num_keys()));
+  trial.add("svc/storage", static_cast<double>(service.total_storage()));
+  trial.add("svc/lookup_cost",
+            opt.lookups > 0 ? static_cast<double>(contacted) /
+                                  static_cast<double>(opt.lookups)
+                            : 0.0);
+  trial.add("svc/failure_rate",
+            opt.lookups > 0
+                ? 1.0 - static_cast<double>(satisfied) /
+                            static_cast<double>(opt.lookups)
+                : 0.0);
+  trial.add_transport("net/", service.total_transport());
+
+  net::TransportStats per_key_sum;
+  for (const auto& key : keys) per_key_sum.merge(service.key_transport(key));
+  trial.add("svc/transport_conserved",
+            per_key_sum == service.total_transport() ? 1.0 : 0.0);
+  return trial;
+}
+
+void print_service_panel(const Options& opt,
+                         const pls::metrics::TrialAccumulator& acc) {
+  const auto count = [&acc](const char* metric) {
+    return static_cast<long long>(std::llround(acc.mean(metric)));
+  };
+  std::cout << "shared service:\n";
+  std::cout << "  storage          " << count("svc/storage")
+            << " entries total across " << count("svc/keys") << " keys\n";
+  std::cout << "  lookup cost      " << std::fixed << std::setprecision(3)
+            << acc.mean("svc/lookup_cost") << " servers, failure rate "
+            << acc.mean("svc/failure_rate") << '\n';
+  std::cout << "  messages         " << count("net/processed")
+            << " processed, " << count("net/broadcasts") << " broadcasts, "
+            << count("net/dropped") << " dropped\n";
+  if (opt.link.lossy()) {
+    std::cout << "  link             " << count("net/dropped_link")
+              << " lost, " << count("net/duplicated") << " duplicated ("
+              << count("net/dup_suppressed") << " suppressed), "
+              << count("net/retries") << " retries\n";
+  }
+  std::cout << "  conservation     per-key channels "
+            << (acc.mean("svc/transport_conserved") == 1.0
+                    ? "sum to cluster totals (OK)\n"
+                    : "DO NOT sum to cluster totals\n");
+}
+
 void print_single_run_panel(const Options& opt,
                             const pls::metrics::TrialAccumulator& acc) {
   using namespace pls;
@@ -373,6 +475,10 @@ int main(int argc, char** argv) {
   std::cout << "strategy " << core::to_string(opt.strategy) << "-"
             << opt.param << " on " << opt.servers << " servers, h = "
             << opt.entries << ", t = " << opt.target << "\n";
+  if (opt.keys > 0) {
+    std::cout << "shared service: " << opt.keys
+              << " keys multiplexed on one cluster\n";
+  }
   if (opt.link.lossy()) {
     std::cout << "link: drop " << 100.0 * opt.link.drop_probability
               << "%, dup " << 100.0 * opt.link.duplicate_probability
@@ -395,13 +501,17 @@ int main(int argc, char** argv) {
 
   const sim::TrialRunner runner(sim::TrialRunnerConfig{.jobs = opt.jobs});
   const auto acc = metrics::run_trials(
-      runner, opt.trials, opt.seed,
-      [&](std::size_t, std::uint64_t seed) { return run_one(opt, seed); });
+      runner, opt.trials, opt.seed, [&](std::size_t, std::uint64_t seed) {
+        return opt.keys > 0 ? run_service_one(opt, seed)
+                            : run_one(opt, seed);
+      });
 
-  if (opt.trials == 1) {
-    print_single_run_panel(opt, acc);
-  } else {
+  if (opt.trials > 1) {
     print_aggregate_panel(acc);
+  } else if (opt.keys > 0) {
+    print_service_panel(opt, acc);
+  } else {
+    print_single_run_panel(opt, acc);
   }
 
   if (!opt.json_out.empty()) {
