@@ -1,0 +1,267 @@
+// Durability and availability under permanent-loss churn, with and without
+// background repair — the repair-vs-failure race over an MTTF sweep.
+//
+// Scenario, per (strategy, MTTF, repair on/off) point: n = 8 servers place
+// h = 64 entries; a FailureInjector crashes servers (exponential MTTF,
+// MTTR = MTTF/4) and every recovery comes back *wiped* with probability
+// 0.5 (permanent_loss_prob); with repair on, a RepairProcess scans every
+// 2 time units and re-replicates what dropped below each strategy's
+// redundancy rule. The run lasts 10 x MTTF. Reported per point:
+//
+//   lost        reference entries (the post-place stored union) with zero
+//               surviving copies at the end — permanent data loss
+//   avail       fraction of 200 evenly spaced probes at which a
+//               partial_lookup(t = 8) was satisfiable
+//   min_copies  thinnest surviving redundancy at the end
+//   repair_msgs messages on the repair ledger (the price of durability);
+//               0 with repair off
+//
+// The paper's §6 evaluates transient worst-case failures; this bench is
+// the complementary crash-*loss* story: without repair every strategy
+// bleeds entries at a rate set by the wipe rate, while the repair process
+// holds losses at (or near) zero for a repair-traffic budget that scales
+// with the loss rate, not with MTTF.
+//
+// scripts/perf_check.sh diffs --json-out against the checked-in
+// BENCH_repair_churn.json (byte-stable for fixed --trials/--seed), and the
+// bench hard-gates the headline claim itself: at the largest MTTF, repair
+// holds mean losses near zero while no-repair loses a large fraction of
+// the reference set.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+#include "pls/core/strategy_factory.hpp"
+#include "pls/metrics/availability.hpp"
+#include "pls/metrics/durability.hpp"
+#include "pls/net/failure_injector.hpp"
+#include "pls/net/repair.hpp"
+#include "pls/sim/simulator.hpp"
+
+namespace {
+
+using namespace pls;
+
+constexpr std::size_t kNumServers = 8;
+constexpr std::size_t kEntries = 64;
+constexpr std::size_t kTarget = 8;
+constexpr double kLossProb = 0.5;
+constexpr double kRepairInterval = 2.0;
+constexpr double kHorizonMttfs = 10.0;
+constexpr std::size_t kProbes = 200;
+
+struct Scheme {
+  core::StrategyKind kind;
+  std::size_t param;
+};
+
+constexpr Scheme kSchemes[] = {
+    {core::StrategyKind::kFullReplication, 1},
+    {core::StrategyKind::kFixed, 16},
+    {core::StrategyKind::kRandomServer, 16},
+    {core::StrategyKind::kRoundRobin, 3},
+    {core::StrategyKind::kHash, 3},
+};
+
+constexpr double kMttfs[] = {10.0, 25.0, 50.0, 100.0};
+
+metrics::TrialAccumulator run_point(const Scheme& scheme, double mttf,
+                                    bool repair_on, std::uint64_t seed) {
+  metrics::TrialAccumulator trial;
+
+  auto failures = net::make_failure_state(kNumServers);
+  core::StrategyConfig cfg;
+  cfg.kind = scheme.kind;
+  cfg.param = scheme.param;
+  cfg.seed = seed;
+  const auto strategy = core::make_strategy(cfg, kNumServers, failures);
+
+  const auto entries = bench::iota_entries(kEntries);
+  strategy->place(entries);
+  // Ground truth: what the initial placement actually stored. (For
+  // RandomServer this is the union of the per-server samples, which can be
+  // a strict subset of the h requested entries — not storing something was
+  // a placement decision, not a loss.)
+  std::vector<Entry> reference;
+  {
+    std::vector<char> stored(kEntries + 1, 0);
+    for (const auto& s : strategy->placement().servers) {
+      for (Entry v : s) stored[v] = 1;
+    }
+    for (Entry v : entries) {
+      if (stored[v]) reference.push_back(v);
+    }
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<net::RepairProcess> repair;
+  if (repair_on) {
+    repair = std::make_unique<net::RepairProcess>(
+        failures, net::RepairProcess::Config{kRepairInterval});
+    repair->add_target(strategy.get());
+    repair->arm(sim);
+  }
+  net::FailureInjector injector(
+      failures, net::FailureInjector::Config{.mttf = mttf,
+                                             .mttr = mttf / 4.0,
+                                             .permanent_loss_prob = kLossProb,
+                                             .seed = seed + 1});
+  injector.set_wipe_hook([&](ServerId s) {
+    strategy->wipe_server(s);
+    if (repair) repair->record_wipe(sim.now());
+  });
+  injector.arm(sim);
+
+  strategy->network().reset_stats();
+  const double horizon = kHorizonMttfs * mttf;
+  std::size_t satisfiable = 0;
+  for (std::size_t p = 1; p <= kProbes; ++p) {
+    sim.run_until(horizon * static_cast<double>(p) /
+                  static_cast<double>(kProbes));
+    if (metrics::lookup_satisfiable(*strategy, kTarget)) ++satisfiable;
+  }
+
+  const auto report = metrics::measure_durability(*strategy, reference);
+  trial.add("reference", static_cast<double>(report.reference_entries));
+  trial.add("lost", static_cast<double>(report.lost_entries));
+  trial.add("surviving", static_cast<double>(report.surviving_entries));
+  trial.add("min_copies", static_cast<double>(report.min_copies));
+  trial.add("mean_copies", report.mean_copies);
+  trial.add("availability", static_cast<double>(satisfiable) /
+                                static_cast<double>(kProbes));
+  trial.add("wipes", static_cast<double>(injector.wipes_injected()));
+  if (repair) {
+    const auto summary =
+        metrics::summarize_repair(*repair, strategy->network().repair_stats());
+    trial.add("repair_msgs", static_cast<double>(summary.repair_messages));
+    trial.add("replicas_created",
+              static_cast<double>(summary.replicas_created));
+    trial.add("mean_ttr", summary.mean_time_to_repair);
+  } else {
+    trial.add("repair_msgs", 0.0);
+  }
+  return trial;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = pls::bench::Args::parse(argc, argv);
+  const std::size_t trials = args.runs > 0 ? args.runs : 3;
+  const auto runner = args.runner();
+
+  pls::bench::print_title(
+      "Durability and availability vs MTTF under permanent loss "
+      "(loss-prob 0.5, MTTR = MTTF/4, horizon 10 x MTTF)",
+      "n = 8, h = 64, t = 8, repair interval 2.0; " +
+          std::to_string(trials) + " trials");
+  pls::bench::print_row_header({"strategy", "mttf", "repair", "lost",
+                                "availability", "min_copies", "repair_msgs",
+                                "wipes"});
+
+  struct Row {
+    std::string label;
+    std::string strategy;
+    double mttf;
+    bool repair_on;
+    double lost, availability, min_copies, repair_msgs, reference;
+  };
+  std::vector<Row> rows;
+  for (const auto& scheme : kSchemes) {
+    for (const double mttf : kMttfs) {
+      for (const bool repair_on : {false, true}) {
+        const auto acc = pls::metrics::run_trials(
+            runner, trials, args.seed,
+            [&](std::size_t, std::uint64_t seed) {
+              return run_point(scheme, mttf, repair_on, seed);
+            });
+        Row row;
+        row.strategy = std::string(pls::core::to_string(scheme.kind));
+        row.label = "repair_churn/" + row.strategy + "-" +
+                    std::to_string(scheme.param) + "/mttf" +
+                    std::to_string(static_cast<int>(mttf)) + "/" +
+                    (repair_on ? "repair" : "norepair");
+        row.mttf = mttf;
+        row.repair_on = repair_on;
+        row.lost = acc.mean("lost");
+        row.availability = acc.mean("availability");
+        row.min_copies = acc.mean("min_copies");
+        row.repair_msgs = acc.mean("repair_msgs");
+        row.reference = acc.mean("reference");
+        rows.push_back(row);
+
+        pls::bench::print_cell(std::string_view(row.strategy));
+        pls::bench::print_cell(mttf, 16, 0);
+        pls::bench::print_cell(std::string_view(repair_on ? "on" : "off"));
+        pls::bench::print_cell(row.lost, 16, 2);
+        pls::bench::print_cell(row.availability, 16, 3);
+        pls::bench::print_cell(row.min_copies, 16, 2);
+        pls::bench::print_cell(row.repair_msgs, 16, 0);
+        pls::bench::print_cell(acc.mean("wipes"), 16, 1);
+        pls::bench::end_row();
+      }
+    }
+  }
+
+  if (!args.json_out.empty()) {
+    // Flat counter format so scripts/perf_check.sh can diff it with the
+    // same tolerance machinery as the other BENCH_*.json baselines.
+    std::ofstream out(args.json_out);
+    if (!out) {
+      std::cerr << "cannot open " << args.json_out << " for writing\n";
+      return 1;
+    }
+    out << "{\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      out << "  \"" << r.label << "\": {\n"
+          << std::fixed << std::setprecision(3)
+          << "    \"lost\": " << r.lost << ",\n"
+          << "    \"availability\": " << r.availability << ",\n"
+          << "    \"min_copies\": " << r.min_copies << ",\n"
+          << "    \"repair_msgs\": " << r.repair_msgs << "\n  }"
+          << (i + 1 < rows.size() ? "," : "") << '\n';
+    }
+    out << "}\n";
+    if (!out.good()) {
+      std::cerr << "error writing " << args.json_out << '\n';
+      return 1;
+    }
+  }
+
+  // Hard gates on the headline claim, at the gentlest point of the sweep
+  // (largest MTTF — repair scans per failure at their most plentiful):
+  // repair must hold losses near zero while no-repair measurably bleeds.
+  bool failed = false;
+  for (const auto& r : rows) {
+    if (r.mttf != kMttfs[std::size(kMttfs) - 1]) continue;
+    if (r.repair_on) {
+      if (r.lost > 1.0) {
+        std::cerr << "GATE FAILED: " << r.label << " mean lost " << r.lost
+                  << " > 1.0 with repair enabled\n";
+        failed = true;
+      }
+      if (r.availability < 0.9) {
+        std::cerr << "GATE FAILED: " << r.label << " availability "
+                  << r.availability << " < 0.9 with repair enabled\n";
+        failed = true;
+      }
+    } else if (r.lost < 0.5 * r.reference) {
+      std::cerr << "GATE FAILED: " << r.label << " mean lost " << r.lost
+                << " < half the reference set (" << r.reference
+                << ") without repair — churn too gentle to gate on\n";
+      failed = true;
+    }
+  }
+  if (failed) return 1;
+  pls::bench::print_note(
+      "gates passed: at MTTF " +
+      std::to_string(static_cast<int>(kMttfs[std::size(kMttfs) - 1])) +
+      " repair holds mean losses <= 1.0 entry at >= 0.9 availability; "
+      "no-repair loses >= half the reference set");
+  return 0;
+}

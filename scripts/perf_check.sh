@@ -37,6 +37,7 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-perf"
 baseline="${repo_root}/BENCH_micro_ops.json"
 scale_baseline="${repo_root}/BENCH_service_scale.json"
+churn_baseline="${repo_root}/BENCH_repair_churn.json"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 tolerance="${PLS_PERF_TOLERANCE:-0.10}"
 
@@ -111,6 +112,15 @@ echo "=== perf_check: service key-count scaling ==="
 scale_candidate="${build_dir}/BENCH_service_scale.json"
 "${build_dir}/bench/bench_service_scale" --json-out "${scale_candidate}"
 
+echo "=== perf_check: durability under permanent-loss churn ==="
+# bench_repair_churn hard-gates the headline claim (at the largest MTTF,
+# repair holds mean losses near zero while no-repair bleeds >= half the
+# reference set) and exits non-zero on violation; the durability series is
+# additionally diffed against the checked-in baseline below.
+churn_candidate="${build_dir}/BENCH_repair_churn.json"
+"${build_dir}/bench/bench_repair_churn" --json-out "${churn_candidate}" \
+  > /dev/null
+
 diff_counters() {
   python3 - "$1" "$2" "${tolerance}" <<'EOF'
 import json, sys
@@ -150,10 +160,12 @@ EOF
 if [[ "${update}" == "1" ]]; then
   cp "${candidate}" "${baseline}"
   cp "${scale_candidate}" "${scale_baseline}"
-  echo "baselines refreshed: ${baseline}, ${scale_baseline}"
+  cp "${churn_candidate}" "${churn_baseline}"
+  echo "baselines refreshed: ${baseline}, ${scale_baseline}, ${churn_baseline}"
 else
   diff_counters "${baseline}" "${candidate}"
   diff_counters "${scale_baseline}" "${scale_candidate}"
+  diff_counters "${churn_baseline}" "${churn_candidate}"
 fi
 
 if [[ "${smoke}" == "1" ]]; then

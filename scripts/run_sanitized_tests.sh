@@ -33,6 +33,16 @@ run_one() {
   cmake --build "${build_dir}" -j "${jobs}"
   echo "=== ${name}: testing ==="
   (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}" "$@")
+  echo "=== ${name}: repair-under-churn scenario ==="
+  # Permanent-loss churn with background repair across all five
+  # strategies: the elastic-membership + repair machinery (wipes, repair
+  # ledger, membership arithmetic) under the sanitizer's eye, end to end.
+  for strategy in full fixed randomserver round hash; do
+    "${build_dir}/tools/plsim" --strategy "${strategy}" --param 2 \
+      --servers 6 --entries 48 --updates 200 --lookups 200 \
+      --mttf 60 --mttr 15 --loss-prob 0.5 --repair-interval 0.5 \
+      --join-at 5 --leave-at 50 --seed 11 > /dev/null
+  done
 }
 
 # halt_on_error makes ASan reports fail the test process; UBSan aborts via

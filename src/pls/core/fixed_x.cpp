@@ -51,4 +51,15 @@ LookupResult FixedStrategy::partial_lookup(std::size_t t) {
   return single_server_lookup(cluster_view(), client_rng(), t, retry_policy());
 }
 
+void FixedStrategy::attach_host(ServerId host, Rng rng) {
+  register_tenant<FixedServer>(host, rng, config().param);
+}
+
+void FixedStrategy::rebalance(const net::MembershipChange& change) {
+  // The shared x-subset lives on every survivor; only a newcomer needs a
+  // copy (the union is at most x entries).
+  if (change.kind != net::MembershipChange::Kind::kJoin) return;
+  send_union_to(change.host);
+}
+
 }  // namespace pls::core

@@ -35,6 +35,14 @@ class FixedStrategy final : public Strategy {
 
   std::size_t x() const noexcept { return config().param; }
 
+  /// All servers mirror the same x-subset, so the mirrored repair rule
+  /// applies verbatim.
+  net::RepairOutcome repair_once() override { return repair_mirrored(); }
+
+ protected:
+  void attach_host(ServerId host, Rng rng) override;
+  void rebalance(const net::MembershipChange& change) override;
+
  private:
   void build();
 };

@@ -44,4 +44,15 @@ LookupResult FullReplicationStrategy::partial_lookup(std::size_t t) {
   return single_server_lookup(cluster_view(), client_rng(), t, retry_policy());
 }
 
+void FullReplicationStrategy::attach_host(ServerId host, Rng rng) {
+  register_tenant<FullReplicationServer>(host, rng);
+}
+
+void FullReplicationStrategy::rebalance(const net::MembershipChange& change) {
+  // Leaves need no data movement: every survivor already mirrors the full
+  // content. A newcomer receives the whole union (one StoreBatch).
+  if (change.kind != net::MembershipChange::Kind::kJoin) return;
+  send_union_to(change.host);
+}
+
 }  // namespace pls::core

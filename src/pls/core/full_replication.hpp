@@ -23,6 +23,14 @@ class FullReplicationStrategy final : public Strategy {
 
   LookupResult partial_lookup(std::size_t t) override;
 
+  /// Full mirrors: repair resyncs any member whose store differs from the
+  /// surviving union.
+  net::RepairOutcome repair_once() override { return repair_mirrored(); }
+
+ protected:
+  void attach_host(ServerId host, Rng rng) override;
+  void rebalance(const net::MembershipChange& change) override;
+
  private:
   void build();
 };

@@ -1,5 +1,7 @@
 #include "pls/core/hash_y.hpp"
 
+#include <algorithm>
+
 #include "pls/common/check.hpp"
 
 namespace pls::core {
@@ -21,9 +23,11 @@ void HashServer::on_message(const net::Message& m, net::ClusterView& net) {
       }
       const Entry v = place->entries[i];
       // Deduplicate colliding functions: one copy per distinct server.
+      // Family outputs are member *ranks*; net.member translates them to
+      // server ids (the identity while no server has permanently left).
       std::vector<ServerId> sent;
       for (std::size_t j = 0; j < copies; ++j) {
-        const ServerId target = family_(j, v);
+        const ServerId target = net.member(family_(j, v));
         bool dup = false;
         for (ServerId s : sent) dup = dup || (s == target);
         if (!dup) {
@@ -33,12 +37,12 @@ void HashServer::on_message(const net::Message& m, net::ClusterView& net) {
       }
     }
   } else if (const auto* add = std::get_if<net::AddRequest>(&m)) {
-    for (ServerId target : family_.targets(add->entry)) {
-      net.send(id(), target, net::StoreEntry{add->entry});
+    for (ServerId rank : family_.targets(add->entry)) {
+      net.send(id(), net.member(rank), net::StoreEntry{add->entry});
     }
   } else if (const auto* del = std::get_if<net::DeleteRequest>(&m)) {
-    for (ServerId target : family_.targets(del->entry)) {
-      net.send(id(), target, net::RemoveEntry{del->entry});
+    for (ServerId rank : family_.targets(del->entry)) {
+      net.send(id(), net.member(rank), net::RemoveEntry{del->entry});
     }
   } else {
     StrategyServer::on_message(m, net);
@@ -70,6 +74,94 @@ void HashStrategy::build() {
 
 LookupResult HashStrategy::partial_lookup(std::size_t t) {
   return random_order_lookup(cluster_view(), client_rng(), t, retry_policy());
+}
+
+void HashStrategy::attach_host(ServerId host, Rng rng) {
+  register_tenant<HashServer>(host, rng, family_, config().storage_budget);
+}
+
+void HashStrategy::rebalance(const net::MembershipChange& change) {
+  // Budgeted placements are static-only experiments: the per-entry copy
+  // counts depend on the original place() order, which membership changes
+  // cannot reproduce. Leave them untouched.
+  if (config().storage_budget != 0) return;
+  const net::FailureState& fs = network().failures();
+  // Re-key the family over the new member count. The seed folds in the
+  // failure epoch so successive membership changes draw fresh functions,
+  // yet any run replaying the same event sequence re-derives them exactly.
+  const std::uint64_t fseed =
+      Rng(config().seed).fork(0x2000 + 0x100 * fs.epoch())();
+  family_ = HashFamily(config().param, fs.member_count(), fseed);
+  for (StrategyServer* s : servers_) {
+    static_cast<HashServer*>(s)->set_family(family_);
+  }
+  // Migrate every surviving entry to its new targets and drop copies the
+  // new functions no longer place (ordinary traffic: this is the cost of
+  // the membership change, not of background repair).
+  net::ClusterView view = cluster_view();
+  std::vector<ServerId> wanted;
+  for (Entry v : stored_union()) {
+    wanted.clear();
+    for (ServerId rank : family_.targets(v)) {
+      wanted.push_back(fs.member_at(rank));
+    }
+    for (std::size_t rank = 0; rank < fs.member_count(); ++rank) {
+      const ServerId s = fs.member_at(rank);
+      const bool want =
+          std::find(wanted.begin(), wanted.end(), s) != wanted.end();
+      const bool has = server_state(s).store().contains(v);
+      if (want && !has) view.client_send(s, net::StoreEntry{v});
+      if (!want && has) view.client_send(s, net::RemoveEntry{v});
+    }
+  }
+  (void)change;
+}
+
+net::RepairOutcome HashStrategy::repair_once() {
+  net::RepairOutcome out;
+  if (config().storage_budget != 0) return out;
+  const auto u = stored_union();
+  if (u.empty()) return out;
+  const net::FailureState& fs = network().failures();
+  net::ClusterView view = repair_view();
+  std::vector<ServerId> candidates;
+  for (Entry v : u) {
+    // Restore the entry onto each of its hash targets.
+    for (ServerId rank : family_.targets(v)) {
+      const ServerId s = fs.member_at(rank);
+      if (server_state(s).store().contains(v)) continue;
+      if (!fs.is_up(s)) {
+        ++out.deficit_after;
+        continue;
+      }
+      view.client_send(s, net::StoreEntry{v});
+      ++out.replicas_created;
+    }
+    // Collision floor: when every hash function lands on one server the
+    // entry has a single copy, and one wipe would destroy it. Give such
+    // entries a spare on a repair-chosen up server.
+    const std::size_t floor_copies =
+        std::min<std::size_t>(2, fs.member_count());
+    std::size_t copies = copies_of(v);
+    while (copies < floor_copies) {
+      candidates.clear();
+      for (std::size_t rank = 0; rank < fs.member_count(); ++rank) {
+        const ServerId s = fs.member_at(rank);
+        if (fs.is_up(s) && !server_state(s).store().contains(v)) {
+          candidates.push_back(s);
+        }
+      }
+      if (candidates.empty()) {
+        out.deficit_after += floor_copies - copies;
+        break;
+      }
+      const ServerId pick = candidates[repair_rng().uniform(candidates.size())];
+      view.client_send(pick, net::StoreEntry{v});
+      ++out.replicas_created;
+      ++copies;
+    }
+  }
+  return out;
 }
 
 }  // namespace pls::core

@@ -22,6 +22,10 @@ class HashServer final : public StrategyServer {
 
   void on_message(const net::Message& m, net::ClusterView& net) override;
 
+  /// Membership changes re-key the family (ranks over the new member
+  /// list); the strategy pushes the replacement to every tenant.
+  void set_family(HashFamily family) { family_ = std::move(family); }
+
  private:
   HashFamily family_;
   std::size_t storage_budget_;
@@ -38,6 +42,17 @@ class HashStrategy final : public Strategy {
 
   std::size_t y() const noexcept { return config().param; }
   const HashFamily& family() const noexcept { return family_; }
+
+  /// Repair rule: every union entry is restored onto its y hash targets;
+  /// single-copy entries (hash collisions) additionally get a spare so the
+  /// next wipe cannot be fatal. No-op for budgeted (static) placements.
+  net::RepairOutcome repair_once() override;
+
+ protected:
+  void attach_host(ServerId host, Rng rng) override;
+  /// Re-keys the hash family over the surviving member list and migrates
+  /// every entry to its new targets.
+  void rebalance(const net::MembershipChange& change) override;
 
  private:
   void build();

@@ -243,7 +243,10 @@ LookupResult stride_order_lookup(net::ClusterView net, Rng& rng,
     } else {
       ask(next);
     }
-    next = static_cast<ServerId>((next + stride) % n);
+    // Stride over the member list, not raw ids: Round-Robin deals slots by
+    // member rank, so the walk must skip permanently departed servers (the
+    // identity mapping until one leaves).
+    next = net.member((net.member_index(next) + stride) % net.member_count());
   }
   out.finalize(t, budget_out, gave_up);
   return out;

@@ -1,5 +1,7 @@
 #include "pls/core/random_server_x.hpp"
 
+#include <algorithm>
+
 #include "pls/common/check.hpp"
 
 namespace pls::core {
@@ -96,6 +98,92 @@ void RandomServerStrategy::build() {
 
 LookupResult RandomServerStrategy::partial_lookup(std::size_t t) {
   return random_order_lookup(cluster_view(), client_rng(), t, retry_policy());
+}
+
+void RandomServerStrategy::attach_host(ServerId host, Rng rng) {
+  register_tenant<RandomServerServer>(host, rng, config().param,
+                                      config().rs_active_replacement);
+}
+
+void RandomServerStrategy::rebalance(const net::MembershipChange& change) {
+  // A newcomer reservoir-samples its own x-subset from the union (the
+  // StoreBatch handler does exactly the §3.3 selection); survivors keep
+  // their samples, which stay uniform over the unchanged entry set.
+  if (change.kind == net::MembershipChange::Kind::kJoin) {
+    send_union_to(change.host);
+    return;
+  }
+  if (change.kind != net::MembershipChange::Kind::kLeaveGraceful) return;
+  // Planned scale-in: the leaver's store is still readable (the wipe
+  // happens after the listeners ran). Rescue every entry it holds the
+  // last copy of onto a surviving member; everything a survivor still
+  // samples needs no migration.
+  const net::FailureState& fs = network().failures();
+  net::ClusterView view = cluster_view();
+  std::vector<ServerId> candidates;
+  for (Entry v : server_state(change.host).store().entries()) {
+    if (copies_of(v) != 1) continue;
+    candidates.clear();
+    for (std::size_t rank = 0; rank < fs.member_count(); ++rank) {
+      const ServerId s = fs.member_at(rank);
+      if (fs.is_up(s) && !server_state(s).store().contains(v)) {
+        candidates.push_back(s);
+      }
+    }
+    if (candidates.empty()) continue;
+    view.client_send(candidates[repair_rng().uniform(candidates.size())],
+                     net::StoreEntry{v});
+  }
+}
+
+net::RepairOutcome RandomServerStrategy::repair_once() {
+  net::RepairOutcome out;
+  const auto u = stored_union();
+  if (u.empty()) return out;
+  const net::FailureState& fs = network().failures();
+  net::ClusterView view = repair_view();
+  const net::SharedEntries shared(u);
+  const std::size_t want = std::min(config().param, u.size());
+  // Pass 1 — refill wiped members. Only a completely empty store marks a
+  // wipe; partially full stores are the cushion shrinking by design and
+  // must not be topped up (that would bias the random subsets).
+  for (std::size_t rank = 0; rank < fs.member_count(); ++rank) {
+    const ServerId s = fs.member_at(rank);
+    if (server_state(s).store().size() != 0) continue;
+    if (!fs.is_up(s)) {
+      out.deficit_after += want;
+      continue;
+    }
+    view.client_send(s, net::StoreBatch{shared});
+    out.replicas_created += want;
+  }
+  // Pass 2 — redundancy floor: every entry gets at least two copies (one,
+  // if the cluster has a single member) so it survives the next wipe until
+  // the following scan. Extra copies land on repair-chosen spares.
+  const std::size_t floor_copies =
+      std::min<std::size_t>(2, fs.member_count());
+  std::vector<ServerId> candidates;
+  for (Entry v : u) {
+    std::size_t copies = copies_of(v);
+    while (copies < floor_copies) {
+      candidates.clear();
+      for (std::size_t rank = 0; rank < fs.member_count(); ++rank) {
+        const ServerId s = fs.member_at(rank);
+        if (fs.is_up(s) && !server_state(s).store().contains(v)) {
+          candidates.push_back(s);
+        }
+      }
+      if (candidates.empty()) {
+        out.deficit_after += floor_copies - copies;
+        break;
+      }
+      const ServerId pick = candidates[repair_rng().uniform(candidates.size())];
+      view.client_send(pick, net::StoreEntry{v});
+      ++out.replicas_created;
+      ++copies;
+    }
+  }
+  return out;
 }
 
 }  // namespace pls::core

@@ -27,6 +27,13 @@ class RandomServerServer final : public StrategyServer {
   /// add/delete broadcasts; drives the reservoir keep-probability x/h).
   std::size_t local_h() const noexcept { return local_h_; }
 
+  /// Permanent loss also forgets the h estimate; the refilling StoreBatch
+  /// re-establishes it.
+  void wipe() override {
+    StrategyServer::wipe();
+    local_h_ = 0;
+  }
+
  private:
   /// §5.3's active-replacement variant: pull a substitute for a deleted
   /// entry from a random peer (2 extra messages per affected server).
@@ -47,6 +54,16 @@ class RandomServerStrategy final : public Strategy {
   LookupResult partial_lookup(std::size_t t) override;
 
   std::size_t x() const noexcept { return config().param; }
+
+  /// Repair rule: a wiped (empty) member is refilled with a fresh random
+  /// x-sample of the union; entries down to their last copy gain a second
+  /// one on a repair-chosen spare. Partial stores are otherwise left alone
+  /// (the cushion semantics: subsets shrink between places).
+  net::RepairOutcome repair_once() override;
+
+ protected:
+  void attach_host(ServerId host, Rng rng) override;
+  void rebalance(const net::MembershipChange& change) override;
 
  private:
   void build();

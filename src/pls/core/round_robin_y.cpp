@@ -1,5 +1,7 @@
 #include "pls/core/round_robin_y.hpp"
 
+#include <algorithm>
+
 #include "pls/common/check.hpp"
 
 namespace pls::core {
@@ -25,11 +27,21 @@ void RoundRobinServer::drop_entry(Entry v) {
   }
 }
 
+void RoundRobinServer::wipe() {
+  StrategyServer::wipe();
+  slot_of_.clear();
+  entry_at_slot_.clear();
+  migrations_.clear();
+  head_ = tail_ = 0;
+  live_.clear();
+}
+
 void RoundRobinServer::handle_place(const net::PlaceRequest& place,
                                     net::ClusterView& net) {
-  // Reset the whole cluster, then hand out slot i to servers i..i+c-1.
+  // Reset the whole cluster, then hand out slot i to the members at ranks
+  // i..i+c-1 (rank == id until a server permanently leaves).
   net.broadcast(id(), net::StoreBatch{});
-  const std::size_t n = net.size();
+  const std::size_t n = net.member_count();
   const std::size_t h = place.entries.size();
   for (std::size_t i = 0; i < h; ++i) {
     std::size_t copies = y_;
@@ -38,7 +50,7 @@ void RoundRobinServer::handle_place(const net::PlaceRequest& place,
       PLS_CHECK_MSG(copies <= n, "storage budget would duplicate per server");
     }
     for (std::size_t j = 0; j < copies; ++j) {
-      const auto target = static_cast<ServerId>((i + j) % n);
+      const ServerId target = net.member((i + j) % n);
       net.send(id(), target, net::StoreSlotted{place.entries[i], i});
     }
   }
@@ -55,7 +67,7 @@ void RoundRobinServer::handle_remove_broadcast(const net::RoundRemove& rm,
   const std::uint64_t p_v = slot_of_.at(rm.entry);
   drop_entry(rm.entry);
   if (p_v == rm.head_slot) return;  // deleting the head entry: no migration
-  const auto head_server = static_cast<ServerId>(rm.head_slot % net.size());
+  const ServerId head_server = net.member(rm.head_slot % net.member_count());
   const auto reply =
       net.rpc(id(), head_server, net::MigrateRequest{rm.entry, rm.head_slot});
   if (!reply.has_value()) return;  // head server down: hole stays (documented)
@@ -82,9 +94,9 @@ void RoundRobinServer::on_message(const net::Message& m,
     if (live_.contains(add->entry)) return;
     const std::uint64_t slot = tail_++;
     live_.insert(add->entry);
-    const std::size_t n = net.size();
+    const std::size_t n = net.member_count();
     for (std::size_t j = 0; j < y_; ++j) {
-      const auto target = static_cast<ServerId>((slot + j) % n);
+      const ServerId target = net.member((slot + j) % n);
       net.send(id(), target, net::StoreSlotted{add->entry, slot});
     }
   } else if (const auto* del = std::get_if<net::DeleteRequest>(&m)) {
@@ -105,6 +117,13 @@ void RoundRobinServer::on_message(const net::Message& m,
     }
   } else if (const auto* rem = std::get_if<net::RemoveEntry>(&m)) {
     drop_entry(rem->entry);
+  } else if (const auto* rc = std::get_if<net::RestoreCoordinator>(&m)) {
+    // Repair rebuilt the coordinator metadata from the surviving slot map.
+    head_ = rc->head;
+    tail_ = rc->tail;
+    live_.clear();
+    live_.reserve(rc->entries.size());
+    for (Entry v : rc->entries) live_.insert(v);
   } else {
     StrategyServer::on_message(m, net);
   }
@@ -129,9 +148,9 @@ net::Message RoundRobinServer::on_rpc(const net::Message& m,
     net::MigrateReply reply{st.replacement, st.valid};
     if (st.requests >= y_) {
       if (st.valid) {
-        const std::size_t n = net.size();
+        const std::size_t n = net.member_count();
         for (std::size_t j = 0; j < y_; ++j) {
-          const auto target = static_cast<ServerId>((req->head_slot + j) % n);
+          const ServerId target = net.member((req->head_slot + j) % n);
           net.send(id(), target,
                    net::PurgeEntry{st.replacement, req->head_slot});
         }
@@ -173,18 +192,168 @@ LookupResult RoundRobinStrategy::partial_lookup(std::size_t t) {
                              retry_policy());
 }
 
+ServerId RoundRobinStrategy::coordinator() const {
+  return network().failures().member_at(0);
+}
+
 std::uint64_t RoundRobinStrategy::head() const {
-  return static_cast<const RoundRobinServer&>(server_state(0)).head();
+  return static_cast<const RoundRobinServer&>(server_state(coordinator()))
+      .head();
 }
 
 std::uint64_t RoundRobinStrategy::tail() const {
-  return static_cast<const RoundRobinServer&>(server_state(0)).tail();
+  return static_cast<const RoundRobinServer&>(server_state(coordinator()))
+      .tail();
 }
 
 ServerId RoundRobinStrategy::update_target() {
   // §5.4: every update goes through the coordinator. If it is down the
   // update cannot proceed (the bottleneck the paper criticises).
-  return network().is_up(0) ? ServerId{0} : kInvalidServer;
+  const ServerId c = coordinator();
+  return network().is_up(c) ? c : kInvalidServer;
+}
+
+void RoundRobinStrategy::attach_host(ServerId host, Rng rng) {
+  register_tenant<RoundRobinServer>(host, rng, config().param,
+                                    config().storage_budget);
+}
+
+std::vector<std::pair<std::uint64_t, Entry>> RoundRobinStrategy::collect_slots()
+    const {
+  // Every copy is a (slot, entry) vote; a migration in progress or a stale
+  // store can disagree with its peers, so reconstruction is by vote.
+  std::vector<std::pair<std::uint64_t, Entry>> votes;
+  for (const StrategyServer* s : servers_) {
+    const auto* rr = static_cast<const RoundRobinServer*>(s);
+    for (Entry v : rr->store().entries()) {
+      if (const auto slot = rr->slot_of(v)) votes.emplace_back(*slot, v);
+    }
+  }
+  std::sort(votes.begin(), votes.end());
+  // Per-slot majority, smaller entry breaking ties (votes are sorted, so
+  // the first candidate with the top count wins).
+  std::vector<std::pair<std::uint64_t, Entry>> slots;
+  for (std::size_t i = 0; i < votes.size();) {
+    const std::uint64_t slot = votes[i].first;
+    Entry best = votes[i].second;
+    std::size_t best_count = 0;
+    std::size_t j = i;
+    while (j < votes.size() && votes[j].first == slot) {
+      const Entry v = votes[j].second;
+      std::size_t count = 0;
+      while (j < votes.size() && votes[j].first == slot &&
+             votes[j].second == v) {
+        ++count;
+        ++j;
+      }
+      if (count > best_count) {
+        best_count = count;
+        best = v;
+      }
+    }
+    slots.emplace_back(slot, best);
+    i = j;
+  }
+  // Per-entry dedup: migration moves an entry from the head slot up to the
+  // deleted slot, so when stale low-slot copies survive, the larger slot is
+  // the current home.
+  std::sort(slots.begin(), slots.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second < b.second
+                                          : a.first < b.first;
+            });
+  std::vector<std::pair<std::uint64_t, Entry>> out;
+  for (std::size_t i = 0; i < slots.size();) {
+    std::size_t j = i;
+    while (j < slots.size() && slots[j].second == slots[i].second) ++j;
+    out.push_back(slots[j - 1]);  // max slot of this entry's group
+    i = j;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void RoundRobinStrategy::rebalance(const net::MembershipChange& change) {
+  (void)change;
+  // Budgeted placements are static-only; and with no coordinator up the
+  // re-place must wait (repair retries when it recovers).
+  if (config().storage_budget != 0) return;
+  const ServerId target = update_target();
+  if (target == kInvalidServer) return;
+  const auto slots = collect_slots();
+  std::vector<Entry> entries;
+  entries.reserve(slots.size());
+  for (const auto& [slot, v] : slots) entries.push_back(v);
+  // Full re-place in slot order: renumbers the survivors 0..k-1 and deals
+  // them over the new member list, rebuilding the coordinator state.
+  cluster_view().client_send(target,
+                             net::PlaceRequest{net::SharedEntries(entries)});
+}
+
+net::RepairOutcome RoundRobinStrategy::repair_once() {
+  net::RepairOutcome out;
+  if (config().storage_budget != 0) return out;
+  const net::FailureState& fs = network().failures();
+  net::ClusterView view = repair_view();
+  const auto slots = collect_slots();
+  const std::size_t mc = fs.member_count();
+  const std::size_t copies = std::min(config().param, mc);
+  // Re-home every reconstructed (slot, entry) onto its y holders.
+  for (const auto& [slot, v] : slots) {
+    for (std::size_t j = 0; j < copies; ++j) {
+      const ServerId s = fs.member_at((slot + j) % mc);
+      const auto& rr = static_cast<const RoundRobinServer&>(server_state(s));
+      const auto cur = rr.slot_of(v);
+      if (cur.has_value() && *cur == slot) continue;
+      if (!fs.is_up(s)) {
+        ++out.deficit_after;
+        continue;
+      }
+      view.client_send(s, net::StoreSlotted{v, slot});
+      ++out.replicas_created;
+    }
+  }
+  // Verify the coordinator metadata against the reconstruction. Entries it
+  // lists as live with no surviving copy are permanently lost — the only
+  // strategy able to *prove* a loss; restoring the metadata drops them so
+  // each is counted once.
+  const ServerId coord = fs.member_at(0);
+  const auto& c = static_cast<const RoundRobinServer&>(server_state(coord));
+  std::uint64_t rhead = 0;
+  std::uint64_t rtail = 0;
+  if (!slots.empty()) {
+    rhead = slots.front().first;
+    rtail = slots.back().first + 1;
+  }
+  std::size_t matched = 0;
+  for (const auto& [slot, v] : slots) {
+    if (c.is_live(v)) ++matched;
+  }
+  const std::uint64_t lost = c.live_count() - matched;
+  bool mismatch = lost != 0 || c.head() != rhead || c.tail() != rtail ||
+                  c.live_count() != slots.size();
+  if (!mismatch) {
+    for (const auto& [slot, v] : slots) {
+      if (!c.is_live(v)) {
+        mismatch = true;
+        break;
+      }
+    }
+  }
+  if (mismatch) {
+    if (!fs.is_up(coord)) {
+      ++out.deficit_after;
+    } else {
+      out.unrecoverable += lost;
+      std::vector<Entry> entries;
+      entries.reserve(slots.size());
+      for (const auto& [slot, v] : slots) entries.push_back(v);
+      view.client_send(coord,
+                       net::RestoreCoordinator{net::SharedEntries(entries),
+                                               rhead, rtail});
+    }
+  }
+  return out;
 }
 
 }  // namespace pls::core

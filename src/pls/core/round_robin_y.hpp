@@ -28,6 +28,8 @@
 // scheme for dynamic, failure-prone settings (§6.3).
 #pragma once
 
+#include <utility>
+
 #include "pls/common/flat_map.hpp"
 #include "pls/core/strategy.hpp"
 
@@ -49,6 +51,14 @@ class RoundRobinServer final : public StrategyServer {
 
   /// The logical slot this server records for `v`, or nullopt.
   std::optional<std::uint64_t> slot_of(Entry v) const;
+
+  /// Coordinator-side liveness check (repair uses it to detect entries the
+  /// coordinator still believes exist but no server stores).
+  bool is_live(Entry v) const { return live_.contains(v); }
+
+  /// Permanent loss forgets slots, migrations, and (on the coordinator)
+  /// the head/tail/live metadata along with the store.
+  void wipe() override;
 
  private:
   void set_slot(Entry v, std::uint64_t slot);
@@ -92,16 +102,40 @@ class RoundRobinStrategy final : public Strategy {
 
   std::size_t y() const noexcept { return config().param; }
 
+  /// The coordinator: the lowest-ranked member (id 0 until it permanently
+  /// leaves, then its successor — the paper's "server 1" role fails over).
+  ServerId coordinator() const;
+
   /// The coordinator's counters, exposed for tests and diagnostics.
   std::uint64_t head() const;
   std::uint64_t tail() const;
+
+  /// Repair rule: re-home every surviving (slot, entry) onto servers
+  /// slot..slot+y-1 over the member list, then verify (and if needed
+  /// restore) the coordinator's head/tail/live metadata against the
+  /// majority-reconstructed slot map. Entries the coordinator still lists
+  /// as live but no server stores are counted unrecoverable (once — the
+  /// restored metadata drops them). No-op for budgeted placements.
+  net::RepairOutcome repair_once() override;
 
  protected:
   /// All updates route through the coordinator (§5.4).
   ServerId update_target() override;
 
+  void attach_host(ServerId host, Rng rng) override;
+  /// Re-places every surviving entry through the coordinator, renumbering
+  /// slots 0..k-1 over the new member list.
+  void rebalance(const net::MembershipChange& change) override;
+
  private:
   void build();
+
+  /// Majority reconstruction of the logical slot map from the servers'
+  /// replicated (entry, slot) records: per-slot majority vote (smaller
+  /// entry breaks ties), then per-entry dedup preferring the larger slot
+  /// (migration moves entries up-slot; stale copies sit at old, smaller
+  /// slots). Sorted by slot.
+  std::vector<std::pair<std::uint64_t, Entry>> collect_slots() const;
 };
 
 }  // namespace pls::core

@@ -101,6 +101,12 @@ const Strategy& PartialLookupService::strategy(const Key& key) const {
   return *strategies_[*id];
 }
 
+ServerId PartialLookupService::add_server() { return cluster_->add_host(); }
+
+void PartialLookupService::remove_server(ServerId s, net::Loss loss) {
+  cluster_->remove_host(s, loss);
+}
+
 const net::TransportStats& PartialLookupService::key_transport(
     const Key& key) const {
   const auto id = find_id(key);

@@ -72,7 +72,8 @@ class PartialLookupService {
 
   bool contains_key(const Key& key) const;
   std::size_t num_keys() const noexcept { return strategies_.size(); }
-  std::size_t num_servers() const noexcept { return config_.num_servers; }
+  /// Current host count, including permanently departed (tombstoned) ids.
+  std::size_t num_servers() const noexcept { return cluster_->size(); }
 
   /// Cluster-wide failure injection (affects every key). Routed through
   /// the shared network, like Strategy's failure API.
@@ -80,6 +81,12 @@ class PartialLookupService {
   void recover_server(ServerId s) { cluster_->network().recover(s); }
   void recover_all() { cluster_->network().recover_all(); }
   const net::FailureState& failures() const noexcept { return *failures_; }
+
+  /// Elastic membership, cluster-wide: every key's strategy observes the
+  /// change (installing a tenant on joins, migrating data as its placement
+  /// rule requires). Returns the new host's id.
+  ServerId add_server();
+  void remove_server(ServerId s, net::Loss loss);
 
   /// The shared physical cluster every key runs on.
   net::Cluster& cluster() noexcept { return *cluster_; }

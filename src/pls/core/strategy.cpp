@@ -1,5 +1,6 @@
 #include "pls/core/strategy.hpp"
 
+#include <algorithm>
 #include <unordered_set>
 #include <utility>
 
@@ -74,7 +75,8 @@ Strategy::Strategy(StrategyConfig config, std::size_t num_servers,
       owned_cluster_(
           std::make_unique<net::Cluster>(num_servers, std::move(failures))),
       cluster_(owned_cluster_.get()),
-      client_rng_(Rng(config.seed).fork(0x11)) {
+      client_rng_(Rng(config.seed).fork(0x11)),
+      repair_rng_(Rng(config.seed).fork(0x5e9a)) {
   PLS_CHECK_MSG(num_servers > 0, "need at least one server");
   net::LinkModel link = config.link;
   link.seed = link_stream_seed(config);
@@ -84,15 +86,99 @@ Strategy::Strategy(StrategyConfig config, std::size_t num_servers,
   // The private cluster's single key; reuses channel 0, which
   // set_link_model just seeded identically (the reseed is idempotent).
   key_ = cluster_->add_key(link.seed);
+  cluster_->add_membership_listener(this);
 }
 
 Strategy::Strategy(StrategyConfig config, net::Cluster& cluster)
     : config_(config),
       cluster_(&cluster),
-      client_rng_(Rng(config.seed).fork(0x11)) {
+      client_rng_(Rng(config.seed).fork(0x11)),
+      repair_rng_(Rng(config.seed).fork(0x5e9a)) {
   // Shared mode: the cluster's (service-wide) link model and retry policy
   // apply; this key only brings its own link-randomness stream.
   key_ = cluster_->add_key(link_stream_seed(config));
+  cluster_->add_membership_listener(this);
+}
+
+Strategy::~Strategy() { cluster_->remove_membership_listener(this); }
+
+ServerId Strategy::add_server() { return cluster_->add_host(); }
+
+void Strategy::remove_server(ServerId s, net::Loss loss) {
+  cluster_->remove_host(s, loss);
+}
+
+void Strategy::wipe_server(ServerId s) {
+  PLS_CHECK(s < servers_.size());
+  servers_[s]->wipe();
+}
+
+void Strategy::on_membership_change(const net::MembershipChange& change) {
+  if (change.kind == net::MembershipChange::Kind::kJoin) {
+    // Replay the construction-time tenant derivation: an (n+1)-server
+    // build() hands host i the stream master.fork(0x1000 + i) of a fresh
+    // master, in order. Re-running the fork chain up to the new host gives
+    // the newcomer exactly the stream it would have been born with.
+    Rng master(config_.seed);
+    for (ServerId i = 0; i < change.host; ++i) {
+      (void)master.fork(0x1000 + i);
+    }
+    attach_host(change.host, master.fork(0x1000 + change.host));
+  }
+  rebalance(change);
+}
+
+void Strategy::rebalance(const net::MembershipChange& change) { (void)change; }
+
+std::vector<Entry> Strategy::stored_union() const {
+  std::vector<Entry> u;
+  for (const StrategyServer* s : servers_) {
+    const auto span = s->store().entries();
+    u.insert(u.end(), span.begin(), span.end());
+  }
+  std::sort(u.begin(), u.end());
+  u.erase(std::unique(u.begin(), u.end()), u.end());
+  return u;
+}
+
+std::size_t Strategy::copies_of(Entry v) const {
+  std::size_t copies = 0;
+  for (const StrategyServer* s : servers_) {
+    if (s->store().contains(v)) ++copies;
+  }
+  return copies;
+}
+
+net::RepairOutcome Strategy::repair_mirrored() {
+  net::RepairOutcome out;
+  const auto u = stored_union();
+  net::ClusterView view = repair_view();
+  const net::FailureState& fs = network().failures();
+  const net::SharedEntries shared(u);
+  for (std::size_t rank = 0; rank < fs.member_count(); ++rank) {
+    const ServerId s = fs.member_at(rank);
+    const EntryStore& store = server_state(s).store();
+    std::size_t missing = 0;
+    for (Entry v : u) {
+      if (!store.contains(v)) ++missing;
+    }
+    // Exact mirrors are left alone; anything else (missing entries, or
+    // stale extras surviving a failure during an update) is resynced.
+    if (missing == 0 && store.size() == u.size()) continue;
+    if (!fs.is_up(s)) {
+      out.deficit_after += missing;
+      continue;
+    }
+    view.client_send(s, net::StoreBatch{shared});
+    out.replicas_created += missing;
+  }
+  return out;
+}
+
+void Strategy::send_union_to(ServerId host) {
+  const auto u = stored_union();
+  if (u.empty()) return;
+  cluster_view().client_send(host, net::StoreBatch{net::SharedEntries(u)});
 }
 
 ServerId Strategy::random_up_server() {

@@ -25,6 +25,7 @@
 #include "pls/core/entry_store.hpp"
 #include "pls/core/lookup.hpp"
 #include "pls/net/cluster.hpp"
+#include "pls/net/repair.hpp"
 
 namespace pls::core {
 
@@ -94,6 +95,11 @@ class StrategyServer : public net::Tenant {
   void on_message(const net::Message& m, net::ClusterView& net) override;
   net::Message on_rpc(const net::Message& m, net::ClusterView& net) override;
 
+  /// Permanent loss: the server comes back with an empty store. Strategies
+  /// with extra per-server bookkeeping (Round-Robin slots, RandomServer's
+  /// h counter) override and clear that too.
+  void wipe() override { store_.clear(); }
+
  protected:
   Rng& rng() noexcept { return rng_; }
 
@@ -105,9 +111,16 @@ class StrategyServer : public net::Tenant {
 /// The partial lookup service interface of §2, single key. Thread
 /// compatibility: a Strategy and its cluster are a single-threaded
 /// simulation unit; drive each instance from one thread.
-class Strategy {
+///
+/// Elastic membership: the strategy subscribes to its cluster's membership
+/// events. On a join it installs its tenant on the new host (with the rng
+/// stream an (n+1)-server construction would have produced) and migrates
+/// data onto it; on a leave it re-places what the survivors still hold.
+/// As a net::Repairable it also re-replicates entries below its redundancy
+/// rule when the background RepairProcess asks.
+class Strategy : public net::MembershipListener, public net::Repairable {
  public:
-  virtual ~Strategy() = default;
+  ~Strategy() override;
   Strategy(const Strategy&) = delete;
   Strategy& operator=(const Strategy&) = delete;
 
@@ -171,6 +184,22 @@ class Strategy {
   StrategyServer& server_state(ServerId s);
   const StrategyServer& server_state(ServerId s) const;
 
+  /// Elastic membership. Standalone strategies own their cluster, so these
+  /// are the natural entry points; on a shared cluster the event reaches
+  /// every sibling key (prefer the service-level calls there, which make
+  /// that explicit). Returns the new host's id.
+  ServerId add_server();
+  void remove_server(ServerId s, net::Loss loss);
+
+  /// Permanent data loss on server `s` for THIS key (the standalone
+  /// injector wipe path; a shared cluster wipes whole hosts via
+  /// Cluster::wipe_host).
+  void wipe_server(ServerId s);
+
+  /// net::MembershipListener: installs a tenant on joins, then delegates
+  /// to the strategy-specific rebalance().
+  void on_membership_change(const net::MembershipChange& change) final;
+
  protected:
   /// Standalone mode: a private one-key cluster of `num_servers` hosts.
   Strategy(StrategyConfig config, std::size_t num_servers,
@@ -199,6 +228,45 @@ class Strategy {
 
   Rng& client_rng() noexcept { return client_rng_; }
 
+  /// Installs this strategy's tenant type on a newly joined host. `rng` is
+  /// the stream the tenant would have received had the host been present
+  /// at construction (the build() fork chain, replayed).
+  virtual void attach_host(ServerId host, Rng rng) = 0;
+
+  /// Strategy-specific data movement after a membership change (called
+  /// after attach_host on joins). Default: move nothing.
+  virtual void rebalance(const net::MembershipChange& change);
+
+  /// A repair-scoped transport handle: everything sent through it lands on
+  /// the network's repair ledger.
+  net::ClusterView repair_view() noexcept {
+    return net::ClusterView(cluster_->network(), key_, /*repair=*/true);
+  }
+
+  /// Sorted distinct union of every server's stored entries — all the
+  /// content that still exists for this key. Repair and migration can only
+  /// re-replicate from here: metadata cannot resurrect lost data.
+  std::vector<Entry> stored_union() const;
+
+  /// How many servers (up or down — transient outages hide copies, they do
+  /// not destroy them) currently store `v`.
+  std::size_t copies_of(Entry v) const;
+
+  /// Repair rule for mirrored layouts (Full Replication, Fixed-x): every
+  /// member must store exactly the union; up mismatching members are
+  /// resynced, down ones counted as deficit.
+  net::RepairOutcome repair_mirrored();
+
+  /// Join migration for layouts where the newcomer derives its own subset
+  /// from the full batch (mirrored layouts take everything, RandomServer
+  /// reservoir-samples x of it).
+  void send_union_to(ServerId host);
+
+  /// Dedicated randomness for repair decisions (e.g. which spare server
+  /// receives an extra copy). A private stream: repair never perturbs
+  /// client or tenant randomness, so runs without repair are untouched.
+  Rng& repair_rng() noexcept { return repair_rng_; }
+
  private:
   StrategyConfig config_;
   /// Standalone mode owns its cluster; shared mode borrows the service's.
@@ -206,6 +274,7 @@ class Strategy {
   net::Cluster* cluster_;
   KeyId key_ = kDefaultKey;
   Rng client_rng_;
+  Rng repair_rng_;
 
  protected:
   /// Typed views of this key's tenants, one per host; filled by

@@ -1,0 +1,60 @@
+#include "pls/metrics/durability.hpp"
+
+#include <algorithm>
+
+namespace pls::metrics {
+
+DurabilityReport measure_durability(const core::Strategy& strategy,
+                                    std::span<const Entry> reference) {
+  DurabilityReport report;
+  report.reference_entries = reference.size();
+  if (reference.empty()) return report;
+
+  std::size_t total_copies = 0;
+  std::size_t min_surviving = 0;
+  bool any_surviving = false;
+  const std::size_t n = strategy.num_servers();
+  for (Entry v : reference) {
+    std::size_t copies = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (strategy.server_state(static_cast<ServerId>(s)).store().contains(v)) {
+        ++copies;
+      }
+    }
+    total_copies += copies;
+    if (copies == 0) {
+      ++report.lost_entries;
+      continue;
+    }
+    ++report.surviving_entries;
+    min_surviving = any_surviving ? std::min(min_surviving, copies) : copies;
+    any_surviving = true;
+  }
+  report.min_copies = any_surviving ? min_surviving : 0;
+  report.mean_copies = static_cast<double>(total_copies) /
+                       static_cast<double>(reference.size());
+  return report;
+}
+
+RepairSummary summarize_repair(const net::RepairProcess& repair,
+                               const net::TransportStats& repair_channel) {
+  RepairSummary s;
+  s.scans = repair.scans();
+  s.idle_scans = repair.idle_scans();
+  s.replicas_created = repair.replicas_created();
+  s.entries_unrecoverable = repair.entries_unrecoverable();
+  const auto& ttr = repair.repair_times();
+  s.ttr_samples = ttr.size();
+  if (!ttr.empty()) {
+    double sum = 0.0;
+    for (double t : ttr) {
+      sum += t;
+      s.max_time_to_repair = std::max(s.max_time_to_repair, t);
+    }
+    s.mean_time_to_repair = sum / static_cast<double>(ttr.size());
+  }
+  s.repair_messages = repair_channel.sent;
+  return s;
+}
+
+}  // namespace pls::metrics

@@ -1,0 +1,63 @@
+// Durability under permanent-loss churn — the repair-vs-failure race.
+//
+// Transient failures (§6's model) only hide replicas; a permanent loss
+// (FailureInjector::Config::permanent_loss_prob, Cluster::remove_host with
+// Loss::kPermanent) destroys them. A key's content survives as long as at
+// least one copy of every entry outlives each wipe until the next
+// RepairProcess scan re-replicates it. This module measures the outcome of
+// that race: how much of a reference entry set still exists anywhere in
+// the cluster, how thin the surviving redundancy is, and what the repair
+// process spent to keep it that way.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "pls/core/strategy.hpp"
+#include "pls/net/repair.hpp"
+#include "pls/net/transport_stats.hpp"
+
+namespace pls::metrics {
+
+/// Snapshot of how much of `reference` still exists in a cluster.
+struct DurabilityReport {
+  /// Entries measured (the caller's ground-truth set).
+  std::size_t reference_entries = 0;
+  /// Reference entries with at least one surviving copy (up or down
+  /// server — transient outages hide copies, they do not destroy them).
+  std::size_t surviving_entries = 0;
+  /// Reference entries with zero copies anywhere: permanently lost.
+  std::size_t lost_entries = 0;
+  /// Smallest copy count over the *surviving* reference entries (0 when
+  /// everything was lost or the reference is empty).
+  std::size_t min_copies = 0;
+  /// Mean copy count over all reference entries (lost ones count 0).
+  double mean_copies = 0.0;
+};
+
+/// Counts surviving copies of each reference entry across every server's
+/// store (placement state only — no messages are sent or charged).
+DurabilityReport measure_durability(const core::Strategy& strategy,
+                                    std::span<const Entry> reference);
+
+/// Aggregated repair-process outcome for one run: scan/replica counters
+/// from the process plus the wire cost read off the network's repair
+/// ledger.
+struct RepairSummary {
+  std::uint64_t scans = 0;
+  std::uint64_t idle_scans = 0;  ///< epoch early-outs (no work, no allocs)
+  std::uint64_t replicas_created = 0;
+  std::uint64_t entries_unrecoverable = 0;
+  /// Completed wipe -> redundancy-restored intervals.
+  std::size_t ttr_samples = 0;
+  double mean_time_to_repair = 0.0;
+  double max_time_to_repair = 0.0;
+  /// Messages the repair traffic put on the wire (repair ledger `sent`).
+  std::uint64_t repair_messages = 0;
+};
+
+RepairSummary summarize_repair(const net::RepairProcess& repair,
+                               const net::TransportStats& repair_channel);
+
+}  // namespace pls::metrics

@@ -1,5 +1,6 @@
 #include "pls/net/cluster.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "pls/common/check.hpp"
@@ -52,6 +53,65 @@ const HostServer& Cluster::host(ServerId s) const {
 
 void Cluster::reserve_keys(std::size_t n) {
   for (HostServer* h : hosts_) h->reserve_tenants(n);
+}
+
+ServerId Cluster::add_host() {
+  ServerId id;
+  if (failures_->size() == hosts_.size()) {
+    id = failures_->add_server();
+  } else {
+    // A sibling cluster sharing this FailureState already grew it (the
+    // differential-twin pattern correlates membership across standalone
+    // twins the same way it correlates failures). Adopt the id.
+    PLS_CHECK_MSG(failures_->size() == hosts_.size() + 1,
+                  "shared FailureState diverged from the cluster size");
+    id = static_cast<ServerId>(hosts_.size());
+    PLS_CHECK_MSG(failures_->is_member(id),
+                  "adopted server id is not a member");
+  }
+  auto host = std::make_unique<HostServer>(id);
+  if (num_keys_ > 0) host->reserve_tenants(num_keys_);
+  hosts_.push_back(host.get());
+  net_.add_server(std::move(host));
+  notify({MembershipChange::Kind::kJoin, id});
+  return id;
+}
+
+void Cluster::remove_host(ServerId id, Loss loss) {
+  PLS_CHECK(id < hosts_.size());
+  if (loss == Loss::kPermanent) {
+    // The machine died with its disks: data is gone before any listener
+    // gets a chance to migrate it.
+    wipe_host(id);
+  }
+  if (failures_->is_member(id)) failures_->mark_gone(id);
+  notify({loss == Loss::kGraceful ? MembershipChange::Kind::kLeaveGraceful
+                                  : MembershipChange::Kind::kLeavePermanent,
+          id});
+  if (loss == Loss::kGraceful) {
+    // Listeners have migrated everything they wanted off the departing
+    // host; release its state now.
+    wipe_host(id);
+  }
+}
+
+void Cluster::wipe_host(ServerId id) {
+  PLS_CHECK(id < hosts_.size());
+  hosts_[id]->wipe_tenants();
+}
+
+void Cluster::add_membership_listener(MembershipListener* listener) {
+  PLS_CHECK_MSG(listener != nullptr, "null membership listener");
+  listeners_.push_back(listener);
+}
+
+void Cluster::remove_membership_listener(MembershipListener* listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+void Cluster::notify(const MembershipChange& change) {
+  for (MembershipListener* l : listeners_) l->on_membership_change(change);
 }
 
 }  // namespace pls::net

@@ -21,6 +21,31 @@
 
 namespace pls::net {
 
+/// How a host leaves the cluster.
+enum class Loss {
+  /// Planned scale-in: the host's data stays readable until the membership
+  /// listeners have migrated it off; only then is the host wiped.
+  kGraceful,
+  /// The machine is dead: its data is gone *before* anyone can react. Sole
+  /// copies it held are permanently lost (repair can only restore entries
+  /// that survive elsewhere).
+  kPermanent,
+};
+
+/// A membership event, delivered to listeners in subscription order
+/// (strategies subscribe at construction, so key order).
+struct MembershipChange {
+  enum class Kind { kJoin, kLeaveGraceful, kLeavePermanent };
+  Kind kind;
+  ServerId host;
+};
+
+class MembershipListener {
+ public:
+  virtual ~MembershipListener() = default;
+  virtual void on_membership_change(const MembershipChange& change) = 0;
+};
+
 class Cluster {
  public:
   /// Builds `num_servers` empty hosts over `failures` (shared failure
@@ -52,12 +77,40 @@ class Cluster {
   /// Key-count hint: pre-sizes every host's tenant table.
   void reserve_keys(std::size_t n);
 
+  /// Elastic join: registers a new empty host (the next dense id, never a
+  /// reused one), grows the FailureState and every transport ledger, and
+  /// notifies membership listeners so each key can install a tenant and
+  /// migrate data onto the newcomer. When the FailureState is shared and a
+  /// sibling cluster already registered the id (the differential-twin
+  /// pattern), the existing registration is adopted.
+  ServerId add_host();
+
+  /// Elastic leave: removes `id` from the membership for good. kGraceful
+  /// notifies listeners while the host's data is still intact (so they can
+  /// migrate it) and wipes afterwards; kPermanent wipes first — whatever
+  /// only this host stored is lost. Shared-FailureState siblings may have
+  /// already marked the server gone; the wipe and notifications still run.
+  void remove_host(ServerId id, Loss loss);
+
+  /// Permanent data loss on a live host: every tenant's state for every
+  /// key is discarded (the FailureInjector's wipe path).
+  void wipe_host(ServerId id);
+
+  /// Membership listeners are notified on add_host/remove_host, in
+  /// subscription order. Listeners must unsubscribe before destruction.
+  void add_membership_listener(MembershipListener* listener);
+  void remove_membership_listener(MembershipListener* listener);
+
  private:
+  void notify(const MembershipChange& change);
+
   std::shared_ptr<FailureState> failures_;
   Network net_;
-  /// Hosts owned by net_, typed.
+  /// Hosts owned by net_, typed. Gone hosts keep their slot (ids are never
+  /// reused) but are excluded from the membership.
   std::vector<HostServer*> hosts_;
   std::size_t num_keys_ = 0;
+  std::vector<MembershipListener*> listeners_;
 };
 
 }  // namespace pls::net

@@ -5,43 +5,115 @@
 namespace pls::net {
 
 FailureState::FailureState(std::size_t num_servers)
-    : up_(num_servers, true), up_count_(num_servers) {
+    : state_(num_servers, ServerState::kUp), up_count_(num_servers) {
   PLS_CHECK_MSG(num_servers > 0, "a cluster needs at least one server");
+  rebuild_members();
+}
+
+void FailureState::rebuild_members() {
+  members_.clear();
+  members_.reserve(state_.size());
+  member_rank_.assign(state_.size(), 0);
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    if (state_[i] != ServerState::kGone) {
+      member_rank_[i] = members_.size();
+      members_.push_back(static_cast<ServerId>(i));
+    }
+  }
+}
+
+ServerState FailureState::state(ServerId s) const {
+  PLS_CHECK(s < state_.size());
+  return state_[s];
 }
 
 bool FailureState::is_up(ServerId s) const {
-  PLS_CHECK(s < up_.size());
-  return up_[s];
+  PLS_CHECK(s < state_.size());
+  return state_[s] == ServerState::kUp;
+}
+
+bool FailureState::is_member(ServerId s) const {
+  PLS_CHECK(s < state_.size());
+  return state_[s] != ServerState::kGone;
 }
 
 void FailureState::fail(ServerId s) {
-  PLS_CHECK(s < up_.size());
-  if (up_[s]) {
-    up_[s] = false;
+  PLS_CHECK(s < state_.size());
+  if (state_[s] == ServerState::kUp) {
+    state_[s] = ServerState::kDown;
     --up_count_;
+    ++epoch_;
   }
 }
 
 void FailureState::recover(ServerId s) {
-  PLS_CHECK(s < up_.size());
-  if (!up_[s]) {
-    up_[s] = true;
+  PLS_CHECK(s < state_.size());
+  if (state_[s] == ServerState::kDown) {
+    state_[s] = ServerState::kUp;
     ++up_count_;
+    ++epoch_;
   }
 }
 
 void FailureState::recover_all() noexcept {
-  up_.assign(up_.size(), true);
-  up_count_ = up_.size();
+  for (auto& st : state_) {
+    if (st == ServerState::kDown) {
+      st = ServerState::kUp;
+      ++up_count_;
+      ++epoch_;
+    }
+  }
+}
+
+ServerId FailureState::add_server() {
+  const auto id = static_cast<ServerId>(state_.size());
+  state_.push_back(ServerState::kUp);
+  ++up_count_;
+  ++epoch_;
+  member_rank_.push_back(members_.size());
+  members_.push_back(id);
+  return id;
+}
+
+void FailureState::mark_gone(ServerId s) {
+  PLS_CHECK(s < state_.size());
+  PLS_CHECK_MSG(state_[s] != ServerState::kGone, "server already gone");
+  PLS_CHECK_MSG(members_.size() > 1, "cannot remove the last member");
+  if (state_[s] == ServerState::kUp) --up_count_;
+  state_[s] = ServerState::kGone;
+  ++epoch_;
+  rebuild_members();
 }
 
 std::vector<ServerId> FailureState::up_servers() const {
   std::vector<ServerId> out;
   out.reserve(up_count_);
-  for (std::size_t i = 0; i < up_.size(); ++i) {
-    if (up_[i]) out.push_back(static_cast<ServerId>(i));
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    if (state_[i] == ServerState::kUp) out.push_back(static_cast<ServerId>(i));
   }
   return out;
+}
+
+std::vector<ServerId> FailureState::down_servers() const {
+  std::vector<ServerId> out;
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    if (state_[i] == ServerState::kDown) {
+      out.push_back(static_cast<ServerId>(i));
+    }
+  }
+  return out;
+}
+
+ServerId FailureState::member_at(std::size_t rank) const {
+  PLS_CHECK(rank < members_.size());
+  return members_[rank];
+}
+
+std::size_t FailureState::member_index(ServerId s) const {
+  PLS_CHECK(s < state_.size());
+  PLS_CHECK_MSG(state_[s] != ServerState::kGone,
+                "member_index of a gone server");
+  return member_rank_[s];
 }
 
 std::shared_ptr<FailureState> make_failure_state(std::size_t num_servers) {

@@ -1,11 +1,26 @@
-// Shared server up/down state.
+// Shared server lifecycle state: up / down-transient / gone.
 //
 // The multi-key service facade gives every per-key strategy a view of the
 // same FailureState, so injected server failures correlate across keys the
 // way they would on a real cluster.
+//
+// Elastic membership extends the original boolean up/down vector to three
+// states: kUp and kDown are the paper's transient crash/recover pair; kGone
+// marks a server that left the cluster for good (scale-in, or a machine
+// declared dead). Server ids are never reused — a gone slot stays a
+// tombstone — so every historical id remains a valid index into per-server
+// tables. The *member list* (all non-gone ids, ascending) is cached and
+// rebuilt only on membership changes, giving placement arithmetic O(1)
+// allocation-free id<->rank mapping; while no server has ever left, rank i
+// IS id i, which keeps pre-membership behaviour byte-identical.
+//
+// Every state transition bumps a monotonically increasing change epoch, so
+// background processes (repair scans, strategies) can early-out when
+// nothing changed since their last look.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -13,24 +28,62 @@
 
 namespace pls::net {
 
+enum class ServerState : std::uint8_t {
+  kUp,    ///< operational
+  kDown,  ///< transiently failed; comes back (possibly wiped)
+  kGone,  ///< left the cluster permanently; the id is a tombstone
+};
+
 class FailureState {
  public:
   explicit FailureState(std::size_t num_servers);
 
-  std::size_t size() const noexcept { return up_.size(); }
+  /// Total ids ever allocated, including gone tombstones.
+  std::size_t size() const noexcept { return state_.size(); }
+  ServerState state(ServerId s) const;
   bool is_up(ServerId s) const;
+  /// True for up and down servers; false for gone ones.
+  bool is_member(ServerId s) const;
   std::size_t up_count() const noexcept { return up_count_; }
 
   void fail(ServerId s);
   void recover(ServerId s);
+  /// Recovers every down server. Gone servers stay gone.
   void recover_all() noexcept;
+
+  /// Registers a new member and returns its id (ids are dense and never
+  /// reused, so the new id always equals the previous size()).
+  ServerId add_server();
+
+  /// Removes `s` from the membership for good. Idempotent transitions are
+  /// rejected: the server must currently be a member.
+  void mark_gone(ServerId s);
+
+  /// Monotonically increasing change counter, bumped by every effective
+  /// transition (fail, recover, join, leave). Equal epochs guarantee no
+  /// lifecycle event happened in between — the early-out for repair scans.
+  std::uint64_t epoch() const noexcept { return epoch_; }
 
   /// Ids of all currently operational servers, ascending.
   std::vector<ServerId> up_servers() const;
+  /// Ids of all transiently-down servers, ascending (gone excluded).
+  std::vector<ServerId> down_servers() const;
+
+  /// The member list: all non-gone ids, ascending. Accessors are O(1) and
+  /// allocation-free (the list is cached, rebuilt on membership changes).
+  std::size_t member_count() const noexcept { return members_.size(); }
+  ServerId member_at(std::size_t rank) const;
+  /// The rank of member `s` in the member list. Precondition: is_member(s).
+  std::size_t member_index(ServerId s) const;
 
  private:
-  std::vector<bool> up_;
+  void rebuild_members();
+
+  std::vector<ServerState> state_;
   std::size_t up_count_;
+  std::uint64_t epoch_ = 0;
+  std::vector<ServerId> members_;        ///< non-gone ids, ascending
+  std::vector<std::size_t> member_rank_;  ///< id -> rank (undefined if gone)
 };
 
 std::shared_ptr<FailureState> make_failure_state(std::size_t num_servers);

@@ -12,6 +12,9 @@ FailureInjector::FailureInjector(std::shared_ptr<FailureState> failures,
   PLS_CHECK_MSG(failures_state_ != nullptr, "injector needs a FailureState");
   PLS_CHECK_MSG(config.mttf > 0.0, "MTTF must be positive");
   PLS_CHECK_MSG(config.mttr > 0.0, "MTTR must be positive");
+  PLS_CHECK_MSG(
+      config.permanent_loss_prob >= 0.0 && config.permanent_loss_prob <= 1.0,
+      "permanent_loss_prob must be in [0, 1]");
 }
 
 void FailureInjector::arm(sim::Simulator& sim) {
@@ -37,6 +40,15 @@ void FailureInjector::schedule_failure(sim::Simulator& sim, ServerId server) {
 void FailureInjector::schedule_recovery(sim::Simulator& sim,
                                         ServerId server) {
   const auto fire = [this, &sim, server] {
+    // Permanent-loss coin first, while the server is still down: a wiped
+    // server comes back *empty*. Guarding on the probability keeps the
+    // random stream untouched when the feature is off.
+    if (config_.permanent_loss_prob > 0.0 &&
+        rng_.bernoulli(config_.permanent_loss_prob) &&
+        failures_state_->is_member(server)) {
+      ++wipes_;
+      if (wipe_hook_) wipe_hook_(server);
+    }
     failures_state_->recover(server);
     ++recoveries_;
     schedule_failure(sim, server);

@@ -8,6 +8,7 @@
 // state sees the same outage timeline.
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "pls/common/rng.hpp"
@@ -23,6 +24,12 @@ class FailureInjector {
     double mttf = 1000.0;
     /// Mean time to repair of a down server (exponential). Must be > 0.
     double mttr = 100.0;
+    /// Probability that a recovering server comes back *empty* — the crash
+    /// destroyed its data (disk loss). Must be in [0, 1]. At 0 (default)
+    /// recovery restores data intact, byte-identical to the original
+    /// injector: the permanent-loss coin is never tossed, so the random
+    /// stream is untouched.
+    double permanent_loss_prob = 0.0;
     std::uint64_t seed = 1;
   };
 
@@ -33,8 +40,18 @@ class FailureInjector {
   /// outlive the simulator run.
   void arm(sim::Simulator& sim);
 
+  /// Invoked (before the recovery is applied) whenever a server comes back
+  /// wiped under permanent_loss_prob. The callee owns the actual data
+  /// destruction — typically Cluster::wipe_host plus RepairProcess
+  /// bookkeeping. Gone servers never fire the hook.
+  void set_wipe_hook(std::function<void(ServerId)> hook) {
+    wipe_hook_ = std::move(hook);
+  }
+
   std::uint64_t failures_injected() const noexcept { return failures_; }
   std::uint64_t recoveries_injected() const noexcept { return recoveries_; }
+  /// Recoveries that came back empty (permanent data loss).
+  std::uint64_t wipes_injected() const noexcept { return wipes_; }
 
   /// Expected steady-state availability of one server: MTTF/(MTTF+MTTR).
   double expected_availability() const noexcept;
@@ -46,8 +63,10 @@ class FailureInjector {
   std::shared_ptr<FailureState> failures_state_;
   Config config_;
   Rng rng_;
+  std::function<void(ServerId)> wipe_hook_;
   std::uint64_t failures_ = 0;
   std::uint64_t recoveries_ = 0;
+  std::uint64_t wipes_ = 0;
   bool armed_ = false;
 };
 

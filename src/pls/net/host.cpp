@@ -10,8 +10,14 @@ void HostServer::add_tenant(KeyId key, std::unique_ptr<Tenant> tenant) {
   PLS_CHECK_MSG(tenant != nullptr, "null tenant");
   PLS_CHECK_MSG(tenant->id() == id(),
                 "tenant id must match its host server's id");
+  Tenant* raw = tenant.get();
   const bool inserted = tenants_.try_emplace(key, std::move(tenant)).second;
   PLS_CHECK_MSG(inserted, "host already has a tenant for this key");
+  tenant_order_.push_back(raw);
+}
+
+void HostServer::wipe_tenants() {
+  for (Tenant* t : tenant_order_) t->wipe();
 }
 
 Tenant* HostServer::tenant(KeyId key) noexcept {
@@ -32,12 +38,12 @@ Tenant& HostServer::route(const Message& m) {
 }
 
 void HostServer::on_message(const Message& m, Network& net) {
-  ClusterView view(net, m.key);
+  ClusterView view(net, m.key, m.repair);
   route(m).on_message(m, view);
 }
 
 Message HostServer::on_rpc(const Message& m, Network& net) {
-  ClusterView view(net, m.key);
+  ClusterView view(net, m.key, m.repair);
   return route(m).on_rpc(m, view);
 }
 

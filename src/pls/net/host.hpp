@@ -18,6 +18,7 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "pls/common/flat_map.hpp"
 #include "pls/common/types.hpp"
@@ -47,6 +48,11 @@ class Tenant {
   /// Handles a request/reply exchange; must return the reply message.
   virtual Message on_rpc(const Message& m, ClusterView& net) = 0;
 
+  /// Permanent-loss hook: discard all locally stored state for this key,
+  /// as if the host came back from a crash with an empty disk. Default is
+  /// a no-op for stateless tenants.
+  virtual void wipe() {}
+
  private:
   ServerId id_;
 };
@@ -59,7 +65,13 @@ class Tenant {
 /// the per-key TransportStats channel. Copyable and cheap (two words).
 class ClusterView {
  public:
-  ClusterView(Network& net, KeyId key) : net_(&net), key_(key) {}
+  /// `repair` marks every message sent through this view as background
+  /// repair traffic, charging the network's repair ledger in addition to
+  /// the usual channels. Hosts propagate the flag of an incoming message
+  /// into the view they hand the tenant, so repair-triggered fan-out stays
+  /// on the repair bill.
+  ClusterView(Network& net, KeyId key, bool repair = false)
+      : net_(&net), key_(key), repair_(repair) {}
 
   KeyId key() const noexcept { return key_; }
   Network& network() noexcept { return *net_; }
@@ -68,34 +80,47 @@ class ClusterView {
   const FailureState& failures() const noexcept { return net_->failures(); }
   bool is_up(ServerId s) const { return net_->is_up(s); }
 
+  /// Member-list arithmetic for elastic placement: ranks run over all
+  /// non-gone servers in ascending id order, so rank i is id i until a
+  /// server permanently leaves.
+  std::size_t member_count() const noexcept {
+    return net_->failures().member_count();
+  }
+  ServerId member(std::size_t rank) const {
+    return net_->failures().member_at(rank);
+  }
+  std::size_t member_index(ServerId s) const {
+    return net_->failures().member_index(s);
+  }
+
   bool client_send(ServerId to, Message m) {
-    m.key = key_;
+    stamp(m);
     return net_->client_send(to, m);
   }
 
   std::optional<Message> client_rpc(ServerId to, Message m) {
-    m.key = key_;
+    stamp(m);
     return net_->client_rpc(to, m);
   }
 
   CallResult client_call(ServerId to, Message m, const RetryPolicy& policy,
                          std::uint32_t attempt_cap) {
-    m.key = key_;
+    stamp(m);
     return net_->client_call(to, m, policy, attempt_cap);
   }
 
   void send(ServerId from, ServerId to, Message m) {
-    m.key = key_;
+    stamp(m);
     net_->send(from, to, m);
   }
 
   void broadcast(ServerId from, Message m) {
-    m.key = key_;
+    stamp(m);
     net_->broadcast(from, m);
   }
 
   std::optional<Message> rpc(ServerId from, ServerId to, Message m) {
-    m.key = key_;
+    stamp(m);
     return net_->rpc(from, to, m);
   }
 
@@ -110,8 +135,14 @@ class ClusterView {
   EntryBufferPool& reply_pool() noexcept { return net_->reply_pool(); }
 
  private:
+  void stamp(Message& m) const noexcept {
+    m.key = key_;
+    if (repair_) m.repair = true;
+  }
+
   Network* net_;
   KeyId key_;
+  bool repair_ = false;
 };
 
 /// A physical server hosting one tenant per key. Deliveries are routed by
@@ -131,7 +162,14 @@ class HostServer final : public Server {
   std::size_t num_tenants() const noexcept { return tenants_.size(); }
 
   /// Pre-sizes the tenant table (ServiceConfig::expected_keys hint).
-  void reserve_tenants(std::size_t n) { tenants_.reserve(n); }
+  void reserve_tenants(std::size_t n) {
+    tenants_.reserve(n);
+    tenant_order_.reserve(n);
+  }
+
+  /// Wipes every tenant on this host (permanent data loss), in key
+  /// registration order.
+  void wipe_tenants();
 
   void on_message(const Message& m, Network& net) override;
   Message on_rpc(const Message& m, Network& net) override;
@@ -140,6 +178,9 @@ class HostServer final : public Server {
   Tenant& route(const Message& m);
 
   FlatMap<KeyId, std::unique_ptr<Tenant>> tenants_;
+  /// Registration-ordered tenant pointers: FlatMap is deliberately
+  /// non-iterable, but a host-wide wipe must visit every tenant.
+  std::vector<Tenant*> tenant_order_;
 };
 
 }  // namespace pls::net

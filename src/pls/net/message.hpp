@@ -105,6 +105,16 @@ struct LookupReply {
   SharedEntries entries;
 };
 
+/// Repair -> Round-Robin coordinator: replace the coordinator's slot-range
+/// and live-set bookkeeping with state reconstructed from the surviving
+/// stores. Sent when a wiped (or newly elected) coordinator's metadata
+/// disagrees with the data actually stored on the cluster.
+struct RestoreCoordinator {
+  SharedEntries entries;
+  std::uint64_t head = 0;
+  std::uint64_t tail = 0;
+};
+
 /// Generic empty acknowledgement.
 struct Ack {};
 
@@ -113,7 +123,7 @@ using MessagePayload =
     std::variant<PlaceRequest, AddRequest, DeleteRequest, StoreBatch,
                  StoreEntry, StoreSlotted, RemoveEntry, ReservoirAdd,
                  RoundRemove, MigrateRequest, MigrateReply, PurgeEntry,
-                 LookupRequest, LookupReply, Ack>;
+                 LookupRequest, LookupReply, RestoreCoordinator, Ack>;
 
 /// A wire message: a protocol payload tagged with the KeyId of the tenant
 /// it addresses. Deriving from the payload variant keeps every
@@ -129,6 +139,12 @@ struct Message : MessagePayload {
   using MessagePayload::MessagePayload;
 
   KeyId key = kDefaultKey;
+
+  /// Background-repair traffic marker. Set by repair-scoped ClusterViews
+  /// and inherited by any server fan-out a repair message triggers, so the
+  /// whole causal tree of a repair action lands on the network's repair
+  /// ledger (in addition to the usual global + per-key charges).
+  bool repair = false;
 
   const MessagePayload& payload() const noexcept { return *this; }
   MessagePayload& payload() noexcept { return *this; }

@@ -29,6 +29,9 @@ const char* message_name(const Message& m) noexcept {
       return "LookupRequest";
     }
     const char* operator()(const LookupReply&) const { return "LookupReply"; }
+    const char* operator()(const RestoreCoordinator&) const {
+      return "RestoreCoordinator";
+    }
     const char* operator()(const Ack&) const { return "Ack"; }
   };
   return std::visit(Visitor{}, m.payload());
@@ -38,6 +41,7 @@ Network::Network(std::shared_ptr<FailureState> failures)
     : failures_(std::move(failures)) {
   PLS_CHECK_MSG(failures_ != nullptr, "Network needs a FailureState");
   stats_.per_server_processed.assign(failures_->size(), 0);
+  repair_stats_.per_server_processed.assign(failures_->size(), 0);
   // Channel 0: the default key's transport state (single-key clusters and
   // legacy unkeyed callers); reseeded by set_link_model.
   channels_.emplace_back();
@@ -68,6 +72,7 @@ const TransportStats& Network::key_stats(KeyId key) const {
 
 void Network::reset_stats() noexcept {
   stats_.reset();
+  repair_stats_.reset();
   for (auto& c : channels_) c.stats.reset();
 }
 
@@ -78,6 +83,14 @@ ServerId Network::add_server(std::unique_ptr<Server> server) {
   PLS_CHECK_MSG(servers_.size() < failures_->size(),
                 "more servers than the FailureState was sized for");
   servers_.push_back(std::move(server));
+  // Elastic join: every per-server attribution vector must cover the new
+  // id. Sizing to the FailureState keeps all ledgers in lockstep (and is a
+  // no-op during initial construction, where the vectors are pre-sized).
+  stats_.per_server_processed.resize(failures_->size(), 0);
+  repair_stats_.per_server_processed.resize(failures_->size(), 0);
+  for (auto& c : channels_) {
+    c.stats.per_server_processed.resize(failures_->size(), 0);
+  }
   return static_cast<ServerId>(servers_.size() - 1);
 }
 
@@ -113,6 +126,10 @@ void Network::deliver(ServerId to, const Message& m, SeqNo seq) {
   TransportStats& ks = channel(m.key).stats;
   ++ks.processed;
   ++ks.per_server_processed[to];
+  if (TransportStats* rs = repair_ledger(m)) {
+    ++rs->processed;
+    ++rs->per_server_processed[to];
+  }
   if (trace_ != nullptr) {
     trace_->record(sim_ != nullptr ? sim_->now() : 0.0,
                    sim::TraceKind::kMessage,
@@ -122,6 +139,7 @@ void Network::deliver(ServerId to, const Message& m, SeqNo seq) {
   if (!servers_[to]->handle(m, *this, seq)) {
     ++stats_.dup_suppressed;
     ++channel(m.key).stats.dup_suppressed;
+    if (TransportStats* rs = repair_ledger(m)) ++rs->dup_suppressed;
   }
 }
 
@@ -162,12 +180,16 @@ void Network::record_drop(ServerId to, const Message& m, DropCause cause) {
   ++stats_.dropped;
   TransportStats& ks = channel(m.key).stats;
   ++ks.dropped;
+  TransportStats* rs = repair_ledger(m);
+  if (rs != nullptr) ++rs->dropped;
   if (cause == DropCause::kServerDown) {
     ++stats_.dropped_down;
     ++ks.dropped_down;
+    if (rs != nullptr) ++rs->dropped_down;
   } else {
     ++stats_.dropped_link;
     ++ks.dropped_link;
+    if (rs != nullptr) ++rs->dropped_link;
   }
   if (trace_ != nullptr) {
     trace_->record(sim_ != nullptr ? sim_->now() : 0.0,
@@ -188,12 +210,14 @@ double Network::latency_sample(Rng& link_rng) {
 
 bool Network::transmit(ServerId to, const Message& m) {
   KeyChannel& ch = channel(m.key);
+  TransportStats* rs = repair_ledger(m);
   if (!link_.lossy()) {
     // Reliable link: the paper's exact transport, one attempt, no
     // sequencing (duplicates are impossible, so the dedup window stays
     // untouched and accounting is unchanged).
     ++stats_.sent;
     ++ch.stats.sent;
+    if (rs != nullptr) ++rs->sent;
     if (!failures_->is_up(to)) {
       record_drop(to, m, DropCause::kServerDown);
       return false;
@@ -218,15 +242,18 @@ bool Network::transmit(ServerId to, const Message& m) {
   for (std::uint32_t attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
     ++stats_.sent;
     ++ch.stats.sent;
+    if (rs != nullptr) ++rs->sent;
     if (attempt > 1) {
       ++stats_.retries;
       ++ch.stats.retries;
+      if (rs != nullptr) ++rs->retries;
     }
     const bool up = failures_->is_up(to);
     if (!up || ch.link_rng.bernoulli(link_.drop_probability)) {
       record_drop(to, m, up ? DropCause::kLink : DropCause::kServerDown);
       ++stats_.timeouts;
       ++ch.stats.timeouts;
+      if (rs != nullptr) ++rs->timeouts;
       wait += retry_.timeout_for(attempt, ch.link_rng);
       continue;
     }
@@ -238,6 +265,7 @@ bool Network::transmit(ServerId to, const Message& m) {
     if (ch.link_rng.bernoulli(link_.duplicate_probability)) {
       ++stats_.duplicated;
       ++ch.stats.duplicated;
+      if (rs != nullptr) ++rs->duplicated;
       if (sim_ != nullptr) {
         schedule_delivery(to, m, seq, wait + latency_sample(ch.link_rng));
       } else {
@@ -265,6 +293,7 @@ CallResult Network::client_call(ServerId to, const Message& m,
   PLS_CHECK_MSG(policy.valid(), "invalid retry policy");
   PLS_CHECK_MSG(attempt_cap >= 1, "attempt cap must be >= 1");
   KeyChannel& ch = channel(m.key);
+  TransportStats* rs = repair_ledger(m);
   CallResult out;
   if (!link_.lossy()) {
     // Reliable link: one synchronous attempt; a missing reply means the
@@ -272,6 +301,7 @@ CallResult Network::client_call(ServerId to, const Message& m,
     out.attempts = 1;
     ++stats_.sent;
     ++ch.stats.sent;
+    if (rs != nullptr) ++rs->sent;
     if (!failures_->is_up(to)) {
       record_drop(to, m, DropCause::kServerDown);
       return out;
@@ -282,6 +312,11 @@ CallResult Network::client_call(ServerId to, const Message& m,
     ++ch.stats.processed;
     ++ch.stats.per_server_processed[to];
     ++ch.stats.rpcs;
+    if (rs != nullptr) {
+      ++rs->processed;
+      ++rs->per_server_processed[to];
+      ++rs->rpcs;
+    }
     out.reply = servers_[to]->on_rpc(m, *this);
     return out;
   }
@@ -291,9 +326,11 @@ CallResult Network::client_call(ServerId to, const Message& m,
     out.attempts = attempt;
     ++stats_.sent;
     ++ch.stats.sent;
+    if (rs != nullptr) ++rs->sent;
     if (attempt > 1) {
       ++stats_.retries;
       ++ch.stats.retries;
+      if (rs != nullptr) ++rs->retries;
     }
     const bool up = failures_->is_up(to);
     if (!up || ch.link_rng.bernoulli(link_.drop_probability)) {
@@ -302,6 +339,7 @@ CallResult Network::client_call(ServerId to, const Message& m,
       record_drop(to, m, up ? DropCause::kLink : DropCause::kServerDown);
       ++stats_.timeouts;
       ++ch.stats.timeouts;
+      if (rs != nullptr) ++rs->timeouts;
       continue;
     }
     ++stats_.processed;
@@ -310,6 +348,11 @@ CallResult Network::client_call(ServerId to, const Message& m,
     ++ch.stats.processed;
     ++ch.stats.per_server_processed[to];
     ++ch.stats.rpcs;
+    if (rs != nullptr) {
+      ++rs->processed;
+      ++rs->per_server_processed[to];
+      ++rs->rpcs;
+    }
     out.reply = servers_[to]->on_rpc(m, *this);
     return out;
   }
@@ -327,7 +370,11 @@ void Network::broadcast(ServerId from, const Message& m) {
   PLS_CHECK(from < servers_.size());
   ++stats_.broadcasts;
   ++channel(m.key).stats.broadcasts;
+  if (TransportStats* rs = repair_ledger(m)) ++rs->broadcasts;
   for (ServerId to = 0; to < servers_.size(); ++to) {
+    // Gone servers have left the cluster: they are not broadcast targets
+    // (and must not inflate the dropped-down bill forever after a leave).
+    if (!failures_->is_member(to)) continue;
     transmit(to, m);
   }
 }
@@ -338,15 +385,18 @@ std::optional<Message> Network::rpc(ServerId from, ServerId to,
   PLS_CHECK(to < servers_.size());
   PLS_CHECK_MSG(sim_ == nullptr, "RPC requires immediate delivery mode");
   KeyChannel& ch = channel(m.key);
+  TransportStats* rs = repair_ledger(m);
   // Request leg, retransmitted under the default policy on a lossy link.
   bool delivered = false;
   const std::uint32_t attempts = link_.lossy() ? retry_.max_attempts : 1;
   for (std::uint32_t attempt = 1; attempt <= attempts; ++attempt) {
     ++stats_.sent;
     ++ch.stats.sent;
+    if (rs != nullptr) ++rs->sent;
     if (attempt > 1) {
       ++stats_.retries;
       ++ch.stats.retries;
+      if (rs != nullptr) ++rs->retries;
     }
     const bool up = failures_->is_up(to);
     if (!up ||
@@ -355,6 +405,7 @@ std::optional<Message> Network::rpc(ServerId from, ServerId to,
       if (link_.lossy()) {
         ++stats_.timeouts;
         ++ch.stats.timeouts;
+        if (rs != nullptr) ++rs->timeouts;
         continue;
       }
       return std::nullopt;
@@ -365,20 +416,27 @@ std::optional<Message> Network::rpc(ServerId from, ServerId to,
   if (!delivered) return std::nullopt;
   ++stats_.rpcs;
   ++ch.stats.rpcs;
+  if (rs != nullptr) ++rs->rpcs;
   // Request processed by the callee...
   ++stats_.processed;
   ++stats_.per_server_processed[to];
   ++ch.stats.processed;
   ++ch.stats.per_server_processed[to];
+  if (rs != nullptr) {
+    ++rs->processed;
+    ++rs->per_server_processed[to];
+  }
   Message reply = servers_[to]->on_rpc(m, *this);
-  // The reply leg is attributed to the request's tenant regardless of what
-  // the callee stamped on the reply payload.
+  // The reply leg is attributed to the request's tenant (and repair
+  // ledger) regardless of what the callee stamped on the reply payload.
   reply.key = m.key;
+  reply.repair = m.repair;
   // ...and the reply processed by the calling *server* (unlike client
   // RPCs). Replies ride the established exchange and are not subject to
   // link loss (connection-oriented model).
   ++stats_.sent;
   ++ch.stats.sent;
+  if (rs != nullptr) ++rs->sent;
   if (!failures_->is_up(from)) {
     record_drop(from, reply, DropCause::kServerDown);
     return std::nullopt;
@@ -387,6 +445,10 @@ std::optional<Message> Network::rpc(ServerId from, ServerId to,
   ++stats_.per_server_processed[from];
   ++ch.stats.processed;
   ++ch.stats.per_server_processed[from];
+  if (rs != nullptr) {
+    ++rs->processed;
+    ++rs->per_server_processed[from];
+  }
   return reply;
 }
 

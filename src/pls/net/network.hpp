@@ -68,7 +68,10 @@ class Network {
  public:
   explicit Network(std::shared_ptr<FailureState> failures);
 
-  /// Registers a server; its id must equal the next free slot.
+  /// Registers a server; its id must equal the next free slot. The
+  /// FailureState must already know about the id (grown via add_server on
+  /// it for elastic joins); every per-server stats vector — global, per
+  /// channel, and the repair ledger — is extended to cover the new id.
   ServerId add_server(std::unique_ptr<Server> server);
 
   std::size_t size() const noexcept { return servers_.size(); }
@@ -114,6 +117,14 @@ class Network {
   std::optional<Message> rpc(ServerId from, ServerId to, const Message& m);
 
   const TransportStats& stats() const noexcept { return stats_; }
+
+  /// The repair ledger: traffic whose Message::repair flag was set, i.e.
+  /// everything the background RepairProcess caused (including server-side
+  /// fan-out of repair-triggered protocol messages). Charged *in addition*
+  /// to the global and per-key counters — it is an attribution overlay, not
+  /// a partition — and obeys the same conservation law on its own.
+  const TransportStats& repair_stats() const noexcept { return repair_stats_; }
+
   void reset_stats() noexcept;
 
   /// Registers a transport channel for a new tenant key and returns its
@@ -189,9 +200,15 @@ class Network {
   /// buffer; the slot returns to pending_free_ when the event fires.
   std::uint32_t acquire_pending(const Message& m);
 
+  /// The repair ledger for `m`, or nullptr for ordinary traffic.
+  TransportStats* repair_ledger(const Message& m) noexcept {
+    return m.repair ? &repair_stats_ : nullptr;
+  }
+
   std::shared_ptr<FailureState> failures_;
   std::vector<std::unique_ptr<Server>> servers_;
   TransportStats stats_;
+  TransportStats repair_stats_;
   std::vector<KeyChannel> channels_;
   LinkModel link_;
   RetryPolicy retry_;

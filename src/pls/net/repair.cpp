@@ -1,0 +1,66 @@
+#include "pls/net/repair.hpp"
+
+#include <utility>
+
+#include "pls/common/check.hpp"
+
+namespace pls::net {
+
+RepairProcess::RepairProcess(std::shared_ptr<FailureState> failures,
+                             Config config)
+    : failures_(std::move(failures)), config_(config) {
+  PLS_CHECK_MSG(failures_ != nullptr, "repair needs a FailureState");
+  PLS_CHECK_MSG(config.interval > 0.0, "repair interval must be positive");
+}
+
+void RepairProcess::add_target(Repairable* target) {
+  PLS_CHECK_MSG(target != nullptr, "null repair target");
+  targets_.push_back(target);
+}
+
+void RepairProcess::arm(sim::Simulator& sim) {
+  PLS_CHECK_MSG(!armed_, "repair process already armed");
+  armed_ = true;
+  schedule(sim);
+}
+
+void RepairProcess::record_wipe(double now) { pending_wipes_.push_back(now); }
+
+void RepairProcess::schedule(sim::Simulator& sim) {
+  const auto fire = [this, &sim] { scan(sim); };
+  static_assert(sim::InlineEvent::fits_inline<decltype(fire)>,
+                "repair scans fire every interval forever and must not "
+                "spill to the event slab");
+  sim.schedule_after(config_.interval, fire);
+}
+
+void RepairProcess::scan(sim::Simulator& sim) {
+  ++scans_;
+  // Epoch early-out: no lifecycle event since the last scan means no
+  // replica count can have changed — re-arm and do nothing else. This
+  // path performs zero allocations (gated by the perf suite).
+  if (failures_->epoch() == last_epoch_) {
+    ++idle_scans_;
+    schedule(sim);
+    return;
+  }
+  last_epoch_ = failures_->epoch();
+  std::uint64_t deficit = 0;
+  for (Repairable* target : targets_) {
+    const RepairOutcome out = target->repair_once();
+    replicas_created_ += out.replicas_created;
+    unrecoverable_ += out.unrecoverable;
+    deficit += out.deficit_after;
+  }
+  if (deficit == 0 && !pending_wipes_.empty()) {
+    // Redundancy fully restored: every outstanding wipe is repaired as of
+    // this scan.
+    for (double wiped_at : pending_wipes_) {
+      repair_times_.push_back(sim.now() - wiped_at);
+    }
+    pending_wipes_.clear();
+  }
+  schedule(sim);
+}
+
+}  // namespace pls::net

@@ -1,0 +1,117 @@
+// Background replica repair.
+//
+// Transient failures only *hide* replicas; permanent loss (a wiped disk, a
+// dead machine) destroys them. Durability under churn is then governed by
+// the race between the failure rate and the repair rate: as long as every
+// entry keeps at least one surviving copy until the next repair pass, the
+// system loses nothing. RepairProcess is the sim-driven scanner on the
+// repair side of that race — the counterpart of FailureInjector on the
+// failure side.
+//
+// The process is layered below core: it knows nothing about placement
+// strategies. Each strategy implements the Repairable interface and
+// re-replicates its own entries according to its own redundancy rule when
+// asked; RepairProcess owns only the cadence, the epoch early-out, and the
+// durability bookkeeping (time-to-repair samples, replica counters). All
+// wire traffic a repair pass causes is sent through repair-scoped
+// ClusterViews and lands on the Network's repair ledger.
+//
+// The idle path is allocation-free: when the FailureState's change epoch
+// is unchanged since the previous scan, nothing can need repair and the
+// scan does nothing but re-arm its (inline, timer-wheel) event. A
+// cluster that never changes pays O(1) per interval, forever.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "pls/net/failure.hpp"
+#include "pls/sim/simulator.hpp"
+
+namespace pls::net {
+
+/// What one repair pass over one target did (and could not do).
+struct RepairOutcome {
+  /// Replica copies re-created by this pass.
+  std::uint64_t replicas_created = 0;
+  /// Copies still below the target's redundancy rule after the pass —
+  /// typically because the server that should hold them is down. A later
+  /// pass retries (the recovery bumps the epoch).
+  std::uint64_t deficit_after = 0;
+  /// Entries whose every copy is gone: no surviving replica exists to
+  /// repair from. Only strategies with authoritative metadata (Round-Robin's
+  /// coordinator) can detect this; the pass also heals the metadata, so
+  /// each lost entry is reported exactly once.
+  std::uint64_t unrecoverable = 0;
+};
+
+/// Implemented by anything RepairProcess can scan (core::Strategy).
+class Repairable {
+ public:
+  virtual ~Repairable() = default;
+
+  /// Examines replica counts and re-replicates entries below target
+  /// redundancy, sending all traffic through a repair-scoped view.
+  virtual RepairOutcome repair_once() = 0;
+};
+
+class RepairProcess {
+ public:
+  struct Config {
+    /// Time between scans. Must be > 0. The durability race: entries are
+    /// safe as long as losing every copy of something takes longer than
+    /// one interval.
+    double interval = 100.0;
+  };
+
+  RepairProcess(std::shared_ptr<FailureState> failures, Config config);
+
+  /// Registers a scan target (one per key, in key order). Targets must
+  /// outlive the simulator run.
+  void add_target(Repairable* target);
+
+  /// Schedules the first scan one interval from now. Call once; scans
+  /// re-arm themselves for the lifetime of `sim`.
+  void arm(sim::Simulator& sim);
+
+  /// Tells the process a server was wiped at time `now` (the injector's
+  /// wipe hook). The wipe's time-to-repair sample is recorded when a
+  /// subsequent scan finishes with zero deficit.
+  void record_wipe(double now);
+
+  std::uint64_t scans() const noexcept { return scans_; }
+  /// Scans that early-outed on an unchanged failure epoch (zero work,
+  /// zero allocations).
+  std::uint64_t idle_scans() const noexcept { return idle_scans_; }
+  std::uint64_t replicas_created() const noexcept { return replicas_created_; }
+  /// Entries reported unrecoverable by the targets (see RepairOutcome).
+  std::uint64_t entries_unrecoverable() const noexcept {
+    return unrecoverable_;
+  }
+
+  /// Completed time-to-repair samples: wipe time -> first scan after it
+  /// that left no repairable deficit.
+  const std::vector<double>& repair_times() const noexcept {
+    return repair_times_;
+  }
+
+ private:
+  void schedule(sim::Simulator& sim);
+  void scan(sim::Simulator& sim);
+
+  std::shared_ptr<FailureState> failures_;
+  Config config_;
+  std::vector<Repairable*> targets_;
+  std::uint64_t last_epoch_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t scans_ = 0;
+  std::uint64_t idle_scans_ = 0;
+  std::uint64_t replicas_created_ = 0;
+  std::uint64_t unrecoverable_ = 0;
+  std::vector<double> pending_wipes_;
+  std::vector<double> repair_times_;
+  bool armed_ = false;
+};
+
+}  // namespace pls::net

@@ -18,6 +18,7 @@
 #include "pls/common/alloc_stats.hpp"
 #include "pls/core/strategy_factory.hpp"
 #include "pls/net/network.hpp"
+#include "pls/net/repair.hpp"
 #include "pls/net/shared_entries.hpp"
 #include "pls/sim/simulator.hpp"
 
@@ -117,6 +118,37 @@ TEST(AllocRegression, BroadcastPerformsZeroPayloadCopies) {
     const double allocs = static_cast<double>(delta.allocations) / kBroadcasts;
     EXPECT_LE(allocs, 4.0) << "broadcast allocates per receiver at n=" << n;
   }
+}
+
+TEST(AllocRegression, IdleRepairScanIsAllocationFree) {
+  // A repair scan on an unchanged failure epoch must do zero work and zero
+  // heap traffic: the scan reads the epoch, sees no change, and re-arms
+  // its inline timer-wheel event. Warm the wheel and the first (real)
+  // scan, then measure a long run of idle epochs.
+  auto failures = net::make_failure_state(8);
+  auto strategy = core::make_strategy(
+      StrategyConfig{.kind = StrategyKind::kRoundRobin, .param = 2, .seed = 5},
+      8, failures);
+  strategy->place(iota_entries(64));
+
+  sim::Simulator sim;
+  net::RepairProcess repair(failures, net::RepairProcess::Config{1.0});
+  repair.add_target(strategy.get());
+  repair.arm(sim);
+  sim.run_until(50.0);  // warm-up: first scan + wheel slots
+  ASSERT_GT(repair.scans(), 0u);
+
+  const std::uint64_t scans_before = repair.scans();
+  const AllocStats before = AllocStats::current();
+  sim.run_until(1050.0);  // 1000 idle scans
+  const AllocStats delta = AllocStats::current() - before;
+  const std::uint64_t idle = repair.scans() - scans_before;
+  ASSERT_GE(idle, 1000u);
+  EXPECT_EQ(repair.idle_scans() + 1, repair.scans())
+      << "only the first scan may do real work in a quiet cluster";
+  EXPECT_EQ(delta.allocations, 0u)
+      << "idle repair scans allocated (" << delta.allocations << " allocs, "
+      << delta.bytes << " bytes over " << idle << " scans)";
 }
 
 TEST(AllocRegression, DeferredBroadcastAlsoSkipsPayloadCopies) {

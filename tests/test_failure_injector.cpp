@@ -1,6 +1,9 @@
 // Tests for the MTTF/MTTR crash-recovery injector.
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "pls/core/strategy_factory.hpp"
 #include "pls/net/failure_injector.hpp"
 
@@ -109,6 +112,122 @@ TEST(FailureInjector, RejectsBadConfig) {
   EXPECT_THROW(
       FailureInjector(failures, {.mttf = 1.0, .mttr = -1.0, .seed = 1}),
       std::logic_error);
+}
+
+TEST(FailureState, EpochAdvancesOnEveryEffectiveTransition) {
+  auto failures = make_failure_state(4);
+  const auto e0 = failures->epoch();
+  failures->fail(1);
+  EXPECT_GT(failures->epoch(), e0);
+  const auto e1 = failures->epoch();
+  failures->recover(1);
+  EXPECT_GT(failures->epoch(), e1);
+  const auto e2 = failures->epoch();
+  failures->add_server();
+  EXPECT_GT(failures->epoch(), e2);
+  const auto e3 = failures->epoch();
+  failures->mark_gone(2);
+  EXPECT_GT(failures->epoch(), e3);
+  // Monotonic: reading twice without transitions sees the same epoch.
+  EXPECT_EQ(failures->epoch(), failures->epoch());
+}
+
+TEST(FailureState, DownServersListsTransientOutagesOnly) {
+  auto failures = make_failure_state(5);
+  EXPECT_TRUE(failures->down_servers().empty());
+  failures->fail(3);
+  failures->fail(1);
+  EXPECT_EQ(failures->down_servers(), (std::vector<ServerId>{1, 3}));
+  // A gone server is not "down" — it has no pending recovery.
+  failures->fail(4);
+  failures->mark_gone(4);
+  EXPECT_EQ(failures->down_servers(), (std::vector<ServerId>{1, 3}));
+  failures->recover(1);
+  EXPECT_EQ(failures->down_servers(), (std::vector<ServerId>{3}));
+}
+
+TEST(FailureState, MemberListTracksJoinsAndPermanentLeaves) {
+  auto failures = make_failure_state(3);
+  // Virgin cluster: rank i is id i (the golden byte-identity lever).
+  EXPECT_EQ(failures->member_count(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(failures->member_at(r), static_cast<ServerId>(r));
+    EXPECT_EQ(failures->member_index(static_cast<ServerId>(r)), r);
+  }
+
+  EXPECT_EQ(failures->add_server(), 3u);  // dense, never reused
+  EXPECT_EQ(failures->member_count(), 4u);
+  EXPECT_TRUE(failures->is_up(3));
+
+  failures->mark_gone(1);
+  EXPECT_EQ(failures->member_count(), 3u);
+  EXPECT_EQ(failures->size(), 4u);  // the tombstone keeps its slot
+  EXPECT_FALSE(failures->is_member(1));
+  EXPECT_EQ(failures->state(1), ServerState::kGone);
+  // Ranks compact around the tombstone: members are {0, 2, 3}.
+  EXPECT_EQ(failures->member_at(0), 0u);
+  EXPECT_EQ(failures->member_at(1), 2u);
+  EXPECT_EQ(failures->member_at(2), 3u);
+  EXPECT_EQ(failures->member_index(2), 1u);
+  EXPECT_EQ(failures->member_index(3), 2u);
+
+  // A down member is still a member; gone transitions are final.
+  failures->fail(2);
+  EXPECT_TRUE(failures->is_member(2));
+  EXPECT_EQ(failures->member_count(), 3u);
+  EXPECT_THROW(failures->mark_gone(1), std::logic_error);
+  failures->recover_all();
+  EXPECT_EQ(failures->up_count(), 3u);
+  EXPECT_EQ(failures->state(1), ServerState::kGone);
+}
+
+TEST(FailureInjector, PermanentLossWipesFireTheHook) {
+  auto failures = make_failure_state(6);
+  FailureInjector injector(
+      failures,
+      {.mttf = 10.0, .mttr = 5.0, .permanent_loss_prob = 1.0, .seed = 11});
+  std::vector<ServerId> wiped;
+  injector.set_wipe_hook([&](ServerId s) { wiped.push_back(s); });
+  sim::Simulator sim;
+  injector.arm(sim);
+  sim.run_until(500.0);
+  // With loss probability 1 every recovery is a wipe.
+  EXPECT_GT(injector.recoveries_injected(), 0u);
+  EXPECT_EQ(injector.wipes_injected(), injector.recoveries_injected());
+  EXPECT_EQ(wiped.size(), injector.wipes_injected());
+  for (ServerId s : wiped) EXPECT_LT(s, 6u);
+}
+
+TEST(FailureInjector, ZeroLossProbNeverWipes) {
+  // At the default permanent_loss_prob = 0 the loss coin is never tossed:
+  // no wipes, no hook calls, and (by the short-circuit guard) the random
+  // stream — and so the whole failure timeline — stays byte-identical to
+  // the pre-permanent-loss injector's.
+  auto failures = make_failure_state(4);
+  FailureInjector injector(failures,
+                           {.mttf = 20.0, .mttr = 10.0, .seed = 7});
+  std::size_t hook_calls = 0;
+  injector.set_wipe_hook([&](ServerId) { ++hook_calls; });
+  sim::Simulator sim;
+  injector.arm(sim);
+  sim.run_until(500.0);
+  EXPECT_GT(injector.recoveries_injected(), 0u);
+  EXPECT_EQ(injector.wipes_injected(), 0u);
+  EXPECT_EQ(hook_calls, 0u);
+}
+
+TEST(FailureInjector, RejectsOutOfRangeLossProb) {
+  auto failures = make_failure_state(2);
+  EXPECT_THROW(FailureInjector(failures, {.mttf = 1.0,
+                                          .mttr = 1.0,
+                                          .permanent_loss_prob = -0.1,
+                                          .seed = 1}),
+               std::logic_error);
+  EXPECT_THROW(FailureInjector(failures, {.mttf = 1.0,
+                                          .mttr = 1.0,
+                                          .permanent_loss_prob = 1.5,
+                                          .seed = 1}),
+               std::logic_error);
 }
 
 TEST(FailureInjector, StrategiesKeepServingThroughCrashRecoveryCycles) {

@@ -181,5 +181,168 @@ TEST_P(SharedClusterGridTest, ServiceMatchesIndependentStrategies) {
 INSTANTIATE_TEST_SUITE_P(RandomGrid, SharedClusterGridTest,
                          ::testing::ValuesIn(random_grid()), grid_name);
 
+// ---------------------------------------------------------------------------
+// Membership grid: the same differential guarantee under elastic
+// membership — joins, graceful leaves, permanent losses, wipes and repair
+// passes interleaved with updates and lookups. A second, independent grid
+// (own meta stream) so the original shapes above stay byte-identical.
+
+std::vector<GridShape> membership_grid() {
+  Rng meta(0x3db1c22f);
+  std::vector<GridShape> shapes;
+  constexpr std::size_t kPerKind = 3;
+  for (StrategyKind kind :
+       {StrategyKind::kFullReplication, StrategyKind::kFixed,
+        StrategyKind::kRandomServer, StrategyKind::kRoundRobin,
+        StrategyKind::kHash}) {
+    for (std::size_t i = 0; i < kPerKind; ++i) {
+      GridShape s;
+      s.kind = kind;
+      s.n = 3 + static_cast<std::size_t>(meta.uniform(6));   // 3..8
+      s.h = 8 + static_cast<std::size_t>(meta.uniform(24));  // 8..31
+      switch (kind) {
+        case StrategyKind::kFullReplication:
+          s.param = 1;
+          break;
+        case StrategyKind::kFixed:
+        case StrategyKind::kRandomServer:
+          s.param = 2 + static_cast<std::size_t>(meta.uniform(10));
+          break;
+        case StrategyKind::kRoundRobin:
+        case StrategyKind::kHash:
+          s.param = 1 + static_cast<std::size_t>(meta.uniform(s.n - 1));
+          break;
+      }
+      s.t = 1 + static_cast<std::size_t>(meta.uniform(s.h / 4 + 1));
+      s.churn_ops = 20 + static_cast<std::size_t>(meta.uniform(20));
+      s.lossy = false;  // membership semantics, not link noise
+      s.with_failures = (i == 2);
+      s.seed = meta.next_u64();
+      shapes.push_back(s);
+    }
+  }
+  return shapes;
+}
+
+class MembershipGridTest : public ::testing::TestWithParam<GridShape> {};
+
+TEST_P(MembershipGridTest, ServiceMatchesTwinsThroughMembershipChurn) {
+  const auto& p = GetParam();
+  const std::vector<Key> keys{"k-apple", "k-pear", "k-plum"};
+
+  ServiceConfig cfg;
+  cfg.num_servers = p.n;
+  cfg.default_strategy = {.kind = p.kind, .param = p.param, .seed = 0};
+  cfg.seed = p.seed;
+  PartialLookupService service(cfg);
+
+  auto twin_failures = net::make_failure_state(p.n);
+  std::vector<std::unique_ptr<Strategy>> twins;
+  for (const Key& key : keys) {
+    StrategyConfig kc = cfg.default_strategy;
+    kc.seed = derived_key_seed(key, cfg.seed);
+    twins.push_back(make_strategy(kc, p.n, twin_failures));
+  }
+
+  std::vector<std::vector<Entry>> live(keys.size());
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    for (std::size_t i = 0; i < p.h; ++i) {
+      live[k].push_back(static_cast<Entry>(1000 * k + i));
+    }
+    service.place(keys[k], live[k]);
+    twins[k]->place(live[k]);
+  }
+
+  Rng ops(p.seed ^ 0x9d2fu);
+  for (std::size_t op = 0; op < p.churn_ops; ++op) {
+    const auto k = static_cast<std::size_t>(ops.uniform(keys.size()));
+    if (p.with_failures && op == p.churn_ops / 2) {
+      const auto rank =
+          static_cast<std::size_t>(ops.uniform(service.failures().member_count()));
+      const ServerId down = service.failures().member_at(rank);
+      if (service.failures().is_up(down)) {
+        service.fail_server(down);
+        twins[0]->fail_server(down);  // shared FailureState: hits all twins
+      }
+    }
+    switch (ops.uniform(7)) {
+      case 0: {  // join — every twin adopts the same new id
+        const ServerId joined = service.add_server();
+        for (auto& twin : twins) {
+          ASSERT_EQ(twin->add_server(), joined) << "op " << op;
+        }
+        break;
+      }
+      case 1: {  // leave, graceful or permanent
+        if (service.failures().member_count() <= 2) break;
+        const auto rank = static_cast<std::size_t>(
+            ops.uniform(service.failures().member_count()));
+        const ServerId leaver = service.failures().member_at(rank);
+        const auto loss =
+            ops.uniform(2) == 0 ? net::Loss::kGraceful : net::Loss::kPermanent;
+        service.remove_server(leaver, loss);
+        for (auto& twin : twins) twin->remove_server(leaver, loss);
+        break;
+      }
+      case 2: {  // wipe a host, then run one repair pass on every key
+        const auto rank = static_cast<std::size_t>(
+            ops.uniform(service.failures().member_count()));
+        const ServerId wiped = service.failures().member_at(rank);
+        service.cluster().wipe_host(wiped);
+        for (auto& twin : twins) twin->wipe_server(wiped);
+        for (std::size_t j = 0; j < keys.size(); ++j) {
+          const auto so = service.strategy(keys[j]).repair_once();
+          const auto to = twins[j]->repair_once();
+          ASSERT_EQ(so.replicas_created, to.replicas_created)
+              << "key " << keys[j] << " op " << op;
+          ASSERT_EQ(so.deficit_after, to.deficit_after);
+          ASSERT_EQ(so.unrecoverable, to.unrecoverable);
+        }
+        break;
+      }
+      case 3: {  // add
+        const Entry v = static_cast<Entry>(5000 + 100 * k + op);
+        service.add(keys[k], v);
+        twins[k]->add(v);
+        live[k].push_back(v);
+        break;
+      }
+      case 4: {  // delete
+        if (live[k].empty()) break;
+        const Entry v = live[k].back();
+        live[k].pop_back();
+        service.erase(keys[k], v);
+        twins[k]->erase(v);
+        break;
+      }
+      default: {  // lookup
+        const auto rs = service.partial_lookup(keys[k], p.t);
+        const auto rt = twins[k]->partial_lookup(p.t);
+        ASSERT_EQ(rs.entries, rt.entries) << "key " << keys[k] << " op " << op;
+        ASSERT_EQ(rs.satisfied, rt.satisfied);
+        ASSERT_EQ(rs.servers_contacted, rt.servers_contacted);
+        break;
+      }
+    }
+  }
+
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    EXPECT_EQ(service.strategy(keys[k]).placement().servers,
+              twins[k]->placement().servers)
+        << "key " << keys[k];
+    EXPECT_TRUE(service.key_transport(keys[k]).conservation_holds());
+  }
+  // The shared repair ledger obeys the same conservation law as the
+  // client channels, on both deployment shapes.
+  EXPECT_TRUE(
+      service.cluster().network().repair_stats().conservation_holds());
+  for (const auto& twin : twins) {
+    EXPECT_TRUE(twin->network().repair_stats().conservation_holds());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MembershipGrid, MembershipGridTest,
+                         ::testing::ValuesIn(membership_grid()), grid_name);
+
 }  // namespace
 }  // namespace pls::core

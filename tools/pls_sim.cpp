@@ -20,6 +20,12 @@
 //   --updates U       churn events to replay (0 = static experiment)
 //   --lifetime D      exp | zipf
 //   --mttf/--mttr M   enable stochastic failures with these means
+//   --loss-prob P     probability a recovering server comes back *empty*
+//                     (permanent data loss; requires --mttf/--mttr)
+//   --repair-interval R  arm the background RepairProcess with scan
+//                     interval R (single-key dynamic mode)
+//   --join-at T       add one host at sim time T (single-key dynamic mode)
+//   --leave-at T      permanently remove the highest member at sim time T
 //   --drop P          per-message link loss probability
 //   --dup P           per-delivery link duplication probability
 //   --max-attempts A  wire attempts per message (1 = no retries)
@@ -55,6 +61,7 @@
 #include "pls/metrics/trial_accumulator.hpp"
 #include "pls/metrics/unfairness.hpp"
 #include "pls/net/failure_injector.hpp"
+#include "pls/net/repair.hpp"
 #include "pls/sim/trial_runner.hpp"
 #include "pls/workload/replay.hpp"
 
@@ -72,6 +79,10 @@ struct Options {
   std::string lifetime = "exp";
   double mttf = 0.0;
   double mttr = 0.0;
+  double loss_prob = 0.0;
+  double repair_interval = 0.0;
+  double join_at = 0.0;
+  double leave_at = 0.0;
   pls::net::LinkModel link{};
   pls::net::RetryPolicy retry{};
   std::size_t trials = 1;
@@ -87,6 +98,8 @@ struct Options {
                "[--target T] [--lookups L]\n"
                "               [--updates U] [--lifetime exp|zipf] "
                "[--mttf M --mttr M]\n"
+               "               [--loss-prob P] [--repair-interval R] "
+               "[--join-at T] [--leave-at T]\n"
                "               [--drop P] [--dup P] [--max-attempts A] "
                "[--timeout T]\n"
                "               [--backoff B] [--budget N] [--trials N] "
@@ -134,6 +147,14 @@ Options parse(int argc, char** argv) {
       opt.mttf = std::strtod(value().data(), nullptr);
     } else if (flag == "--mttr") {
       opt.mttr = std::strtod(value().data(), nullptr);
+    } else if (flag == "--loss-prob") {
+      opt.loss_prob = std::strtod(value().data(), nullptr);
+    } else if (flag == "--repair-interval") {
+      opt.repair_interval = std::strtod(value().data(), nullptr);
+    } else if (flag == "--join-at") {
+      opt.join_at = std::strtod(value().data(), nullptr);
+    } else if (flag == "--leave-at") {
+      opt.leave_at = std::strtod(value().data(), nullptr);
     } else if (flag == "--drop") {
       opt.link.drop_probability = std::strtod(value().data(), nullptr);
     } else if (flag == "--dup") {
@@ -165,6 +186,17 @@ Options parse(int argc, char** argv) {
   }
   if (opt.trials == 0) {
     std::cerr << "--trials must be at least 1\n";
+    usage(2);
+  }
+  if (opt.loss_prob > 0.0 && !(opt.mttf > 0.0 && opt.mttr > 0.0)) {
+    std::cerr << "--loss-prob needs --mttf and --mttr (losses happen on "
+                 "recovery)\n";
+    usage(2);
+  }
+  if (opt.keys > 0 && (opt.loss_prob > 0.0 || opt.repair_interval > 0.0 ||
+                       opt.join_at > 0.0 || opt.leave_at > 0.0)) {
+    std::cerr << "membership/repair flags are single-key mode only "
+                 "(--keys 0)\n";
     usage(2);
   }
   return opt;
@@ -220,11 +252,47 @@ pls::metrics::TrialAccumulator run_one(const Options& opt,
   const auto wl = workload::generate_workload(wc);
 
   sim::Simulator failure_clock;
+  bool clock_used = false;
+  std::unique_ptr<net::RepairProcess> repair;
+  if (opt.repair_interval > 0.0) {
+    repair = std::make_unique<net::RepairProcess>(
+        failures, net::RepairProcess::Config{opt.repair_interval});
+    repair->add_target(strategy.get());
+    repair->arm(failure_clock);
+    clock_used = true;
+  }
   std::unique_ptr<net::FailureInjector> injector;
   if (opt.mttf > 0.0 && opt.mttr > 0.0) {
     injector = std::make_unique<net::FailureInjector>(
-        failures, net::FailureInjector::Config{opt.mttf, opt.mttr, seed + 2});
+        failures,
+        net::FailureInjector::Config{.mttf = opt.mttf,
+                                     .mttr = opt.mttr,
+                                     .permanent_loss_prob = opt.loss_prob,
+                                     .seed = seed + 2});
+    if (opt.loss_prob > 0.0) {
+      injector->set_wipe_hook([&strategy, &repair, &failure_clock](
+                                  ServerId s) {
+        strategy->wipe_server(s);
+        if (repair) repair->record_wipe(failure_clock.now());
+      });
+    }
     injector->arm(failure_clock);
+    clock_used = true;
+  }
+  if (opt.join_at > 0.0) {
+    failure_clock.schedule_at(opt.join_at,
+                              [&strategy] { strategy->add_server(); });
+    clock_used = true;
+  }
+  if (opt.leave_at > 0.0) {
+    failure_clock.schedule_at(opt.leave_at, [&strategy] {
+      const net::FailureState& fs = strategy->network().failures();
+      if (fs.member_count() > 1) {
+        strategy->remove_server(fs.member_at(fs.member_count() - 1),
+                                net::Loss::kPermanent);
+      }
+    });
+    clock_used = true;
   }
 
   strategy->network().reset_stats();
@@ -233,7 +301,7 @@ pls::metrics::TrialAccumulator run_one(const Options& opt,
   workload::Replayer replayer(*strategy, wl);
   replayer.set_observer([&](const workload::UpdateEvent& ev, std::size_t,
                             SimTime gap) {
-    if (injector) failure_clock.run_until(ev.time);
+    if (clock_used) failure_clock.run_until(ev.time);
     if (ev.kind == workload::UpdateKind::kAdd) {
       live.insert(ev.entry);
     } else {
@@ -261,6 +329,35 @@ pls::metrics::TrialAccumulator run_one(const Options& opt,
               static_cast<double>(injector->failures_injected()));
     trial.add("dyn/recoveries_injected",
               static_cast<double>(injector->recoveries_injected()));
+    trial.add("dyn/wipes_injected",
+              static_cast<double>(injector->wipes_injected()));
+  }
+  if (opt.loss_prob > 0.0 || opt.join_at > 0.0 || opt.leave_at > 0.0) {
+    // Permanently lost content: live entries (per the workload ground
+    // truth) that no surviving server stores.
+    std::unordered_set<Entry> stored;
+    for (const auto& s : strategy->placement().servers) {
+      stored.insert(s.begin(), s.end());
+    }
+    std::size_t lost_entries = 0;
+    for (Entry v : live) {
+      if (!stored.contains(v)) ++lost_entries;
+    }
+    trial.add("dyn/lost_entries", static_cast<double>(lost_entries));
+  }
+  if (repair) {
+    trial.add("repair/scans", static_cast<double>(repair->scans()));
+    trial.add("repair/idle_scans",
+              static_cast<double>(repair->idle_scans()));
+    trial.add("repair/replicas_created",
+              static_cast<double>(repair->replicas_created()));
+    trial.add("repair/unrecoverable",
+              static_cast<double>(repair->entries_unrecoverable()));
+    const auto& rs = strategy->network().repair_stats();
+    trial.add_transport("repairnet/", rs);
+    // The repair ledger is a full TransportStats overlay with its own
+    // conservation law.
+    trial.add("repair/conserved", rs.conservation_holds() ? 1.0 : 0.0);
   }
   if (!live.empty()) {
     std::vector<Entry> universe(live.begin(), live.end());
@@ -340,6 +437,12 @@ pls::metrics::TrialAccumulator run_service_one(const Options& opt,
   for (const auto& key : keys) per_key_sum.merge(service.key_transport(key));
   trial.add("svc/transport_conserved",
             per_key_sum == service.total_transport() ? 1.0 : 0.0);
+  // The repair attribution overlay obeys the same conservation law as any
+  // other channel (trivially, all-zero, until a repair process runs).
+  trial.add("svc/repair_conserved",
+            service.cluster().network().repair_stats().conservation_holds()
+                ? 1.0
+                : 0.0);
   return trial;
 }
 
@@ -434,7 +537,26 @@ void print_single_run_panel(const Options& opt,
   if (acc.has("dyn/failures_injected")) {
     std::cout << "  failures         " << count("dyn/failures_injected")
               << " crashes, " << count("dyn/recoveries_injected")
-              << " repairs\n";
+              << " recoveries";
+    if (acc.has("dyn/wipes_injected")) {
+      std::cout << ", " << count("dyn/wipes_injected")
+                << " came back wiped";
+    }
+    std::cout << '\n';
+  }
+  if (acc.has("dyn/lost_entries")) {
+    std::cout << "  durability       " << count("dyn/lost_entries")
+              << " live entries permanently lost\n";
+  }
+  if (acc.has("repair/scans")) {
+    std::cout << "  repair           " << count("repair/scans") << " scans ("
+              << count("repair/idle_scans") << " idle), "
+              << count("repair/replicas_created")
+              << " replicas re-created over " << count("repairnet/sent")
+              << " messages ("
+              << (acc.mean("repair/conserved") == 1.0
+                      ? "ledger conserved)\n"
+                      : "LEDGER NOT CONSERVED)\n");
   }
   if (acc.has("dyn/final_unfairness")) {
     std::cout << "  final unfairness " << acc.mean("dyn/final_unfairness")
